@@ -1,0 +1,10 @@
+"""Benchmark helpers: run heavyweight harnesses once per measurement."""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once per round (harnesses are seconds-scale;
+    statistical repetition happens across rounds, not iterations)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

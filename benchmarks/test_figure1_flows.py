@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 1 (the three SOD execution flows)."""
+
+from conftest import once
+
+from repro.experiments import figure1
+
+
+def test_figure1_flows(benchmark):
+    t = once(benchmark, figure1.run)
+    print("\n" + t.format())
+    assert all(row[2] for row in t.rows)      # all flows correct
+    assert t.rows[1][4] > 0 and t.rows[2][4] > 0  # latency hiding

@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 5's class-size comparison."""
+
+from conftest import once
+
+from repro.experiments import figure5
+
+
+def test_figure5_sizes(benchmark):
+    t = once(benchmark, figure5.run)
+    print("\n" + t.format())
+    sizes = figure5.sizes()
+    assert sizes["original"] < sizes["checking"] < sizes["faulting"]

@@ -1,0 +1,12 @@
+"""Bench: regenerate the section IV.C roaming study (speedup 3.39)."""
+
+from conftest import once
+
+from repro.experiments import roaming
+
+
+def test_roaming_speedup(benchmark):
+    t = once(benchmark, roaming.run)
+    print("\n" + t.format())
+    r = roaming.measure()
+    assert r.speedup > 3.0

@@ -1,0 +1,16 @@
+"""Bench: regenerate Table II (execution time per system, mig/no-mig)."""
+
+from conftest import once
+
+from repro.experiments import table2
+from repro.experiments.common import outcome
+
+
+def test_table2_exec_time(benchmark):
+    t = once(benchmark, table2.run)
+    print("\n" + t.format())
+    # Migration must never make a run *faster* (there is no free lunch).
+    for system in ("SODEE", "G-JavaMPI", "JESSICA2", "Xen"):
+        for wl in ("Fib", "NQ", "FFT", "TSP"):
+            assert (outcome(system, wl, True).exec_seconds
+                    >= outcome(system, wl, False).exec_seconds)

@@ -1,0 +1,14 @@
+"""Bench: regenerate Table VII (iPhone migration latency vs bandwidth)."""
+
+from conftest import once
+
+from repro.experiments import table7
+
+
+def test_table7_bandwidth(benchmark):
+    t = once(benchmark, table7.run)
+    print("\n" + t.format())
+    recs = {bw: table7.migrate_once(bw)[0] for bw in (50, 764)}
+    assert recs[50].latency > 2 * recs[764].latency
+    assert (abs(recs[50].capture_time - recs[764].capture_time)
+            < 0.2 * recs[50].capture_time)

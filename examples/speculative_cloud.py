@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Speculative exception-driven offloading (paper section II.B):
+
+    "if exceptions like ... OutOfMemoryException are thrown, the
+     exception handler will capture the execution state and rocket it
+     into the Cloud that has wider library base and memory capacity for
+     retrying the execution."
+
+A memory-hungry job starts on a 256 KB device; the moment its next
+allocation would not fit, the active segment rockets to the cloud node
+and the job completes there.
+
+Run:  python examples/speculative_cloud.py
+"""
+
+from repro.cluster import NodeSpec
+from repro.cluster.topology import gige_cluster
+from repro.lang import compile_source
+from repro.migration import SODEngine
+from repro.migration.policies import SpeculativeCloudPolicy
+from repro.preprocess import preprocess_program
+from repro.units import gb, kb
+from repro.vm import Machine
+
+SOURCE = """
+class T {
+  static int crunch(int n) {
+    int[] big = new int[n];
+    for (int i = 0; i < n; i = i + 1) { big[i] = i % 97; }
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + big[i]; }
+    return s;
+  }
+  static int main(int n) { return T.crunch(n); }
+}
+"""
+
+
+def main() -> None:
+    classes = preprocess_program(compile_source(SOURCE), "faulting")
+    n = 50_000  # a ~400 KB array: doomed on the device
+    expected = Machine(classes).call("T", "main", [n])
+
+    cluster = gige_cluster(1)
+    cluster.add_node(NodeSpec(name="device", ram_bytes=kb(256),
+                              kind="phone"))
+    cluster.add_node(NodeSpec(name="cloud", ram_bytes=gb(64), kind="cloud"))
+
+    engine = SODEngine(cluster, classes)
+    device = engine.host("device")
+    thread = engine.spawn(device, "T", "main", [n])
+    policy = SpeculativeCloudPolicy(engine, device, "cloud")
+    result = policy.run(thread)
+
+    print(f"device RAM          : 256 KB; requested array ~ "
+          f"{n * 8 // 1024} KB")
+    print(f"rocketed to cloud   : {policy.migrated}")
+    print(f"result              : {result} (expected {expected})")
+    print(f"simulated time      : {engine.timeline * 1e3:.2f} ms")
+    assert result == expected and policy.migrated
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""repro — a reproduction of "A Stack-on-Demand Execution Model for
+Elastic Computing" (Ma, Lam, Wang, Zhang; ICPP 2010).
+
+Public API surface (see README.md for a tour):
+
+* :func:`repro.lang.compile_source` — MiniLang -> class files
+* :func:`repro.preprocess.preprocess_program` — the class preprocessor
+* :class:`repro.vm.Machine` — the stack-machine VM
+* :class:`repro.migration.SODEngine` — the SOD distributed runtime
+* :mod:`repro.migration.workflow` — Fig. 1 flows and task roaming
+* :mod:`repro.baselines` — G-JavaMPI / JESSICA2 / Xen comparators
+* :mod:`repro.experiments` — one harness per paper table/figure
+"""
+
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.vm import Machine
+from repro.migration import SODEngine
+
+__version__ = "1.0.0"
+
+__all__ = ["compile_source", "preprocess_program", "Machine", "SODEngine",
+           "__version__"]

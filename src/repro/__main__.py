@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [names...]`` — regenerate paper tables/figures (all by default;
+  names like ``table4 roaming figure1``).
+* ``run <workload>`` — run one registered workload locally and print its
+  result and instruction count (``Fib``, ``NQ``, ``FFT``, ``TSP``).
+* ``migrate <workload>`` — run it under SODEE with a top-frame migration
+  and print the migration record and trace timeline.
+* ``disasm <file.mj> [Class.method]`` — compile a MiniLang file and print
+  the (preprocessed) bytecode.
+* ``workloads`` — list registered workloads with paper/sim parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import ALL, generate
+    names = args.names or None
+    if names:
+        unknown = [n for n in names if n not in ALL]
+        if unknown:
+            print(f"unknown experiments: {unknown}; "
+                  f"available: {sorted(ALL)}", file=sys.stderr)
+            return 2
+    print(generate(names))
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOADS
+    for name, w in WORKLOADS.items():
+        print(f"{name:5s} paper n={w.paper_n:<4d} sim args={w.sim_args} "
+              f"JDK={w.paper_jdk_seconds}s trigger={w.trigger_method}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.workloads import WORKLOADS, compiled
+    from repro.vm import Machine
+    w = WORKLOADS.get(args.workload)
+    if w is None:
+        print(f"unknown workload {args.workload!r}; "
+              f"known: {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
+    machine = Machine(compiled(w.name, args.build))
+    result = machine.call(w.main[0], w.main[1], list(w.sim_args))
+    print(f"{w.name}{w.sim_args} = {result}  "
+          f"[{machine.instr_count} instructions, build={args.build}]")
+    return 0
+
+
+def _cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.cluster import gige_cluster
+    from repro.migration import SODEngine
+    from repro.migration.tracing import Tracer, format_timeline
+    from repro.workloads import WORKLOADS, compiled, expected_result
+    w = WORKLOADS.get(args.workload)
+    if w is None:
+        print(f"unknown workload {args.workload!r}; "
+              f"known: {sorted(WORKLOADS)}", file=sys.stderr)
+        return 2
+    engine = SODEngine(gige_cluster(2), compiled(w.name, "faulting"))
+    tracer = Tracer().attach(engine)
+    home = engine.host("node0")
+    thread = engine.spawn(home, w.main[0], w.main[1], list(w.sim_args))
+    status = engine.run(home, thread, stop=w.trigger())
+    if status == "finished":
+        print("trigger never fired; nothing migrated", file=sys.stderr)
+        return 1
+    result, rec = engine.run_segment_remote(home, thread, "node1",
+                                            w.mig_frames)
+    ok = result == expected_result(w.name)
+    print(f"result={result} (correct={ok})")
+    print(f"latency={rec.latency * 1e3:.2f} ms  "
+          f"capture={rec.capture_time * 1e3:.2f}  "
+          f"transfer={rec.transfer_time * 1e3:.2f}  "
+          f"restore={rec.restore_time * 1e3:.2f}")
+    print(format_timeline(tracer))
+    return 0 if ok else 1
+
+
+def _cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.bytecode import disassemble
+    from repro.lang import compile_source
+    from repro.preprocess import preprocess_program
+    with open(args.path) as fh:
+        classes = preprocess_program(compile_source(fh.read()), args.build)
+    target = args.target
+    for cname, cf in sorted(classes.items()):
+        if not cf.methods:
+            continue
+        for mname, code in cf.methods.items():
+            qual = f"{cname}.{mname}"
+            if target and target not in (cname, qual):
+                continue
+            print(disassemble(code))
+            print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro",
+                                     description=__doc__.split("\n")[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("report", help="regenerate paper tables/figures")
+    p.add_argument("names", nargs="*")
+    p.set_defaults(fn=_cmd_report)
+
+    p = sub.add_parser("workloads", help="list registered workloads")
+    p.set_defaults(fn=_cmd_workloads)
+
+    p = sub.add_parser("run", help="run a workload locally")
+    p.add_argument("workload")
+    p.add_argument("--build", default="original",
+                   choices=["original", "flattened", "faulting", "checking"])
+    p.set_defaults(fn=_cmd_run)
+
+    p = sub.add_parser("migrate", help="run a workload with SOD migration")
+    p.add_argument("workload")
+    p.set_defaults(fn=_cmd_migrate)
+
+    p = sub.add_parser("disasm", help="compile + disassemble MiniLang")
+    p.add_argument("path")
+    p.add_argument("target", nargs="?")
+    p.add_argument("--build", default="faulting",
+                   choices=["original", "flattened", "faulting", "checking"])
+    p.set_defaults(fn=_cmd_disasm)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,11 @@
+"""Baseline migration systems the paper compares against."""
+
+from repro.baselines.base import BaselineEngine, BaselineRecord, heap_nominal_bytes
+from repro.baselines.gjavampi import GJavaMPIEngine
+from repro.baselines.jessica2 import Jessica2Engine
+from repro.baselines.xen import XenEngine
+
+__all__ = [
+    "BaselineEngine", "BaselineRecord", "heap_nominal_bytes",
+    "GJavaMPIEngine", "Jessica2Engine", "XenEngine",
+]

@@ -1,0 +1,164 @@
+"""Structural bytecode verifier.
+
+Run before any code object is loaded into a VM (and after every
+preprocessing pass in tests) to catch malformed code early:
+
+* all jump / switch / exception-table targets are valid bcis;
+* local slots are within ``max_locals``;
+* the operand-stack depth is consistent at every bci across all paths
+  (the classic dataflow check), never negative, and bounded;
+* execution cannot fall off the end of the method;
+* exception handlers start with a well-formed region (the exception
+  object is on the stack at handler entry);
+* CONST arguments are of supported literal types.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import CodeObject
+from repro.errors import VerifyError
+
+_LITERALS = (int, float, bool, str, type(None))
+
+MAX_STACK = 4096
+
+
+def _targets(code: CodeObject, bci: int) -> List[int]:
+    """Successor bcis of the instruction at ``bci`` (fallthrough included)."""
+    ins = code.instrs[bci]
+    succ: List[int] = []
+    if ins.op in (op.RET, op.RETV, op.THROW):
+        return succ
+    if ins.op == op.JMP:
+        return [ins.a]
+    if ins.op == op.LSWITCH:
+        return sorted(set(ins.a.values()) | {ins.b})
+    if ins.op in (op.JZ, op.JNZ):
+        succ.append(ins.a)
+    succ.append(bci + 1)
+    return succ
+
+
+def verify(code: CodeObject) -> None:
+    """Verify one code object; raises :class:`VerifyError` on failure."""
+    n = len(code.instrs)
+    if n == 0:
+        raise VerifyError(f"{code.qualname}: empty method body")
+    if code.nparams > code.max_locals:
+        raise VerifyError(f"{code.qualname}: nparams > max_locals")
+
+    # -- static checks per instruction ------------------------------------
+    for bci, ins in enumerate(code.instrs):
+        if ins.op not in op.ALL_OPS:
+            raise VerifyError(f"{code.qualname}@{bci}: unknown opcode {ins.op!r}")
+        if ins.op in (op.LOAD, op.STORE):
+            if not isinstance(ins.a, int) or not (0 <= ins.a < code.max_locals):
+                raise VerifyError(
+                    f"{code.qualname}@{bci}: bad slot {ins.a!r} "
+                    f"(max_locals={code.max_locals})")
+        if ins.op in op.BRANCHES:
+            if not isinstance(ins.a, int) or not (0 <= ins.a < n):
+                raise VerifyError(f"{code.qualname}@{bci}: bad target {ins.a!r}")
+        if ins.op == op.LSWITCH:
+            if not isinstance(ins.a, dict):
+                raise VerifyError(f"{code.qualname}@{bci}: LSWITCH table not a dict")
+            for t in list(ins.a.values()) + [ins.b]:
+                if not isinstance(t, int) or not (0 <= t < n):
+                    raise VerifyError(f"{code.qualname}@{bci}: bad switch target {t!r}")
+        if ins.op == op.CONST and not isinstance(ins.a, _LITERALS):
+            raise VerifyError(
+                f"{code.qualname}@{bci}: CONST of unsupported type {type(ins.a)}")
+        if ins.op in (op.INVOKESTATIC, op.INVOKEVIRT, op.NATIVE):
+            if not isinstance(ins.b, int) or ins.b < 0:
+                raise VerifyError(f"{code.qualname}@{bci}: bad arg count {ins.b!r}")
+
+    # -- exception table ----------------------------------------------------
+    for e in code.exc_table:
+        if not (0 <= e.start < e.end <= n):
+            raise VerifyError(f"{code.qualname}: bad catch range {e}")
+        if not (0 <= e.handler < n):
+            raise VerifyError(f"{code.qualname}: bad handler bci {e}")
+
+    # -- dataflow: consistent stack depths -----------------------------------
+    depth_at: List[Optional[int]] = [None] * n
+    work: List[int] = [0]
+    depth_at[0] = 0
+    # Exception handlers are entered with exactly the exception object.
+    for e in code.exc_table:
+        if depth_at[e.handler] is None:
+            depth_at[e.handler] = 1
+            work.append(e.handler)
+        elif depth_at[e.handler] != 1:
+            raise VerifyError(
+                f"{code.qualname}: handler @{e.handler} reachable with depth "
+                f"{depth_at[e.handler]} != 1")
+    while work:
+        bci = work.pop()
+        d = depth_at[bci]
+        assert d is not None
+        ins = code.instrs[bci]
+        pops, pushes = op.stack_effect(ins.op, ins.a, ins.b)
+        if d < pops:
+            raise VerifyError(
+                f"{code.qualname}@{bci}: stack underflow ({ins.op} pops "
+                f"{pops}, depth {d})")
+        nd = d - pops + pushes
+        if nd > MAX_STACK:
+            raise VerifyError(f"{code.qualname}@{bci}: stack overflow")
+        for t in _targets(code, bci):
+            if t >= n:
+                raise VerifyError(
+                    f"{code.qualname}@{bci}: falls off the end of the method")
+            if depth_at[t] is None:
+                depth_at[t] = nd
+                work.append(t)
+            elif depth_at[t] != nd:
+                raise VerifyError(
+                    f"{code.qualname}@{bci}->{t}: inconsistent stack depth "
+                    f"{depth_at[t]} vs {nd}")
+
+    # -- line table -----------------------------------------------------------
+    last = -1
+    for start, _line in code.line_table:
+        if not (0 <= start < n):
+            raise VerifyError(f"{code.qualname}: line-table bci {start} out of range")
+        if start <= last:
+            raise VerifyError(f"{code.qualname}: line table not strictly increasing")
+        last = start
+
+
+def stack_depths(code: CodeObject) -> Dict[int, int]:
+    """Operand-stack depth *before* each reachable bci.
+
+    Shared with the preprocessor (MSP computation needs "depth == 0").
+    Unreachable bcis are absent from the result.
+    """
+    n = len(code.instrs)
+    depth_at: List[Optional[int]] = [None] * n
+    depth_at[0] = 0
+    work = [0]
+    for e in code.exc_table:
+        if depth_at[e.handler] is None:
+            depth_at[e.handler] = 1
+            work.append(e.handler)
+    while work:
+        bci = work.pop()
+        d = depth_at[bci]
+        assert d is not None
+        ins = code.instrs[bci]
+        pops, pushes = op.stack_effect(ins.op, ins.a, ins.b)
+        nd = d - pops + pushes
+        for t in _targets(code, bci):
+            if t < n and depth_at[t] is None:
+                depth_at[t] = nd
+                work.append(t)
+    return {bci: d for bci, d in enumerate(depth_at) if d is not None}
+
+
+def verify_class(cf) -> None:
+    """Verify every method of a :class:`repro.bytecode.code.ClassFile`."""
+    for code in cf.methods.values():
+        verify(code)

@@ -1,0 +1,11 @@
+"""Simulated cluster substrate: nodes, network, files, topologies."""
+
+from repro.cluster.network import LinkSpec, Network
+from repro.cluster.nfs import DiskSpec, FileSystem, SimFile
+from repro.cluster.node import Node, NodeSpec
+from repro.cluster.topology import Cluster, gige_cluster, phone_setup, wan_grid
+
+__all__ = [
+    "LinkSpec", "Network", "DiskSpec", "FileSystem", "SimFile",
+    "Node", "NodeSpec", "Cluster", "gige_cluster", "phone_setup", "wan_grid",
+]

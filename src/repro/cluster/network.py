@@ -1,0 +1,122 @@
+"""Point-to-point network model.
+
+Links have a latency (one-way propagation, seconds) and a bandwidth
+(bytes/second).  Transferring ``n`` bytes over a link takes
+``latency + n / bandwidth`` seconds; a round trip with a small reply is
+``2 * latency + n / bandwidth + reply / bandwidth``.
+
+The model is intentionally simple — the paper's tables depend on byte
+counts and link speeds, not on protocol dynamics — but it supports
+per-message overhead bytes (headers/serialization framing) and
+half-duplex contention via the event kernel when used with
+:meth:`Network.transfer_proc`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import ClusterError
+from repro.sim.kernel import Environment, Event, Resource
+from repro.units import gbps, us
+
+
+@dataclass
+class LinkSpec:
+    """A directed link's characteristics.
+
+    Attributes:
+        bandwidth: bytes per second.
+        latency: one-way propagation delay, seconds.
+        per_message_bytes: fixed framing overhead added to every message.
+    """
+
+    bandwidth: float = gbps(1)
+    latency: float = us(80)  # typical GigE + switch hop
+    per_message_bytes: int = 64
+
+    def transfer_time(self, nbytes: int) -> float:
+        """One-way time to move ``nbytes`` (including framing overhead)."""
+        if nbytes < 0:
+            raise ClusterError(f"negative transfer size {nbytes}")
+        return self.latency + (nbytes + self.per_message_bytes) / self.bandwidth
+
+    def rtt(self, request_bytes: int, reply_bytes: int) -> float:
+        """Round-trip time for a request/reply exchange."""
+        return self.transfer_time(request_bytes) + self.transfer_time(reply_bytes)
+
+
+class Network:
+    """All-pairs network over named nodes.
+
+    A default link spec applies to every pair; specific pairs can be
+    overridden (e.g. the Wi-Fi + rate-limited router path to the iPhone).
+    Links are symmetric unless both directions are overridden.
+    """
+
+    def __init__(self, env: Environment | None = None,
+                 default: LinkSpec | None = None):
+        self.env = env or Environment()
+        self.default = default or LinkSpec()
+        self._overrides: Dict[Tuple[str, str], LinkSpec] = {}
+        self._resources: Dict[Tuple[str, str], Resource] = {}
+        #: total bytes moved, per (src, dst) — for experiment reporting
+        self.bytes_moved: Dict[Tuple[str, str], int] = {}
+        #: total messages sent, per (src, dst)
+        self.messages: Dict[Tuple[str, str], int] = {}
+
+    def set_link(self, a: str, b: str, spec: LinkSpec,
+                 symmetric: bool = True) -> None:
+        """Override the link between ``a`` and ``b``."""
+        self._overrides[(a, b)] = spec
+        if symmetric:
+            self._overrides[(b, a)] = spec
+
+    def link(self, src: str, dst: str) -> LinkSpec:
+        """The link spec used from ``src`` to ``dst``."""
+        if src == dst:
+            # Loopback: effectively free but not zero (memcpy-ish).
+            return LinkSpec(bandwidth=gbps(80), latency=us(1), per_message_bytes=0)
+        return self._overrides.get((src, dst), self.default)
+
+    # -- instantaneous accounting (no contention) -------------------------
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        """Time to move ``nbytes`` from ``src`` to ``dst``, and record it."""
+        spec = self.link(src, dst)
+        t = spec.transfer_time(nbytes)
+        key = (src, dst)
+        self.bytes_moved[key] = self.bytes_moved.get(key, 0) + nbytes
+        self.messages[key] = self.messages.get(key, 0) + 1
+        return t
+
+    def rtt(self, src: str, dst: str, request_bytes: int, reply_bytes: int) -> float:
+        """Round-trip request/reply time, recorded in both directions."""
+        t = self.transfer_time(src, dst, request_bytes)
+        t += self.transfer_time(dst, src, reply_bytes)
+        return t
+
+    # -- event-kernel integration (contention-aware) ----------------------
+
+    def _resource(self, src: str, dst: str) -> Resource:
+        key = (src, dst)
+        if key not in self._resources:
+            self._resources[key] = Resource(self.env, capacity=1)
+        return self._resources[key]
+
+    def transfer_proc(self, src: str, dst: str, nbytes: int) -> Iterator[Event]:
+        """A process generator performing a serialized transfer on the
+        (src, dst) link: concurrent transfers on the same directed link
+        queue up FIFO.  Yields kernel events; usable with
+        ``env.process(net.transfer_proc(...))``."""
+        res = self._resource(src, dst)
+        yield res.request()
+        try:
+            yield self.env.timeout(self.transfer_time(src, dst, nbytes))
+        finally:
+            res.release()
+
+    def total_bytes(self) -> int:
+        """All bytes moved over every link so far."""
+        return sum(self.bytes_moved.values())

@@ -1,0 +1,148 @@
+"""Simulated files and an NFS-style remote file service.
+
+The locality experiments (paper Tables VI, roaming study section IV.C)
+move computation toward large files instead of moving the files.  We
+model a file as a *nominal size* plus procedurally generated content:
+reading a window of the file materializes deterministic pseudo-text for
+that window, so a guest text-search kernel really executes over real
+bytes while the simulated cost accounts for the full nominal size.
+
+Access paths:
+
+* local read: ``size / local_read_bw`` seconds (SAS/RAID-1 class disk,
+  with OS cache deliberately cleared before each run, as in the paper).
+* NFS read: local read at the server + network transfer to the client.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ClusterError
+from repro.cluster.network import Network
+from repro.cluster.node import Node
+from repro.units import mb, MB
+
+#: Deterministic word pool for generated file content.
+_WORDS = (
+    "the quick brown fox jumps over lazy dog cloud stack frame migration "
+    "elastic mobile server object heap beach photo sunset wave sand surf "
+    "data locality search index retrieval grid node cluster java bytecode"
+).split()
+
+
+@dataclass
+class SimFile:
+    """A simulated file.
+
+    Attributes:
+        path: absolute path, unique within the file system.
+        size: nominal size in bytes (drives all cost accounting).
+        host: name of the node that physically stores the file.
+        plant: optional (offset, text) pairs planted into the generated
+            content (e.g. the search needle for the photo/beach scenario).
+    """
+
+    path: str
+    size: int
+    host: str
+    plant: List[Tuple[int, str]] = field(default_factory=list)
+
+    def window(self, offset: int, length: int) -> str:
+        """Materialize ``length`` bytes of deterministic content starting
+        at ``offset``.  Planted strings override generated text."""
+        if offset < 0 or length < 0 or offset + length > self.size:
+            raise ClusterError(
+                f"{self.path}: window [{offset}, {offset + length}) out of "
+                f"range for size {self.size}"
+            )
+        # Generate words seeded by (path, block) so any window is stable.
+        out: List[str] = []
+        n = 0
+        block = offset // 4096
+        while n < length:
+            seed = zlib.crc32(f"{self.path}:{block}".encode())
+            words = [_WORDS[(seed >> (i * 5)) % len(_WORDS)] for i in range(6)]
+            chunk = " ".join(words) + " "
+            out.append(chunk)
+            n += len(chunk)
+            block += 1
+        text = "".join(out)[:length]
+        # Apply plants that overlap the window.
+        for p_off, p_text in self.plant:
+            lo = max(p_off, offset)
+            hi = min(p_off + len(p_text), offset + length)
+            if lo < hi:
+                rel = lo - offset
+                text = text[:rel] + p_text[lo - p_off: hi - p_off] + text[rel + (hi - lo):]
+        return text
+
+
+@dataclass
+class DiskSpec:
+    """Sequential-read throughput of a node's local disk, bytes/s."""
+
+    read_bandwidth: float = 180 * MB  # SAS RAID-1 class sequential read
+    seek_time: float = 0.004
+
+
+class FileSystem:
+    """The cluster-wide file namespace with NFS semantics.
+
+    Every node sees every file; reading a file hosted elsewhere costs a
+    server-side disk read plus the network transfer (NFS over the same
+    links the migration traffic uses, as in the paper's testbed).
+    """
+
+    def __init__(self, network: Network, disk: Optional[DiskSpec] = None):
+        self.network = network
+        self.disk = disk or DiskSpec()
+        self._files: Dict[str, SimFile] = {}
+
+    def host_file(self, node: Node, path: str, size: int,
+                  plant: Optional[List[Tuple[int, str]]] = None) -> SimFile:
+        """Create a file of ``size`` nominal bytes stored on ``node``."""
+        if path in self._files:
+            raise ClusterError(f"file {path} already exists")
+        f = SimFile(path=path, size=size, host=node.name, plant=list(plant or []))
+        self._files[path] = f
+        node.local_files[path] = f
+        return f
+
+    def stat(self, path: str) -> SimFile:
+        """Look up a file; raises :class:`ClusterError` if missing."""
+        try:
+            return self._files[path]
+        except KeyError:
+            raise ClusterError(f"no such file: {path}") from None
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def listdir(self, prefix: str) -> List[str]:
+        """All file paths starting with ``prefix``, sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def read_cost(self, reader: str, path: str, offset: int, length: int) -> float:
+        """Simulated seconds for node ``reader`` to read the window.
+
+        Remote (NFS) reads pipeline the server's disk with the wire:
+        the client sees ``max(disk, wire)`` plus a request round trip,
+        which is what NFS readahead achieves on streaming reads."""
+        f = self.stat(path)
+        seek = self.disk.seek_time if offset == 0 else 0.0
+        disk = length / self.disk.read_bandwidth
+        if f.host == reader:
+            return seek + disk
+        wire = self.network.transfer_time(f.host, reader, length)
+        req = self.network.rtt(reader, f.host, 256, 0)
+        return seek + max(disk, wire) + req
+
+    def read(self, reader: str, path: str, offset: int, length: int
+             ) -> Tuple[str, float]:
+        """Read a window: returns ``(content, simulated_seconds)``."""
+        f = self.stat(path)
+        length = min(length, f.size - offset)
+        return f.window(offset, length), self.read_cost(reader, path, offset, length)

@@ -1,0 +1,83 @@
+"""Cluster nodes.
+
+A :class:`Node` models one machine: a CPU speed factor (1.0 = the paper's
+Xeon E5540 reference node; the iPhone 3G is ~25x slower), a RAM capacity
+used by admission checks for migration targets, and a set of locally
+hosted files (see :mod:`repro.cluster.nfs`).
+
+Nodes do not run code themselves; VMs (:class:`repro.vm.machine.Machine`)
+are *placed* on nodes and charge their instruction costs scaled by the
+node's speed factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ClusterError
+from repro.units import gb
+
+
+@dataclass
+class NodeSpec:
+    """Static description of a machine.
+
+    Attributes:
+        name: unique node name within a cluster.
+        speed_factor: CPU time multiplier relative to the reference node
+            (bigger = slower).  The paper's cluster nodes are 1.0; the
+            iPhone 3G (412 MHz ARM vs 2.53 GHz Xeon) is ~25.
+        ram_bytes: physical memory, used for admission checks.
+        has_vmti: whether the node's JVM exposes the debug interface
+            (JamVM on the iPhone does not; restoration then falls back to
+            Java-serialization at Java level, which is much slower,
+            cf. paper section IV.D).
+        kind: freeform tag ("server", "phone", "cloud") used by policies.
+    """
+
+    name: str
+    speed_factor: float = 1.0
+    ram_bytes: int = gb(32)
+    has_vmti: bool = True
+    kind: str = "server"
+
+
+class Node:
+    """A machine in the simulated cluster."""
+
+    def __init__(self, spec: NodeSpec):
+        self.spec = spec
+        #: bytes of simulated RAM currently committed on this node
+        self.ram_used: int = 0
+        #: files hosted locally: path -> SimFile (set by FileSystem)
+        self.local_files: Dict[str, object] = {}
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def cpu_time(self, reference_seconds: float) -> float:
+        """Scale a reference-node CPU duration to this node's speed."""
+        return reference_seconds * self.spec.speed_factor
+
+    def reserve_ram(self, nbytes: int) -> None:
+        """Commit ``nbytes`` of RAM; raises if the node would overcommit.
+
+        This is what makes "a big task cannot fit into a small-capacity
+        device unless migrated in a discretized manner" (paper section I)
+        checkable in experiments.
+        """
+        if self.ram_used + nbytes > self.spec.ram_bytes:
+            raise ClusterError(
+                f"node {self.name}: out of memory "
+                f"({self.ram_used + nbytes} > {self.spec.ram_bytes})"
+            )
+        self.ram_used += nbytes
+
+    def release_ram(self, nbytes: int) -> None:
+        """Return previously reserved RAM."""
+        self.ram_used = max(0, self.ram_used - nbytes)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Node {self.name} x{self.spec.speed_factor:g}>"

@@ -1,0 +1,100 @@
+"""Canned topologies matching the paper's testbeds.
+
+* :func:`gige_cluster` — the evaluation cluster: N Xeon nodes on GigE
+  with NFS-mounted home directories (sections IV.A-IV.C).
+* :func:`wan_grid` — the simulated WAN grid of 10 NFS servers used in
+  the task-roaming study (section IV.C).
+* :func:`phone_setup` — a cluster node plus an iPhone 3G behind a
+  rate-limited Wi-Fi router (section IV.D, Table VII).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cluster.network import LinkSpec, Network
+from repro.cluster.nfs import DiskSpec, FileSystem
+from repro.cluster.node import Node, NodeSpec
+from repro.errors import ClusterError
+from repro.sim.kernel import Environment
+from repro.units import gb, gbps, kbps, mb, ms, us
+
+
+@dataclass
+class Cluster:
+    """A set of nodes + the network + the shared file system."""
+
+    env: Environment
+    network: Network
+    fs: FileSystem
+    nodes: Dict[str, Node] = field(default_factory=dict)
+
+    def add_node(self, spec: NodeSpec) -> Node:
+        """Create and register a node."""
+        if spec.name in self.nodes:
+            raise ClusterError(f"duplicate node {spec.name}")
+        n = Node(spec)
+        self.nodes[spec.name] = n
+        return n
+
+    def node(self, name: str) -> Node:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise ClusterError(f"no such node: {name}") from None
+
+    def names(self) -> List[str]:
+        return list(self.nodes)
+
+
+def _base(default_link: LinkSpec) -> Cluster:
+    env = Environment()
+    net = Network(env, default=default_link)
+    fs = FileSystem(net, DiskSpec())
+    return Cluster(env=env, network=net, fs=fs)
+
+
+def gige_cluster(n_nodes: int = 2, ram_bytes: int = gb(32)) -> Cluster:
+    """The paper's evaluation cluster: GigE, 32 GB Xeon nodes named
+    ``node0..node{n-1}``."""
+    cluster = _base(LinkSpec(bandwidth=gbps(1), latency=us(80)))
+    for i in range(n_nodes):
+        cluster.add_node(NodeSpec(name=f"node{i}", ram_bytes=ram_bytes))
+    return cluster
+
+
+def wan_grid(n_servers: int = 10) -> Cluster:
+    """WAN-connected grid: one client plus ``n_servers`` NFS servers.
+
+    WAN links are much slower than GigE (the roaming study's gains come
+    from avoiding WAN NFS reads): 200 Mbps with 5 ms one-way latency.
+    """
+    cluster = _base(LinkSpec(bandwidth=gbps(0.2), latency=ms(5)))
+    cluster.add_node(NodeSpec(name="client"))
+    for i in range(n_servers):
+        cluster.add_node(NodeSpec(name=f"server{i}"))
+    return cluster
+
+
+def phone_setup(bandwidth_kbps: float = 764.0) -> Cluster:
+    """A cluster node plus an iPhone 3G over rate-limited Wi-Fi.
+
+    The iPhone 3G: 412 MHz ARM (≈25x slower than the Xeon reference),
+    128 MB RAM, JamVM without JVMTI (``has_vmti=False``), behind a router
+    whose bandwidth-control service caps the link at ``bandwidth_kbps``.
+    """
+    cluster = _base(LinkSpec(bandwidth=gbps(1), latency=us(80)))
+    cluster.add_node(NodeSpec(name="server"))
+    cluster.add_node(NodeSpec(
+        name="iphone",
+        speed_factor=25.0,
+        ram_bytes=mb(128),
+        has_vmti=False,
+        kind="phone",
+    ))
+    wifi = LinkSpec(bandwidth=kbps(bandwidth_kbps), latency=ms(4),
+                    per_message_bytes=48)
+    cluster.network.set_link("server", "iphone", wifi)
+    return cluster

@@ -1,0 +1,58 @@
+"""Exception hierarchy shared across the repro package.
+
+Host-level errors (bugs in *our* code or misuse of the public API) derive
+from :class:`ReproError`.  Guest-level errors (exceptions raised *inside*
+the mini-VM by guest programs, e.g. ``NullPointerException``) are modeled
+separately by :mod:`repro.vm.interpreter` as heap objects and are *not*
+Python exceptions, except for the internal unwinding carrier
+:class:`GuestThrow`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all host-level errors raised by this package."""
+
+
+class CompileError(ReproError):
+    """Raised by the MiniLang compiler on lexical/syntax/semantic errors.
+
+    Carries a best-effort source position for diagnostics.
+    """
+
+    def __init__(self, message: str, line: int = 0, col: int = 0):
+        super().__init__(f"line {line}:{col}: {message}" if line else message)
+        self.line = line
+        self.col = col
+
+
+class VerifyError(ReproError):
+    """Raised by the bytecode verifier when a code object is malformed."""
+
+
+class VMError(ReproError):
+    """Raised when the VM reaches a state that indicates a host bug
+    (corrupt frame, bad opcode, stack underflow...)."""
+
+
+class LinkError(VMError):
+    """Raised when a class, method, or field cannot be resolved."""
+
+
+class NativeError(VMError):
+    """Raised when a native call is malformed or unknown."""
+
+
+class MigrationError(ReproError):
+    """Raised when a migration request cannot be satisfied
+    (e.g. no migration-safe point reachable, pinned frame in segment)."""
+
+
+class SimulationError(ReproError):
+    """Raised by the discrete-event kernel on misuse (e.g. scheduling
+    into the past)."""
+
+
+class ClusterError(ReproError):
+    """Raised by the cluster substrate (unknown node, no route...)."""

@@ -1,0 +1,5 @@
+"""Experiment harnesses: one module per paper table/figure."""
+
+from repro.experiments.common import Table, outcome
+
+__all__ = ["Table", "outcome"]

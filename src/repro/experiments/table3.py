@@ -1,0 +1,56 @@
+"""Table III — migration overhead (mig minus no-mig) per system.
+
+Derived from Table II's runs.  The paper's headline claims checked here:
+
+* SODEE has the lowest overhead on Fib / NQ / FFT;
+* TSP is the exception — eager copy (G-JavaMPI) wins because the
+  migrated frame touches almost every object, so on-demand faulting
+  pays per-object round trips;
+* Xen's overhead dwarfs everyone's (whole-OS pre-copy).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import SYSTEMS, Table, outcome
+from repro.units import to_ms
+from repro.workloads import WORKLOADS
+
+#: paper values: (ms, percent) per system per workload
+PAPER = {
+    "Fib": {"SODEE": (52, 0.43), "G-JavaMPI": (156, 1.30),
+            "JESSICA2": (123, 0.25), "Xen": (3695, 13.86)},
+    "NQ": {"SODEE": (32, 0.51), "G-JavaMPI": (307, 4.89),
+           "JESSICA2": (195, 0.51), "Xen": (4906, 35.42)},
+    "FFT": {"SODEE": (105, 0.83), "G-JavaMPI": (2544, 20.39),
+            "JESSICA2": (2494, 0.98), "Xen": (7160, 43.34)},
+    "TSP": {"SODEE": (178, 5.86), "G-JavaMPI": (142, 4.59),
+            "JESSICA2": (922, 4.41), "Xen": (6450, 91.99)},
+}
+
+
+def overhead(system: str, workload: str) -> tuple[float, float]:
+    """(overhead ms, overhead % of no-mig execution)."""
+    no_mig = outcome(system, workload, False).exec_seconds
+    mig = outcome(system, workload, True).exec_seconds
+    oh = mig - no_mig
+    return to_ms(oh), 100.0 * oh / no_mig
+
+
+def run() -> Table:
+    header = ["App"]
+    for s in SYSTEMS:
+        header += [f"{s}(p) ms", f"{s} ms", f"{s}(p) %", f"{s} %"]
+    t = Table(title="Table III — migration overhead (paper 'p' vs repro)",
+              header=header)
+    for name in WORKLOADS:
+        row = [name]
+        for s in SYSTEMS:
+            p_ms, p_pct = PAPER[name][s]
+            ms, pct = overhead(s, name)
+            row += [p_ms, ms, p_pct, pct]
+        t.add(*row)
+    return t
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().format())

@@ -1,0 +1,6 @@
+"""MiniLang: the Java-like guest language compiled to repro bytecode."""
+
+from repro.lang.compiler import compile_source
+from repro.lang.parser import parse
+
+__all__ = ["compile_source", "parse"]

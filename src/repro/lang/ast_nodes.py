@@ -1,0 +1,222 @@
+"""MiniLang abstract syntax tree.
+
+Every node carries the source ``line`` so codegen can build the bytecode
+line table (the foundation of migration-safe points).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+# -- expressions -------------------------------------------------------------
+
+@dataclass
+class Expr:
+    line: int = 0
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class BoolLit(Expr):
+    value: bool = False
+
+
+@dataclass
+class StrLit(Expr):
+    value: str = ""
+
+
+@dataclass
+class NullLit(Expr):
+    pass
+
+
+@dataclass
+class Name(Expr):
+    """A bare identifier: local variable, or class name in static refs."""
+    ident: str = ""
+
+
+@dataclass
+class This(Expr):
+    pass
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""
+    operand: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""
+    left: Expr = None  # type: ignore[assignment]
+    right: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class FieldAccess(Expr):
+    """``target.name`` — instance field, or static field when ``target``
+    resolves to a class name."""
+    target: Expr = None  # type: ignore[assignment]
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """``target[index]``"""
+    target: Expr = None  # type: ignore[assignment]
+    index: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class Call(Expr):
+    """``target.method(args)`` — static, virtual, or native depending on
+    what ``target`` resolves to; ``target is None`` for implicit-this or
+    same-class-static calls."""
+    target: Optional[Expr] = None
+    method: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str = ""
+    args: List[Expr] = field(default_factory=list)
+
+
+@dataclass
+class NewArray(Expr):
+    elem_type: str = "int"
+    length: Expr = None  # type: ignore[assignment]
+
+
+# -- statements ----------------------------------------------------------------
+
+@dataclass
+class Stmt:
+    line: int = 0
+
+
+@dataclass
+class Block(Stmt):
+    stmts: List[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class VarDecl(Stmt):
+    type_name: str = "int"
+    name: str = ""
+    init: Optional[Expr] = None
+
+
+@dataclass
+class Assign(Stmt):
+    target: Expr = None  # type: ignore[assignment]  # Name | FieldAccess | Index
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    then: Block = None  # type: ignore[assignment]
+    otherwise: Optional[Block] = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr = None  # type: ignore[assignment]
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class For(Stmt):
+    init: Optional[Stmt] = None
+    cond: Optional[Expr] = None
+    step: Optional[Stmt] = None
+    body: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr] = None
+
+
+@dataclass
+class Throw(Stmt):
+    value: Expr = None  # type: ignore[assignment]
+
+
+@dataclass
+class TryCatch(Stmt):
+    body: Block = None  # type: ignore[assignment]
+    exc_class: str = "Throwable"
+    exc_var: str = "e"
+    handler: Block = None  # type: ignore[assignment]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# -- declarations ----------------------------------------------------------------
+
+@dataclass
+class Param:
+    type_name: str
+    name: str
+
+
+@dataclass
+class MethodDecl:
+    name: str
+    params: List[Param]
+    return_type: str
+    body: Block
+    is_static: bool
+    line: int
+
+
+@dataclass
+class FieldDeclNode:
+    type_name: str
+    name: str
+    is_static: bool
+    line: int
+
+
+@dataclass
+class ClassDecl:
+    name: str
+    superclass: Optional[str]
+    fields: List[FieldDeclNode]
+    methods: List[MethodDecl]
+    line: int
+
+
+@dataclass
+class Program:
+    classes: List[ClassDecl]

@@ -1,0 +1,536 @@
+"""MiniLang bytecode generator.
+
+Translates the AST into :class:`repro.bytecode.code.ClassFile` objects.
+Statement boundaries become line-table entries — the preprocessor
+(:mod:`repro.preprocess`) later derives migration-safe points from them,
+as the paper does for Java source lines.
+
+Name resolution for ``X.y`` / ``X.y(...)``:
+
+1. if ``X`` is a local variable -> instance field / virtual call;
+2. if ``X`` is a native namespace (``Sys``, ``FS``...) -> ``NATIVE`` call;
+3. if ``X`` is a known class -> static field / static call;
+4. otherwise -> :class:`repro.errors.CompileError`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import ClassFile, CodeObject, ExcEntry, FieldDecl, Instr
+from repro.errors import CompileError
+from repro.lang import ast_nodes as A
+
+#: namespaces resolved to NATIVE calls (host-implemented)
+NATIVE_NAMESPACES = frozenset({"Sys", "FS", "ObjMan", "CapturedState", "Mig"})
+
+#: guest exception classes available without declaration
+BUILTIN_EXCEPTIONS: Dict[str, Optional[str]] = {
+    "Throwable": None,
+    "Exception": "Throwable",
+    "RuntimeException": "Exception",
+    "NullPointerException": "RuntimeException",
+    "ArithmeticException": "RuntimeException",
+    "IndexOutOfBoundsException": "RuntimeException",
+    "InvalidStateException": "RuntimeException",
+    "OutOfMemoryError": "Throwable",
+    "ClassNotFoundException": "Throwable",
+}
+
+_DEFAULTS = {"int": 0, "float": 0.0, "bool": False, "str": ""}
+
+_NOMINAL = {"int": 8, "float": 8, "bool": 1, "str": 64}
+
+
+def nominal_bytes(type_name: str) -> int:
+    """Per-value serialized size used in cost accounting."""
+    if type_name.endswith("[]"):
+        return 8  # a reference
+    return _NOMINAL.get(type_name, 8)
+
+
+def builtin_exception_classes() -> Dict[str, ClassFile]:
+    """The always-available guest exception classes (each carries a
+    ``msg`` string field)."""
+    out: Dict[str, ClassFile] = {}
+    for name, sup in BUILTIN_EXCEPTIONS.items():
+        out[name] = ClassFile(
+            name, superclass=sup,
+            fields=[FieldDecl("msg", False, "str", nominal_bytes("str"))],
+        )
+    return out
+
+
+class _MethodEmitter:
+    """Bytecode emission state for one method."""
+
+    def __init__(self, gen: "CodeGen", cls: A.ClassDecl, meth: A.MethodDecl):
+        self.gen = gen
+        self.cls = cls
+        self.meth = meth
+        self.instrs: List[Instr] = []
+        self.line_table: List[Tuple[int, int]] = []
+        self.exc_table: List[ExcEntry] = []
+        self.slots: Dict[str, int] = {}
+        self.slot_types: Dict[int, str] = {}
+        self.local_names: List[str] = []
+        self._cur_line = -1
+        self._break_patches: List[List[int]] = []
+        self._continue_patches: List[List[int]] = []
+        if not meth.is_static:
+            self._declare("this", cls.name, meth.line)
+        for p in meth.params:
+            self._declare(p.name, p.type_name, meth.line)
+
+    # -- low-level emission ----------------------------------------------
+
+    def here(self) -> int:
+        return len(self.instrs)
+
+    def emit(self, opcode: str, a=None, b=None) -> int:
+        bci = len(self.instrs)
+        self.instrs.append(Instr(opcode, a, b))
+        return bci
+
+    def mark_line(self, line: int) -> None:
+        """Open a new source line at the next emitted instruction."""
+        if line != self._cur_line:
+            bci = self.here()
+            if self.line_table and self.line_table[-1][0] == bci:
+                self.line_table[-1] = (bci, line)
+            else:
+                self.line_table.append((bci, line))
+            self._cur_line = line
+
+    def patch(self, bci: int, target: int) -> None:
+        self.instrs[bci] = Instr(self.instrs[bci].op, target,
+                                 self.instrs[bci].b)
+
+    def _declare(self, name: str, type_name: str, line: int) -> int:
+        if name in self.slots:
+            # Approximate Java block scoping: a re-declaration (e.g.
+            # ``for (int i ...)`` in two sibling loops) reuses the slot.
+            slot = self.slots[name]
+            self.slot_types[slot] = type_name
+            return slot
+        slot = len(self.local_names)
+        self.slots[name] = slot
+        self.slot_types[slot] = type_name
+        self.local_names.append(name)
+        return slot
+
+    # -- statements ---------------------------------------------------------
+
+    def gen_block(self, block: A.Block) -> None:
+        for s in block.stmts:
+            self.gen_stmt(s)
+
+    def gen_stmt(self, s: A.Stmt) -> None:
+        self.mark_line(s.line)
+        if isinstance(s, A.Block):
+            self.gen_block(s)
+        elif isinstance(s, A.VarDecl):
+            slot = self._declare(s.name, s.type_name, s.line)
+            if s.init is not None:
+                self.gen_expr(s.init)
+            else:
+                self.emit(op.CONST, _DEFAULTS.get(s.type_name))
+            self.emit(op.STORE, slot)
+        elif isinstance(s, A.Assign):
+            self._gen_assign(s)
+        elif isinstance(s, A.ExprStmt):
+            self.gen_expr(s.expr)
+            self.emit(op.POP)
+        elif isinstance(s, A.If):
+            self._gen_if(s)
+        elif isinstance(s, A.While):
+            self._gen_while(s)
+        elif isinstance(s, A.For):
+            self._gen_for(s)
+        elif isinstance(s, A.Return):
+            if s.value is not None:
+                self.gen_expr(s.value)
+                self.emit(op.RETV)
+            else:
+                self.emit(op.RET)
+        elif isinstance(s, A.Throw):
+            self.gen_expr(s.value)
+            self.emit(op.THROW)
+        elif isinstance(s, A.TryCatch):
+            self._gen_try(s)
+        elif isinstance(s, A.Break):
+            if not self._break_patches:
+                raise CompileError("break outside loop", s.line)
+            self._break_patches[-1].append(self.emit(op.JMP, -1))
+        elif isinstance(s, A.Continue):
+            if not self._continue_patches:
+                raise CompileError("continue outside loop", s.line)
+            self._continue_patches[-1].append(self.emit(op.JMP, -1))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown statement {type(s).__name__}", s.line)
+
+    def _gen_assign(self, s: A.Assign) -> None:
+        t = s.target
+        if isinstance(t, A.Name):
+            if t.ident in self.slots:
+                self.gen_expr(s.value)
+                self.emit(op.STORE, self.slots[t.ident])
+                return
+            kind = self._implicit_field(t.ident)
+            if kind == "instance":
+                self.emit(op.LOAD, 0)
+                self.gen_expr(s.value)
+                self.emit(op.PUTF, t.ident)
+                return
+            if kind == "static":
+                self.gen_expr(s.value)
+                self.emit(op.PUTS, (self.cls.name, t.ident))
+                return
+            raise CompileError(f"assignment to unknown variable {t.ident!r}",
+                               s.line)
+        if isinstance(t, A.FieldAccess):
+            cls = self._as_class_name(t.target)
+            if cls is not None:
+                self.gen.require_static(cls, t.name, s.line)
+                self.gen_expr(s.value)
+                self.emit(op.PUTS, (cls, t.name))
+                return
+            self.gen_expr(t.target)
+            self.gen_expr(s.value)
+            self.emit(op.PUTF, t.name)
+            return
+        if isinstance(t, A.Index):
+            self.gen_expr(t.target)
+            self.gen_expr(t.index)
+            self.gen_expr(s.value)
+            self.emit(op.ASTORE)
+            return
+        raise CompileError("invalid assignment target", s.line)
+
+    def _gen_if(self, s: A.If) -> None:
+        self.gen_expr(s.cond)
+        jz = self.emit(op.JZ, -1)
+        self.gen_block(s.then)
+        if s.otherwise is not None:
+            jend = self.emit(op.JMP, -1)
+            self.patch(jz, self.here())
+            self.gen_block(s.otherwise)
+            self.patch(jend, self.here())
+        else:
+            self.patch(jz, self.here())
+
+    def _gen_while(self, s: A.While) -> None:
+        top = self.here()
+        self.gen_expr(s.cond)
+        jz = self.emit(op.JZ, -1)
+        self._break_patches.append([])
+        self._continue_patches.append([])
+        self.gen_block(s.body)
+        self.emit(op.JMP, top)
+        end = self.here()
+        self.patch(jz, end)
+        for b in self._break_patches.pop():
+            self.patch(b, end)
+        for c in self._continue_patches.pop():
+            self.patch(c, top)
+
+    def _gen_for(self, s: A.For) -> None:
+        if s.init is not None:
+            self.gen_stmt(s.init)
+        top = self.here()
+        jz = None
+        if s.cond is not None:
+            self.mark_line(s.line)
+            self.gen_expr(s.cond)
+            jz = self.emit(op.JZ, -1)
+        self._break_patches.append([])
+        self._continue_patches.append([])
+        self.gen_block(s.body)
+        cont = self.here()
+        if s.step is not None:
+            self.gen_stmt(s.step)
+        self.emit(op.JMP, top)
+        end = self.here()
+        if jz is not None:
+            self.patch(jz, end)
+        for b in self._break_patches.pop():
+            self.patch(b, end)
+        for c in self._continue_patches.pop():
+            self.patch(c, cont)
+
+    def _gen_try(self, s: A.TryCatch) -> None:
+        if (s.exc_class not in self.gen.class_names
+                and s.exc_class not in BUILTIN_EXCEPTIONS):
+            raise CompileError(f"unknown exception class {s.exc_class!r}",
+                               s.line)
+        start = self.here()
+        self.gen_block(s.body)
+        jend = self.emit(op.JMP, -1)
+        end = self.here()
+        handler = self.here()
+        slot = self.slots.get(s.exc_var)
+        if slot is None:
+            slot = self._declare(s.exc_var, s.exc_class, s.line)
+        self.mark_line(s.handler.line)
+        self.emit(op.STORE, slot)
+        self.gen_block(s.handler)
+        self.patch(jend, self.here())
+        self.exc_table.append(ExcEntry(start, end, handler, s.exc_class))
+
+    # -- expressions -------------------------------------------------------------
+
+    def _implicit_field(self, name: str) -> Optional[str]:
+        """Java-style implicit field resolution for a bare name inside a
+        method: instance field (if non-static context) or static field of
+        the current class / its ancestors.  Returns ``"instance"``,
+        ``"static"`` or ``None``."""
+        cname: Optional[str] = self.cls.name
+        while cname is not None:
+            decl = self.gen._decls.get(cname)
+            if decl is None:
+                break
+            for f in decl.fields:
+                if f.name == name:
+                    if f.is_static:
+                        return "static"
+                    return None if self.meth.is_static else "instance"
+            cname = decl.superclass
+        return None
+
+    def _as_class_name(self, e: A.Expr) -> Optional[str]:
+        """If ``e`` is a bare name that is not a local but is a class,
+        return the class name."""
+        if isinstance(e, A.Name) and e.ident not in self.slots:
+            if e.ident in self.gen.class_names or e.ident in BUILTIN_EXCEPTIONS:
+                return e.ident
+        return None
+
+    def gen_expr(self, e: A.Expr) -> None:
+        if isinstance(e, A.IntLit):
+            self.emit(op.CONST, e.value)
+        elif isinstance(e, A.FloatLit):
+            self.emit(op.CONST, e.value)
+        elif isinstance(e, A.BoolLit):
+            self.emit(op.CONST, e.value)
+        elif isinstance(e, A.StrLit):
+            self.emit(op.CONST, e.value)
+        elif isinstance(e, A.NullLit):
+            self.emit(op.CONST, None)
+        elif isinstance(e, A.This):
+            if self.meth.is_static:
+                raise CompileError("'this' in static method", e.line)
+            self.emit(op.LOAD, 0)
+        elif isinstance(e, A.Name):
+            if e.ident in self.slots:
+                self.emit(op.LOAD, self.slots[e.ident])
+            else:
+                kind = self._implicit_field(e.ident)
+                if kind == "instance":
+                    self.emit(op.LOAD, 0)
+                    self.emit(op.GETF, e.ident)
+                elif kind == "static":
+                    self.emit(op.GETS, (self.cls.name, e.ident))
+                else:
+                    raise CompileError(f"unknown variable {e.ident!r}", e.line)
+        elif isinstance(e, A.Unary):
+            self.gen_expr(e.operand)
+            self.emit(op.NEG if e.op == "-" else op.NOT)
+        elif isinstance(e, A.Binary):
+            self._gen_binary(e)
+        elif isinstance(e, A.FieldAccess):
+            cls = self._as_class_name(e.target)
+            if cls is not None:
+                self.gen.require_static(cls, e.name, e.line)
+                self.emit(op.GETS, (cls, e.name))
+            else:
+                self.gen_expr(e.target)
+                self.emit(op.GETF, e.name)
+        elif isinstance(e, A.Index):
+            self.gen_expr(e.target)
+            self.gen_expr(e.index)
+            self.emit(op.ALOAD)
+        elif isinstance(e, A.Call):
+            self._gen_call(e)
+        elif isinstance(e, A.NewObject):
+            self._gen_new(e)
+        elif isinstance(e, A.NewArray):
+            self.gen_expr(e.length)
+            kind = e.elem_type if e.elem_type in _NOMINAL else "ref"
+            self.emit(op.NEWARR, kind, nominal_bytes(e.elem_type))
+        else:  # pragma: no cover
+            raise CompileError(f"unknown expression {type(e).__name__}", e.line)
+
+    def _gen_binary(self, e: A.Binary) -> None:
+        if e.op in ("&&", "||"):
+            # Short-circuit, value-preserving (result is one operand).
+            self.gen_expr(e.left)
+            self.emit(op.DUP)
+            j = self.emit(op.JZ if e.op == "&&" else op.JNZ, -1)
+            self.emit(op.POP)
+            self.gen_expr(e.right)
+            self.patch(j, self.here())
+            return
+        self.gen_expr(e.left)
+        self.gen_expr(e.right)
+        table = {"+": op.ADD, "-": op.SUB, "*": op.MUL, "/": op.DIV,
+                 "%": op.MOD, "==": op.EQ, "!=": op.NE, "<": op.LT,
+                 "<=": op.LE, ">": op.GT, ">=": op.GE}
+        self.emit(table[e.op])
+
+    def _gen_call(self, e: A.Call) -> None:
+        if e.target is None:
+            # Bare call: same-class static or implicit-this virtual.
+            decl = self.gen.find_method(self.cls.name, e.method)
+            if decl is None:
+                raise CompileError(f"unknown method {e.method!r}", e.line)
+            if decl.is_static:
+                for a in e.args:
+                    self.gen_expr(a)
+                self.emit(op.INVOKESTATIC, (self.cls.name, e.method),
+                          len(e.args))
+            else:
+                if self.meth.is_static:
+                    raise CompileError(
+                        f"instance method {e.method!r} called from static "
+                        f"context", e.line)
+                self.emit(op.LOAD, 0)
+                for a in e.args:
+                    self.gen_expr(a)
+                self.emit(op.INVOKEVIRT, e.method, len(e.args))
+            return
+        if isinstance(e.target, A.Name) and e.target.ident not in self.slots:
+            ns = e.target.ident
+            if ns in NATIVE_NAMESPACES:
+                for a in e.args:
+                    self.gen_expr(a)
+                self.emit(op.NATIVE, f"{ns}.{e.method}", len(e.args))
+                return
+            if ns in self.gen.class_names:
+                decl = self.gen.find_method(ns, e.method)
+                if decl is None or not decl.is_static:
+                    raise CompileError(
+                        f"no static method {ns}.{e.method}", e.line)
+                for a in e.args:
+                    self.gen_expr(a)
+                self.emit(op.INVOKESTATIC, (ns, e.method), len(e.args))
+                return
+            kind = self._implicit_field(ns)
+            if kind is not None:
+                # Method call on an implicit field: load it, then virtual.
+                if kind == "instance":
+                    self.emit(op.LOAD, 0)
+                    self.emit(op.GETF, ns)
+                else:
+                    self.emit(op.GETS, (self.cls.name, ns))
+                for a in e.args:
+                    self.gen_expr(a)
+                self.emit(op.INVOKEVIRT, e.method, len(e.args))
+                return
+            raise CompileError(f"unknown name {ns!r}", e.line)
+        self.gen_expr(e.target)
+        for a in e.args:
+            self.gen_expr(a)
+        self.emit(op.INVOKEVIRT, e.method, len(e.args))
+
+    def _gen_new(self, e: A.NewObject) -> None:
+        known = (e.class_name in self.gen.class_names
+                 or e.class_name in BUILTIN_EXCEPTIONS)
+        if not known:
+            raise CompileError(f"unknown class {e.class_name!r}", e.line)
+        self.emit(op.NEW, e.class_name)
+        init = self.gen.find_method(e.class_name, "init")
+        if init is not None and not init.is_static:
+            self.emit(op.DUP)
+            for a in e.args:
+                self.gen_expr(a)
+            self.emit(op.INVOKEVIRT, "init", len(e.args))
+            self.emit(op.POP)
+        elif e.args:
+            raise CompileError(
+                f"class {e.class_name!r} has no init but got arguments",
+                e.line)
+
+    # -- finish -----------------------------------------------------------------
+
+    def finish(self) -> CodeObject:
+        # Unconditional return epilogue: guarantees the method cannot fall
+        # off the end, and gives loop-exit jumps at the current tail a
+        # valid landing point.  Unreachable when all paths return.
+        self.mark_line(self._cur_line if self._cur_line > 0 else 1)
+        if self.meth.return_type == "void":
+            self.emit(op.RET)
+        else:
+            self.emit(op.CONST, _DEFAULTS.get(self.meth.return_type))
+            self.emit(op.RETV)
+        nparams = len(self.meth.params) + (0 if self.meth.is_static else 1)
+        return CodeObject(
+            self.cls.name, self.meth.name, nparams,
+            len(self.local_names), self.instrs, self.line_table,
+            self.exc_table, self.local_names, self.meth.is_static,
+        )
+
+
+class CodeGen:
+    """Whole-program code generator (needs all classes for resolution)."""
+
+    def __init__(self, program: A.Program):
+        self.program = program
+        self.class_names: Set[str] = {c.name for c in program.classes}
+        self._decls: Dict[str, A.ClassDecl] = {c.name: c for c in program.classes}
+        dup = len(self.class_names) != len(program.classes)
+        if dup:
+            raise CompileError("duplicate class name in program")
+
+    def find_method(self, class_name: str, method: str) -> Optional[A.MethodDecl]:
+        """Find a method declaration, walking the superclass chain."""
+        cname: Optional[str] = class_name
+        while cname is not None and cname in self._decls:
+            decl = self._decls[cname]
+            for m in decl.methods:
+                if m.name == method:
+                    return m
+            cname = decl.superclass
+        return None
+
+    def require_static(self, class_name: str, field: str, line: int) -> None:
+        """Check a static-field reference resolves (walks superclasses)."""
+        cname: Optional[str] = class_name
+        while cname is not None:
+            decl = self._decls.get(cname)
+            if decl is None:
+                if cname in BUILTIN_EXCEPTIONS:
+                    break
+                raise CompileError(f"unknown class {cname!r}", line)
+            for f in decl.fields:
+                if f.name == field and f.is_static:
+                    return
+            cname = decl.superclass
+        raise CompileError(f"no static field {class_name}.{field}", line)
+
+    def generate(self) -> Dict[str, ClassFile]:
+        """Compile every class; returns name -> :class:`ClassFile`."""
+        out: Dict[str, ClassFile] = {}
+        for cdecl in self.program.classes:
+            if cdecl.superclass is not None and (
+                    cdecl.superclass not in self.class_names
+                    and cdecl.superclass not in BUILTIN_EXCEPTIONS):
+                raise CompileError(
+                    f"unknown superclass {cdecl.superclass!r}", cdecl.line)
+            fields = [
+                FieldDecl(f.name, f.is_static, f.type_name,
+                          nominal_bytes(f.type_name))
+                for f in cdecl.fields
+            ]
+            methods: Dict[str, CodeObject] = {}
+            for m in cdecl.methods:
+                if m.name in methods:
+                    raise CompileError(
+                        f"duplicate method {cdecl.name}.{m.name} "
+                        f"(no overloading)", m.line)
+                em = _MethodEmitter(self, cdecl, m)
+                em.gen_block(m.body)
+                methods[m.name] = em.finish()
+            out[cdecl.name] = ClassFile(cdecl.name, cdecl.superclass,
+                                        fields, methods)
+        return out

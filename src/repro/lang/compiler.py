@@ -1,0 +1,35 @@
+"""Compiler facade: source text -> verified class files."""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.bytecode.code import ClassFile
+from repro.bytecode.verifier import verify_class
+from repro.lang.codegen import CodeGen, builtin_exception_classes
+from repro.lang.parser import parse
+
+
+def compile_source(source: str, include_builtins: bool = True,
+                    verify: bool = True) -> Dict[str, ClassFile]:
+    """Compile a MiniLang program.
+
+    Args:
+        source: program text (one or more classes).
+        include_builtins: also return the builtin exception classes
+            (``NullPointerException`` etc.), so the result is a complete
+            loadable class set.
+        verify: run the bytecode verifier over every generated method.
+
+    Returns:
+        mapping class name -> :class:`ClassFile`.
+    """
+    program = parse(source)
+    classes = CodeGen(program).generate()
+    if include_builtins:
+        for name, cf in builtin_exception_classes().items():
+            classes.setdefault(name, cf)
+    if verify:
+        for cf in classes.values():
+            verify_class(cf)
+    return classes

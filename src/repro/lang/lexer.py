@@ -1,0 +1,153 @@
+"""MiniLang lexer.
+
+MiniLang is the Java-like guest language of the reproduction (the paper's
+applications are plain Java).  The lexer produces a flat token stream
+with line/column positions used for diagnostics and for the bytecode
+line table (the preprocessor's migration-safe points are defined in
+terms of source lines, exactly as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import CompileError
+
+KEYWORDS = frozenset({
+    "class", "extends", "static", "void", "int", "float", "bool", "str",
+    "if", "else", "while", "for", "return", "new", "null", "true", "false",
+    "this", "try", "catch", "throw", "break", "continue",
+})
+
+#: multi-char operators, longest first
+_OPS2 = ("==", "!=", "<=", ">=", "&&", "||")
+_OPS1 = "+-*/%<>=!.,;()[]{}"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token: ``kind`` is ``ident``, ``int``, ``float``,
+    ``string``, ``kw`` or the operator text itself."""
+
+    kind: str
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"{self.kind}({self.text!r})@{self.line}:{self.col}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize MiniLang source; raises :class:`CompileError` on bad input."""
+    toks: List[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(source)
+
+    def error(msg: str) -> CompileError:
+        return CompileError(msg, line, col)
+
+    while i < n:
+        c = source[i]
+        # whitespace
+        if c in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if c == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+        # comments
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end < 0:
+                raise error("unterminated block comment")
+            for ch in source[i:end + 2]:
+                if ch == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+        # identifiers / keywords
+        if c.isalpha() or c == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            toks.append(Token("kw" if text in KEYWORDS else "ident",
+                              text, line, col))
+            col += j - i
+            i = j
+            continue
+        # numbers
+        if c.isdigit():
+            j = i
+            while j < n and source[j].isdigit():
+                j += 1
+            is_float = False
+            if j < n and source[j] == "." and j + 1 < n and source[j + 1].isdigit():
+                is_float = True
+                j += 1
+                while j < n and source[j].isdigit():
+                    j += 1
+            if j < n and source[j] in "eE":
+                k = j + 1
+                if k < n and source[k] in "+-":
+                    k += 1
+                if k < n and source[k].isdigit():
+                    is_float = True
+                    j = k
+                    while j < n and source[j].isdigit():
+                        j += 1
+            toks.append(Token("float" if is_float else "int",
+                              source[i:j], line, col))
+            col += j - i
+            i = j
+            continue
+        # strings
+        if c == '"':
+            j = i + 1
+            buf: List[str] = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise error("unterminated string literal")
+                if source[j] == "\\":
+                    j += 1
+                    if j >= n:
+                        raise error("bad escape at end of input")
+                    esc = source[j]
+                    buf.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}
+                               .get(esc, esc))
+                else:
+                    buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise error("unterminated string literal")
+            toks.append(Token("string", "".join(buf), line, col))
+            col += j + 1 - i
+            i = j + 1
+            continue
+        # operators
+        two = source[i:i + 2]
+        if two in _OPS2:
+            toks.append(Token(two, two, line, col))
+            i += 2
+            col += 2
+            continue
+        if c in _OPS1:
+            toks.append(Token(c, c, line, col))
+            i += 1
+            col += 1
+            continue
+        raise error(f"unexpected character {c!r}")
+    toks.append(Token("eof", "", line, col))
+    return toks

@@ -1,0 +1,395 @@
+"""MiniLang recursive-descent parser.
+
+Grammar (informal)::
+
+    program   := classdecl+
+    classdecl := 'class' IDENT ['extends' IDENT] '{' member* '}'
+    member    := ['static'] type IDENT ';'                      (field)
+               | ['static'] (type | 'void') IDENT '(' params ')' block
+    type      := ('int'|'float'|'bool'|'str'|IDENT) ('[' ']')*
+    block     := '{' stmt* '}'
+    stmt      := type IDENT ['=' expr] ';'
+               | lvalue '=' expr ';'
+               | 'if' '(' expr ')' block ['else' (block | ifstmt)]
+               | 'while' '(' expr ')' block
+               | 'for' '(' simple? ';' expr? ';' simple? ')' block
+               | 'return' expr? ';' | 'throw' expr ';'
+               | 'try' block 'catch' '(' IDENT IDENT ')' block
+               | 'break' ';' | 'continue' ';'
+               | expr ';'
+    expr      := precedence-climbing over || && == != < <= > >= + - * / %
+                 with unary ! -, postfix '.' IDENT, '.' IDENT '(...)',
+                 '[expr]', and primaries: literals, 'new', '(', this,
+                 null, true, false, IDENT
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import Token, tokenize
+
+_TYPE_KWS = ("int", "float", "bool", "str")
+
+#: binary operator precedence (higher binds tighter)
+_PREC = {
+    "||": 1, "&&": 2,
+    "==": 3, "!=": 3,
+    "<": 4, "<=": 4, ">": 4, ">=": 4,
+    "+": 5, "-": 5,
+    "*": 6, "/": 6, "%": 6,
+}
+
+
+class Parser:
+    """Single-pass recursive-descent parser over the token list."""
+
+    def __init__(self, source: str):
+        self.toks: List[Token] = tokenize(source)
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Token:
+        return self.toks[min(self.pos + ahead, len(self.toks) - 1)]
+
+    def next(self) -> Token:
+        t = self.toks[self.pos]
+        if t.kind != "eof":
+            self.pos += 1
+        return t
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        t = self.peek()
+        if t.kind != kind or (text is not None and t.text != text):
+            want = text or kind
+            raise CompileError(f"expected {want!r}, got {t.text!r}",
+                               t.line, t.col)
+        return self.next()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        t = self.peek()
+        if t.kind == kind and (text is None or t.text == text):
+            return self.next()
+        return None
+
+    def _kw(self, word: str) -> Optional[Token]:
+        return self.accept("kw", word)
+
+    # -- declarations -----------------------------------------------------
+
+    def parse_program(self) -> A.Program:
+        classes = []
+        while self.peek().kind != "eof":
+            classes.append(self.parse_class())
+        if not classes:
+            t = self.peek()
+            raise CompileError("empty program", t.line, t.col)
+        return A.Program(classes=classes)
+
+    def parse_class(self) -> A.ClassDecl:
+        start = self.expect("kw", "class")
+        name = self.expect("ident").text
+        superclass = None
+        if self._kw("extends"):
+            superclass = self.expect("ident").text
+        self.expect("{")
+        fields: List[A.FieldDeclNode] = []
+        methods: List[A.MethodDecl] = []
+        while not self.accept("}"):
+            is_static = bool(self._kw("static"))
+            t = self.peek()
+            if t.kind == "kw" and t.text == "void":
+                self.next()
+                methods.append(self._method_rest("void", is_static, t.line))
+                continue
+            type_name = self.parse_type()
+            ident = self.expect("ident")
+            if self.peek().kind == "(":
+                self.pos -= 1  # put ident back
+                methods.append(self._method_rest(type_name, is_static, t.line))
+            else:
+                self.expect(";")
+                fields.append(A.FieldDeclNode(type_name, ident.text,
+                                              is_static, t.line))
+        return A.ClassDecl(name, superclass, fields, methods, start.line)
+
+    def _method_rest(self, return_type: str, is_static: bool,
+                     line: int) -> A.MethodDecl:
+        name = self.expect("ident").text
+        self.expect("(")
+        params: List[A.Param] = []
+        if not self.accept(")"):
+            while True:
+                ptype = self.parse_type()
+                pname = self.expect("ident").text
+                params.append(A.Param(ptype, pname))
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        body = self.parse_block()
+        return A.MethodDecl(name, params, return_type, body, is_static, line)
+
+    def parse_type(self) -> str:
+        t = self.peek()
+        if t.kind == "kw" and t.text in _TYPE_KWS:
+            self.next()
+            base = t.text
+        elif t.kind == "ident":
+            self.next()
+            base = t.text
+        else:
+            raise CompileError(f"expected type, got {t.text!r}", t.line, t.col)
+        while self.peek().kind == "[" and self.peek(1).kind == "]":
+            self.next()
+            self.next()
+            base += "[]"
+        return base
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_block(self) -> A.Block:
+        start = self.expect("{")
+        stmts: List[A.Stmt] = []
+        while not self.accept("}"):
+            stmts.append(self.parse_stmt())
+        return A.Block(line=start.line, stmts=stmts)
+
+    def _looks_like_decl(self) -> bool:
+        """Type-then-ident lookahead disambiguates declarations from
+        expressions (``Point p;`` vs ``p.x = 1;``)."""
+        t = self.peek()
+        if t.kind == "kw" and t.text in _TYPE_KWS:
+            return True
+        if t.kind != "ident":
+            return False
+        i = 1
+        while self.peek(i).kind == "[" and self.peek(i + 1).kind == "]":
+            i += 2
+        nxt = self.peek(i)
+        after = self.peek(i + 1)
+        return nxt.kind == "ident" and after.kind in ("=", ";")
+
+    def parse_stmt(self) -> A.Stmt:
+        t = self.peek()
+        if t.kind == "{":
+            return self.parse_block()
+        if t.kind == "kw":
+            if t.text == "if":
+                return self._parse_if()
+            if t.text == "while":
+                self.next()
+                self.expect("(")
+                cond = self.parse_expr()
+                self.expect(")")
+                return A.While(line=t.line, cond=cond, body=self.parse_block())
+            if t.text == "for":
+                return self._parse_for()
+            if t.text == "return":
+                self.next()
+                value = None if self.peek().kind == ";" else self.parse_expr()
+                self.expect(";")
+                return A.Return(line=t.line, value=value)
+            if t.text == "throw":
+                self.next()
+                value = self.parse_expr()
+                self.expect(";")
+                return A.Throw(line=t.line, value=value)
+            if t.text == "try":
+                self.next()
+                body = self.parse_block()
+                self.expect("kw", "catch")
+                self.expect("(")
+                exc_class = self.expect("ident").text
+                exc_var = self.expect("ident").text
+                self.expect(")")
+                handler = self.parse_block()
+                return A.TryCatch(line=t.line, body=body, exc_class=exc_class,
+                                  exc_var=exc_var, handler=handler)
+            if t.text == "break":
+                self.next()
+                self.expect(";")
+                return A.Break(line=t.line)
+            if t.text == "continue":
+                self.next()
+                self.expect(";")
+                return A.Continue(line=t.line)
+        if self._looks_like_decl():
+            type_name = self.parse_type()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("="):
+                init = self.parse_expr()
+            self.expect(";")
+            return A.VarDecl(line=t.line, type_name=type_name, name=name,
+                             init=init)
+        return self._parse_simple_then(";", t)
+
+    def _parse_simple(self) -> A.Stmt:
+        """An assignment or expression statement without the terminator
+        (used by ``for`` headers)."""
+        t = self.peek()
+        if self._looks_like_decl():
+            type_name = self.parse_type()
+            name = self.expect("ident").text
+            init = None
+            if self.accept("="):
+                init = self.parse_expr()
+            return A.VarDecl(line=t.line, type_name=type_name, name=name,
+                             init=init)
+        expr = self.parse_expr()
+        if self.accept("="):
+            if not isinstance(expr, (A.Name, A.FieldAccess, A.Index)):
+                raise CompileError("invalid assignment target", t.line, t.col)
+            value = self.parse_expr()
+            return A.Assign(line=t.line, target=expr, value=value)
+        return A.ExprStmt(line=t.line, expr=expr)
+
+    def _parse_simple_then(self, term: str, t: Token) -> A.Stmt:
+        s = self._parse_simple()
+        self.expect(term)
+        return s
+
+    def _parse_if(self) -> A.Stmt:
+        t = self.expect("kw", "if")
+        self.expect("(")
+        cond = self.parse_expr()
+        self.expect(")")
+        then = self.parse_block()
+        otherwise: Optional[A.Block] = None
+        if self._kw("else"):
+            if self.peek().kind == "kw" and self.peek().text == "if":
+                nested = self._parse_if()
+                otherwise = A.Block(line=nested.line, stmts=[nested])
+            else:
+                otherwise = self.parse_block()
+        return A.If(line=t.line, cond=cond, then=then, otherwise=otherwise)
+
+    def _parse_for(self) -> A.Stmt:
+        t = self.expect("kw", "for")
+        self.expect("(")
+        init = None if self.peek().kind == ";" else self._parse_simple()
+        self.expect(";")
+        cond = None if self.peek().kind == ";" else self.parse_expr()
+        self.expect(";")
+        step = None if self.peek().kind == ")" else self._parse_simple()
+        self.expect(")")
+        return A.For(line=t.line, init=init, cond=cond, step=step,
+                     body=self.parse_block())
+
+    # -- expressions -------------------------------------------------------------
+
+    def parse_expr(self, min_prec: int = 1) -> A.Expr:
+        left = self.parse_unary()
+        while True:
+            t = self.peek()
+            prec = _PREC.get(t.kind)
+            if prec is None or prec < min_prec:
+                return left
+            self.next()
+            right = self.parse_expr(prec + 1)
+            left = A.Binary(line=t.line, op=t.kind, left=left, right=right)
+
+    def parse_unary(self) -> A.Expr:
+        t = self.peek()
+        if t.kind == "!":
+            self.next()
+            return A.Unary(line=t.line, op="!", operand=self.parse_unary())
+        if t.kind == "-":
+            self.next()
+            return A.Unary(line=t.line, op="-", operand=self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> A.Expr:
+        expr = self.parse_primary()
+        while True:
+            t = self.peek()
+            if t.kind == ".":
+                self.next()
+                name = self.expect("ident").text
+                if self.peek().kind == "(":
+                    args = self._parse_args()
+                    expr = A.Call(line=t.line, target=expr, method=name,
+                                  args=args)
+                else:
+                    expr = A.FieldAccess(line=t.line, target=expr, name=name)
+            elif t.kind == "[":
+                self.next()
+                idx = self.parse_expr()
+                self.expect("]")
+                expr = A.Index(line=t.line, target=expr, index=idx)
+            elif t.kind == "(" and isinstance(expr, A.Name):
+                # bare call: method on this / same class
+                args = self._parse_args()
+                expr = A.Call(line=t.line, target=None, method=expr.ident,
+                              args=args)
+            else:
+                return expr
+
+    def _parse_args(self) -> List[A.Expr]:
+        self.expect("(")
+        args: List[A.Expr] = []
+        if not self.accept(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        return args
+
+    def parse_primary(self) -> A.Expr:
+        t = self.peek()
+        if t.kind == "int":
+            self.next()
+            return A.IntLit(line=t.line, value=int(t.text))
+        if t.kind == "float":
+            self.next()
+            return A.FloatLit(line=t.line, value=float(t.text))
+        if t.kind == "string":
+            self.next()
+            return A.StrLit(line=t.line, value=t.text)
+        if t.kind == "kw":
+            if t.text == "true":
+                self.next()
+                return A.BoolLit(line=t.line, value=True)
+            if t.text == "false":
+                self.next()
+                return A.BoolLit(line=t.line, value=False)
+            if t.text == "null":
+                self.next()
+                return A.NullLit(line=t.line)
+            if t.text == "this":
+                self.next()
+                return A.This(line=t.line)
+            if t.text == "new":
+                self.next()
+                if self.peek().kind == "kw" and self.peek().text in _TYPE_KWS:
+                    elem = self.next().text
+                    self.expect("[")
+                    length = self.parse_expr()
+                    self.expect("]")
+                    return A.NewArray(line=t.line, elem_type=elem, length=length)
+                cname = self.expect("ident").text
+                if self.peek().kind == "[":
+                    self.next()
+                    length = self.parse_expr()
+                    self.expect("]")
+                    return A.NewArray(line=t.line, elem_type=cname, length=length)
+                args = self._parse_args()
+                return A.NewObject(line=t.line, class_name=cname, args=args)
+        if t.kind == "ident":
+            self.next()
+            return A.Name(line=t.line, ident=t.text)
+        if t.kind == "(":
+            self.next()
+            e = self.parse_expr()
+            self.expect(")")
+            return e
+        raise CompileError(f"unexpected token {t.text!r}", t.line, t.col)
+
+
+def parse(source: str) -> A.Program:
+    """Parse MiniLang source into an AST."""
+    return Parser(source).parse_program()

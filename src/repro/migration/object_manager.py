@@ -1,0 +1,331 @@
+"""Object managers: on-demand heap fetch and write-back (section III.C).
+
+Two halves, as in the paper's architecture (Fig. 2):
+
+* :class:`HomeObjectServer` — the home-side agent that "listens to object
+  requests, retrieves object references needed via JVMTI and invokes
+  Java serialization to send the object to the requester", and later
+  applies write-back.
+* :class:`WorkerObjectManager` — the destination-side half: binds the
+  ``ObjMan.*`` natives (``resolve`` for the fault-handler path,
+  ``check``/``checkStatic`` for the status-check baseline), maintains
+  the cache of fetched objects (home-oid -> local copy, preserving
+  identity), the dirty set for write-back, and charges
+  serialize + network + deserialize costs per miss.
+
+``fetch_service`` decouples the transport: the engine supplies a callable
+``(requester_node, ref) -> (payload, nbytes, owner_node)``; the worker
+manager charges the round-trip against its own clock (synchronous RPC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.errors import MigrationError
+from repro.migration.state import (GraphDecoder, GraphEncoder,
+                                   encode_object_shallow)
+from repro.vm.machine import Machine
+from repro.vm.objects import VMArray, VMClass, VMInstance
+from repro.vm.values import (LOC_ELEM, LOC_FIELD, LOC_LOCAL, LOC_STATIC,
+                             RemoteRef)
+
+
+class HomeObjectServer:
+    """Home-side object service for one machine."""
+
+    def __init__(self, machine: Machine, node_name: str):
+        self.machine = machine
+        self.node_name = node_name
+        #: objects served, for experiment reporting
+        self.requests = 0
+
+    def fetch(self, oid: int) -> Tuple[Any, int]:
+        """Serialize one home object (shallow).  Returns (payload, bytes).
+        Serving a dangling oid is a host bug; serving an oid whose value
+        is itself remote forwards the descriptor."""
+        self.requests += 1
+        obj = self.machine.heap.get(oid)
+        payload, nbytes = encode_object_shallow(obj, self.node_name)
+        # Home-side serialization cost happens while the requester waits;
+        # charge it on the home machine's clock as well (it burns CPU).
+        self.machine.charge(self.machine.cost.serialize_cost(nbytes))
+        return payload, nbytes
+
+    def apply_writeback(self, updates: Dict[int, Dict[str, Any]],
+                        elem_updates: Dict[int, List[Any]],
+                        static_updates: Dict[Tuple[str, str], Any],
+                        graph: Dict[int, Any],
+                        return_enc: Any) -> Any:
+        """Apply a completed segment's effects: dirty object fields, dirty
+        array contents, dirty statics, plus the (possibly object-valued)
+        return value.  Returns the decoded return value."""
+        decoder = GraphDecoder(self.machine.heap, self.machine.loader,
+                               self.node_name, graph)
+        for oid, fields in updates.items():
+            obj = self.machine.heap.get(oid)
+            if not isinstance(obj, VMInstance):
+                raise MigrationError(f"write-back of fields to non-instance #{oid}")
+            for name, enc in fields.items():
+                obj.fields[name] = decoder.decode(enc, (LOC_FIELD, obj, name))
+        for oid, elems in elem_updates.items():
+            arr = self.machine.heap.get(oid)
+            if not isinstance(arr, VMArray):
+                raise MigrationError(f"write-back of elements to non-array #{oid}")
+            for i, enc in enumerate(elems):
+                arr.data[i] = decoder.decode(enc, (LOC_ELEM, arr, i))
+        for (cname, fname), enc in static_updates.items():
+            cls = self.machine.loader.load(cname).find_static_home(fname)
+            cls.statics[fname] = decoder.decode(enc, (LOC_STATIC, cname, fname))
+        return decoder.decode(return_enc)
+
+
+FetchService = Callable[[str, RemoteRef], Tuple[Any, int, str]]
+
+
+@dataclass
+class FaultStats:
+    """Counters for the object-faulting path (Table III analysis)."""
+
+    faults: int = 0
+    prefetched: int = 0
+    fetched_bytes: int = 0
+    fetch_seconds: float = 0.0
+
+
+class WorkerObjectManager:
+    """Destination-side object manager for one worker machine."""
+
+    def __init__(self, machine: Machine, node_name: str,
+                 fetch_service: FetchService,
+                 rtt_service: Callable[[str, str, int, int], float]):
+        self.machine = machine
+        self.node_name = node_name
+        self.fetch_service = fetch_service
+        self.rtt_service = rtt_service
+        #: home-oid@node -> local fetched copy (identity-preserving)
+        self.cache: Dict[Tuple[int, str], Any] = {}
+        #: id(local obj) -> (home_oid, home_node)
+        self.home_identity: Dict[int, Tuple[int, str]] = {}
+        #: dirty fetched objects (by id) and locally created dirty roots
+        self.dirty: Dict[int, Any] = {}
+        self.dirty_statics: Dict[Tuple[str, str], VMClass] = {}
+        self.stats = FaultStats()
+        #: pluggable prefetching scheme (see repro.migration.prefetch)
+        from repro.migration.prefetch import NoPrefetch
+        self.prefetcher = NoPrefetch()
+        #: fixed home-agent service cost per request (JVMTI object lookup
+        #: + serializer setup); charged once per demand fetch and once
+        #: per prefetch *batch* — batching is what prefetching buys.
+        self.service_fixed = 0.0
+        machine.on_write = self._on_write
+
+    # -- dirty tracking ----------------------------------------------------
+
+    def _on_write(self, target: Any) -> None:
+        if isinstance(target, VMClass):
+            for fname in target.statics:
+                self.dirty_statics[(target.name, fname)] = target
+        else:
+            self.dirty[id(target)] = target
+
+    # -- fetching ---------------------------------------------------------------
+
+    def fetch(self, ref: RemoteRef) -> Any:
+        """Bring a remote object into the local heap (cached)."""
+        key = (ref.home_oid, ref.home_node)
+        hit = self.cache.get(key)
+        if hit is not None:
+            return hit
+        t0 = self.machine.clock
+        payload, nbytes, owner = self.fetch_service(self.node_name, ref)
+        self.machine.charge_raw(self.service_fixed)
+        wire = self.machine.cost.wire_bytes(nbytes)
+        self.machine.charge_raw(self.rtt_service(self.node_name, owner, 64, wire))
+        self.machine.charge(self.machine.cost.deserialize_cost(nbytes))
+        obj = self._decode(payload)
+        self.cache[key] = obj
+        self.home_identity[id(obj)] = (ref.home_oid, ref.home_node)
+        self.stats.faults += 1
+        self.stats.fetched_bytes += nbytes
+        self.prefetcher.record(ref, obj)
+        extra = self.prefetcher.after_fetch(self, ref, obj)
+        if extra:
+            self._prefetch_batch(extra)
+        self.stats.fetch_seconds += self.machine.clock - t0
+        return obj
+
+    def _prefetch_batch(self, refs: List[RemoteRef]) -> None:
+        """Fetch a batch of prefetch candidates in one round trip.
+
+        The home agent walks the requested closure server-side (up to the
+        prefetcher's ``batch_rounds`` levels), so the worker pays a
+        single service cost + RTT with the combined payload — this is
+        exactly what prefetching buys over demand faulting."""
+        rounds = getattr(self.prefetcher, "batch_rounds", 1)
+        by_owner: Dict[str, List[RemoteRef]] = {}
+        for r in refs:
+            by_owner.setdefault(r.home_node, []).append(r)
+        for owner, group in by_owner.items():
+            total = 0
+            count = 0
+            frontier = list(group)
+            level = 0
+            while frontier and level < rounds:
+                next_frontier: List[RemoteRef] = []
+                for r in frontier:
+                    key = (r.home_oid, r.home_node)
+                    if key in self.cache:
+                        continue
+                    payload, nbytes, _o = self.fetch_service(self.node_name, r)
+                    total += nbytes
+                    obj = self._decode(payload)
+                    self.cache[key] = obj
+                    self.home_identity[id(obj)] = key
+                    count += 1
+                    next_frontier.extend(
+                        x for x in self.prefetcher.after_fetch(self, r, obj)
+                        if x.home_node == owner)
+                frontier = next_frontier
+                level += 1
+            if count:
+                self.machine.charge_raw(self.service_fixed)
+                wire = self.machine.cost.wire_bytes(total)
+                self.machine.charge_raw(
+                    self.rtt_service(self.node_name, owner, 96, wire))
+                self.machine.charge(self.machine.cost.deserialize_cost(total))
+                self.stats.prefetched += count
+                self.stats.fetched_bytes += total
+
+    def _decode(self, payload: Any) -> Any:
+        from repro.migration.state import decode_value
+        if payload[0] == "I":
+            _t, class_name, fields = payload
+            cls = self.machine.loader.load(class_name)
+            obj = self.machine.heap.new_instance(cls)
+            for name, enc in fields.items():
+                obj.fields[name] = decode_value(enc, (LOC_FIELD, obj, name))
+            return obj
+        _t, kind, elem_bytes, elems = payload
+        arr = self.machine.heap.new_array(kind, len(elems), elem_bytes)
+        if kind == "ref":
+            for i, enc in enumerate(elems):
+                arr.data[i] = decode_value(enc, (LOC_ELEM, arr, i))
+        else:
+            arr.data[:] = elems
+        return arr
+
+    def _patch(self, ref: RemoteRef, obj: Any) -> None:
+        """Write the fetched object into the faulting location."""
+        loc = ref.loc
+        if loc is None:
+            return
+        kind = loc[0]
+        if kind == LOC_LOCAL:
+            _k, frame, slot = loc
+            frame.locals[slot] = obj
+        elif kind == LOC_FIELD:
+            _k, owner, name = loc
+            owner.fields[name] = obj
+        elif kind == LOC_STATIC:
+            _k, cname, fname = loc
+            cls = self.machine.loader.load(cname).find_static_home(fname)
+            cls.statics[fname] = obj
+        elif kind == LOC_ELEM:
+            _k, arr, idx = loc
+            arr.data[idx] = obj
+        else:  # pragma: no cover
+            raise MigrationError(f"bad location {loc!r}")
+
+    # -- natives -------------------------------------------------------------------
+
+    def install_natives(self) -> None:
+        """Bind ``ObjMan.*``: the fault-handler path and the status-check
+        baseline path."""
+
+        def resolve(machine: Machine, args: List[Any]) -> Any:
+            exc, recv_slot = args[0], args[1]
+            ref = exc.host_payload
+            if not isinstance(ref, RemoteRef):  # pragma: no cover
+                raise MigrationError("ObjMan.resolve on a non-fault NPE")
+            obj = self.fetch(ref)
+            # Patch the hardcoded receiver slot (the temp the re-executed
+            # group reads — guarantees forward progress, paper III.C),
+            # but only if it actually holds this sentinel: for native
+            # sites the faulting value may be a later argument, in which
+            # case the origin patch below is what re-execution reads.
+            frame = machine.current_thread.frames[-1]
+            if 0 <= recv_slot < len(frame.locals):
+                cur = frame.locals[recv_slot]
+                if isinstance(cur, RemoteRef) and (
+                        cur is ref or (cur.home_oid == ref.home_oid
+                                       and cur.home_node == ref.home_node)):
+                    frame.locals[recv_slot] = obj
+            # ...and the sentinel's origin, so the local heap converges.
+            self._patch(ref, obj)
+            return None
+
+        def check(machine: Machine, args: List[Any]) -> Any:
+            v = args[0]
+            if isinstance(v, RemoteRef):
+                obj = self.fetch(v)
+                self._patch(v, obj)
+                return obj
+            return v
+
+        def check_static(machine: Machine, args: List[Any]) -> Any:
+            cname, fname = args[0], args[1]
+            cls = self.machine.loader.load(cname).find_static_home(fname)
+            v = cls.statics[fname]
+            if isinstance(v, RemoteRef):
+                obj = self.fetch(v)
+                cls.statics[fname] = obj
+                return obj
+            return v
+
+        self.machine.natives.register("ObjMan.resolve", resolve)
+        self.machine.natives.register("ObjMan.check", check)
+        self.machine.natives.register("ObjMan.checkStatic", check_static)
+
+    # -- write-back ----------------------------------------------------------------
+
+    def build_writeback(self, return_value: Any
+                        ) -> Tuple[Dict[str, Any], int]:
+        """Assemble the completion message: return value + dirty objects
+        + dirty statics.  Returns (message, modeled_bytes)."""
+        enc = GraphEncoder(self.node_name, self.home_identity, eager=False)
+        updates: Dict[int, Dict[str, Any]] = {}
+        elem_updates: Dict[int, List[Any]] = {}
+        for obj in self.dirty.values():
+            ident = self.home_identity.get(id(obj))
+            if ident is None:
+                continue  # locally created: travels inline if reachable
+            oid, node = ident
+            if isinstance(obj, VMInstance):
+                updates[oid] = {n: enc.encode(v) for n, v in obj.fields.items()}
+            else:
+                if obj.kind == "ref":
+                    elem_updates[oid] = [enc.encode(v) for v in obj.data]
+                else:
+                    elem_updates[oid] = list(obj.data)
+                    enc.nbytes += len(obj.data) * obj.nominal_elem_bytes
+        static_updates = {
+            key: enc.encode(cls.statics[key[1]])
+            for key, cls in self.dirty_statics.items()
+        }
+        return_enc = enc.encode(return_value)
+        message = {
+            "updates": updates,
+            "elem_updates": elem_updates,
+            "static_updates": static_updates,
+            "graph": enc.graph,
+            "return": return_enc,
+        }
+        return message, enc.nbytes + 64
+
+    def clear_dirty(self) -> None:
+        """Forget the dirty set after a successful write-back, so later
+        flushes (multi-hop roaming) only ship fresh changes."""
+        self.dirty.clear()
+        self.dirty_statics.clear()

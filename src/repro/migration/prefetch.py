@@ -1,0 +1,118 @@
+"""Object prefetching schemes.
+
+The paper handles object misses "by on-demand fetching or some
+prefetching schemes" (section I).  These are the schemes:
+
+* :class:`NoPrefetch` — pure on-demand (the paper's measured default).
+* :class:`ReachablePrefetch` — when an object faults in, also fetch the
+  objects reachable from its reference fields up to ``depth`` levels,
+  batched into the same round trip (one RTT, combined payload).
+* :class:`HistoryPrefetch` — learns (class, field) -> next-class access
+  pairs across runs and piggybacks the predicted next objects.
+
+A prefetcher is attached to a :class:`WorkerObjectManager`; the manager
+calls :meth:`after_fetch` with each demand-fetched object and fetches
+whatever the scheme proposes (charging the batched transfer but only one
+extra round-trip's latency).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.vm.objects import VMArray, VMInstance
+from repro.vm.values import RemoteRef
+
+
+class NoPrefetch:
+    """On-demand only (default)."""
+
+    def after_fetch(self, objman, ref: RemoteRef, obj: Any) -> List[RemoteRef]:
+        return []
+
+    def record(self, ref: RemoteRef, obj: Any) -> None:  # pragma: no cover
+        pass
+
+
+class ReachablePrefetch:
+    """Fetch the reference-field closure of each faulted object up to
+    ``depth`` levels (``depth=1``: direct fields only)."""
+
+    def __init__(self, depth: int = 1, max_objects: int = 32):
+        self.depth = depth
+        self.max_objects = max_objects
+        #: levels the home agent walks per prefetch round trip
+        self.batch_rounds = depth
+
+    def after_fetch(self, objman, ref: RemoteRef, obj: Any) -> List[RemoteRef]:
+        out: List[RemoteRef] = []
+        frontier = [(obj, 0)]
+        seen: Set[int] = {id(obj)}
+        while frontier and len(out) < self.max_objects:
+            cur, lvl = frontier.pop(0)
+            if lvl >= self.depth:
+                continue
+            for v in _ref_values(cur):
+                if isinstance(v, RemoteRef):
+                    key = (v.home_oid, v.home_node)
+                    if key not in objman.cache:
+                        out.append(v)
+                        if len(out) >= self.max_objects:
+                            break
+        return out
+
+    def record(self, ref: RemoteRef, obj: Any) -> None:
+        pass
+
+
+class HistoryPrefetch:
+    """Predict the next faults from past fault order.
+
+    Keeps a first-order transition table keyed by the faulted object's
+    class; on a fault of class C, prefetches the remote refs among the
+    object's fields whose *declared class* historically followed C."""
+
+    def __init__(self, max_objects: int = 16):
+        self.max_objects = max_objects
+        self._last_class: str = ""
+        self.transitions: Dict[str, Dict[str, int]] = defaultdict(
+            lambda: defaultdict(int))
+
+    def record(self, ref: RemoteRef, obj: Any) -> None:
+        cname = _class_of(obj)
+        if self._last_class:
+            self.transitions[self._last_class][cname] += 1
+        self._last_class = cname
+
+    def after_fetch(self, objman, ref: RemoteRef, obj: Any) -> List[RemoteRef]:
+        cname = _class_of(obj)
+        likely = self.transitions.get(cname)
+        out: List[RemoteRef] = []
+        for v in _ref_values(obj):
+            if isinstance(v, RemoteRef):
+                key = (v.home_oid, v.home_node)
+                if key in objman.cache:
+                    continue
+                if likely is None or not likely:
+                    continue
+                out.append(v)
+                if len(out) >= self.max_objects:
+                    break
+        return out
+
+
+def _class_of(obj: Any) -> str:
+    if isinstance(obj, VMInstance):
+        return obj.class_name
+    if isinstance(obj, VMArray):
+        return f"{obj.kind}[]"
+    return type(obj).__name__
+
+
+def _ref_values(obj: Any) -> List[Any]:
+    if isinstance(obj, VMInstance):
+        return list(obj.fields.values())
+    if isinstance(obj, VMArray) and obj.kind == "ref":
+        return list(obj.data)
+    return []

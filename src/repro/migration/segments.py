@@ -1,0 +1,88 @@
+"""Stack segmentation planning.
+
+"One segment should logically map to one agglomerated task" (paper
+section II.A).  This module validates and plans how a thread's stack is
+chopped into segments: which frames travel, which stay pinned at home
+(frames holding sockets, section IV.D), and how a multi-hop plan (Fig.
+1c) partitions the remaining frames.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import MigrationError
+from repro.vm.frames import Frame, ThreadState
+
+
+@dataclass(frozen=True)
+class SegmentPlan:
+    """A partition of the top of a stack into orderly segments.
+
+    ``sizes[0]`` is the size of the *top* segment (migrated first /
+    furthest); the remaining frames below ``sum(sizes)`` stay at home.
+    """
+
+    sizes: tuple
+
+    @property
+    def total(self) -> int:
+        return sum(self.sizes)
+
+
+def pin_frames(thread: ThreadState,
+               predicate: Callable[[Frame], bool]) -> int:
+    """Pin every frame matching ``predicate`` (e.g. frames of methods
+    known to hold socket connections).  Returns the number pinned."""
+    count = 0
+    for f in thread.frames:
+        if predicate(f):
+            f.pinned = True
+            count += 1
+    return count
+
+
+def pin_methods(thread: ThreadState, qualnames: Sequence[str]) -> int:
+    """Pin frames whose method qualname is in ``qualnames``."""
+    names = set(qualnames)
+    return pin_frames(thread, lambda f: f.code.qualname in names)
+
+
+def max_migratable(thread: ThreadState) -> int:
+    """The largest top segment that avoids all pinned frames."""
+    n = 0
+    for f in reversed(thread.frames):
+        if f.pinned:
+            break
+        n += 1
+    return n
+
+
+def plan(thread: ThreadState, sizes: Sequence[int]) -> SegmentPlan:
+    """Validate a segmentation of the current stack.
+
+    Raises :class:`MigrationError` if the plan is empty, exceeds the
+    stack, or would migrate a pinned frame.
+    """
+    sizes = tuple(int(s) for s in sizes)
+    if not sizes or any(s < 1 for s in sizes):
+        raise MigrationError(f"bad segment sizes {sizes}")
+    total = sum(sizes)
+    if total > thread.depth():
+        raise MigrationError(
+            f"plan covers {total} frames but stack depth is {thread.depth()}")
+    if total > max_migratable(thread):
+        raise MigrationError(
+            f"plan covers {total} frames but only {max_migratable(thread)} "
+            f"are migratable (pinned frames)")
+    return SegmentPlan(sizes=sizes)
+
+
+def segment_bytes_estimate(thread: ThreadState, nframes: int) -> int:
+    """Cheap upper-bound estimate of a segment's captured size, used by
+    bandwidth-aware policies to size segments before committing."""
+    total = 64
+    for f in list(reversed(thread.frames))[:nframes]:
+        total += 40 + 12 * f.code.max_locals
+    return total

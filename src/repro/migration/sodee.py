@@ -1,0 +1,385 @@
+"""SODEE — the Stack-On-Demand Execution Engine (paper section III).
+
+Glues the substrates together: a :class:`Host` is a JVM process placed on
+a cluster node; the :class:`SODEngine` starts guest threads, migrates
+stack segments between hosts, serves object faults, applies write-back,
+and accounts an experiment-level timeline.
+
+Timeline model: phases are sequential on a single logical control flow
+(run -> freeze/capture -> transfer -> restore -> run -> return), so the
+engine sums per-phase durations; overlapping multi-hop flows (paper
+Fig. 1b/c) are built on top in :mod:`repro.migration.workflow` using the
+event kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bytecode.code import ClassFile
+from repro.cluster.topology import Cluster
+from repro.errors import MigrationError
+from repro.migration.capture import capture_segment, run_to_msp
+from repro.migration.object_manager import (HomeObjectServer,
+                                            WorkerObjectManager)
+from repro.migration.restore import RestoreDriver, java_level_restore
+from repro.migration.state import CapturedState
+from repro.preprocess.sizes import class_size
+from repro.vm.costmodel import CostModel, SystemCosts, sodee_model
+from repro.vm.frames import ThreadState
+from repro.vm.machine import Machine
+from repro.vm.values import RemoteRef
+from repro.vm.vmti import VMTI
+
+
+@dataclass
+class MigrationRecord:
+    """Timings and sizes of one SOD migration (Table IV row material)."""
+
+    src: str
+    dst: str
+    nframes: int
+    capture_time: float = 0.0
+    transfer_time: float = 0.0
+    state_transfer_time: float = 0.0
+    class_transfer_time: float = 0.0
+    restore_time: float = 0.0
+    state_bytes: int = 0
+    class_bytes: int = 0
+    worker_spawn_time: float = 0.0
+
+    @property
+    def latency(self) -> float:
+        """Migration latency = freeze-to-resume (capture+transfer+restore);
+        worker spawn is excluded when a worker is pre-started, as in the
+        paper's testbed."""
+        return (self.capture_time + self.transfer_time + self.restore_time
+                + self.worker_spawn_time)
+
+
+class Host:
+    """A JVM process on a node: machine + optional VMTI + object server."""
+
+    def __init__(self, engine: "SODEngine", node_name: str,
+                 machine: Machine):
+        self.engine = engine
+        self.node_name = node_name
+        self.machine = machine
+        self.vmti: Optional[VMTI] = None
+        if machine.node is None or machine.node.spec.has_vmti:
+            self.vmti = VMTI(machine)
+        self.server = HomeObjectServer(machine, node_name)
+        self.objman: Optional[WorkerObjectManager] = None
+
+    def attach_object_manager(self) -> WorkerObjectManager:
+        """Install the worker-side object manager (ObjMan natives)."""
+        if self.objman is None:
+            self.objman = WorkerObjectManager(
+                self.machine, self.node_name,
+                fetch_service=self.engine.fetch_remote,
+                rtt_service=self.engine.rtt)
+            self.objman.service_fixed = self.engine.sys.fault_service_fixed
+            self.objman.install_natives()
+        return self.objman
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Host {self.node_name}>"
+
+
+class SODEngine:
+    """The distributed runtime."""
+
+    def __init__(self, cluster: Cluster, classes: Dict[str, ClassFile],
+                 cost: Optional[CostModel] = None,
+                 syscosts: Optional[SystemCosts] = None,
+                 prestart_workers: bool = True):
+        self.cluster = cluster
+        self.classes = classes
+        self.cost = cost or sodee_model()
+        self.sys = syscosts or SystemCosts()
+        self.prestart_workers = prestart_workers
+        self.hosts: Dict[str, Host] = {}
+        #: experiment timeline, seconds
+        self.timeline = 0.0
+        self.migrations: List[MigrationRecord] = []
+
+    # -- hosts -------------------------------------------------------------
+
+    def host(self, node_name: str, with_classes: bool = True,
+             cost: Optional[CostModel] = None) -> Host:
+        """Get or create the host on ``node_name``.  The *home* host gets
+        the full classpath; workers start empty and fetch classes on
+        demand (``with_classes=False``)."""
+        h = self.hosts.get(node_name)
+        if h is not None:
+            return h
+        node = self.cluster.node(node_name)
+        machine = Machine(
+            classpath=dict(self.classes) if with_classes else None,
+            cost=(cost or self.cost).copy(), node=node, fs=self.cluster.fs,
+            name=f"vm@{node_name}")
+        h = Host(self, node_name, machine)
+        self.hosts[node_name] = h
+        return h
+
+    def _worker_host(self, node_name: str, home: Host) -> Tuple[Host, float]:
+        """Get/spawn the worker host on ``node_name`` with on-demand class
+        fetching from ``home``.  Returns (host, spawn_seconds)."""
+        existing = self.hosts.get(node_name)
+        if existing is not None:
+            return existing, 0.0
+        worker = self.host(node_name, with_classes=False)
+        spawn = 0.0 if self.prestart_workers else self.sys.worker_spawn
+
+        def missing(name: str) -> ClassFile:
+            cf = home.machine.loader.classfile(name)
+            nbytes = class_size(cf)
+            worker.machine.charge_raw(self.rtt(node_name, home.node_name, 96, 0))
+            worker.machine.charge_raw(self.transfer_time(
+                home.node_name, node_name, nbytes))
+            return cf
+
+        worker.machine.loader.missing_class_hook = missing
+        worker.attach_object_manager()
+        return worker, spawn
+
+    # -- network services -------------------------------------------------------
+
+    def transfer_time(self, src: str, dst: str, nbytes: int) -> float:
+        return self.cluster.network.transfer_time(src, dst, nbytes)
+
+    def rtt(self, src: str, dst: str, req: int, reply: int) -> float:
+        return self.cluster.network.rtt(src, dst, req, reply)
+
+    def fetch_remote(self, requester: str, ref: RemoteRef
+                     ) -> Tuple[Any, int, str]:
+        """Object-fetch service: locate the owner host and serialize.
+        Each service includes the home agent's fixed JVMTI-lookup +
+        serialization-setup cost (it elapses while the requester waits,
+        so it is charged on the requester's clock too)."""
+        owner = self.hosts.get(ref.home_node)
+        if owner is None:
+            raise MigrationError(f"no host on {ref.home_node} to serve fetch")
+        payload, nbytes = owner.server.fetch(ref.home_oid)
+        return payload, nbytes, ref.home_node
+
+    # -- program control ------------------------------------------------------------
+
+    def spawn(self, host: Host, class_name: str, method: str,
+              args: Optional[List[Any]] = None) -> ThreadState:
+        """Start a guest thread on ``host`` (not yet run)."""
+        return host.machine.spawn(class_name, method, args)
+
+    def run(self, host: Host, thread: ThreadState,
+            stop: Optional[Callable[[ThreadState], bool]] = None,
+            max_instrs: Optional[int] = None) -> str:
+        """Run a thread on its host, advancing the timeline."""
+        t0 = host.machine.clock
+        status = host.machine.run(thread, stop=stop, max_instrs=max_instrs)
+        self.timeline += host.machine.clock - t0
+        return status
+
+    # -- SOD migration -----------------------------------------------------------------
+
+    def migrate(self, src_host: Host, thread: ThreadState, dst_node: str,
+                nframes: int = 1,
+                run_after_restore: bool = False
+                ) -> Tuple[Host, ThreadState, MigrationRecord]:
+        """Migrate the top ``nframes`` frames of ``thread`` to
+        ``dst_node``.  The source thread keeps its full (now partially
+        stale) stack, as the paper's home node does, until the segment
+        completes and :meth:`complete_segment` pops it.
+
+        Returns (worker_host, worker_thread, record)."""
+        if src_host.vmti is None:
+            raise MigrationError(
+                f"source {src_host.node_name} lacks VMTI; cannot capture")
+        rec = MigrationRecord(src=src_host.node_name, dst=dst_node,
+                              nframes=nframes)
+        machine = src_host.machine
+
+        # Freeze at a migration-safe point.
+        t0 = machine.clock
+        run_to_msp(machine, thread)
+        self.timeline += machine.clock - t0
+
+        # -- capture (C2 part 1) --
+        t0 = machine.clock
+        state = capture_segment(src_host.vmti, thread, nframes,
+                                home_node=src_host.node_name)
+        machine.charge(self.sys.sod_capture_fixed)
+        dst_spec = self.cluster.node(dst_node).spec
+        if not dst_spec.has_vmti:
+            # Destination cannot restore via VMTI: re-encode the captured
+            # data with Java serialization into a portable format.
+            machine.charge(self.sys.portable_capture_fixed)
+        rec.capture_time = machine.clock - t0
+
+        # -- transfer (serialized sizes go on the wire) --
+        rec.state_bytes = state.state_bytes()
+        top_class = state.frames[-1].class_name
+        cf = machine.loader.classfile(top_class)
+        rec.class_bytes = class_size(cf)
+        state_wire = machine.cost.wire_bytes(rec.state_bytes)
+        class_wire = machine.cost.wire_bytes(rec.class_bytes)
+        if not dst_spec.has_vmti:
+            # Portable (Java-serialized) format: class descriptors and
+            # string tables ride along with both payloads (section IV.D).
+            state_wire += self.sys.portable_state_overhead_bytes
+            class_wire += self.sys.portable_state_overhead_bytes // 2
+        rec.state_transfer_time = (
+            self.sys.sod_transfer_fixed
+            + self.transfer_time(src_host.node_name, dst_node, state_wire))
+        rec.class_transfer_time = self.transfer_time(
+            src_host.node_name, dst_node, class_wire)
+        rec.transfer_time = rec.state_transfer_time + rec.class_transfer_time
+
+        # -- restore (destination) --
+        worker, spawn = self._worker_host(dst_node, src_host)
+        rec.worker_spawn_time = spawn
+        # The top frame's class arrives with the state.
+        worker.machine.loader._classpath.setdefault(top_class, cf)
+        worker.attach_object_manager()
+        t0 = worker.machine.clock
+        if worker.vmti is not None:
+            worker.machine.charge(self.sys.sod_restore_fixed
+                                  + self.sys.sod_restore_per_frame * nframes)
+            driver = RestoreDriver(worker.machine, worker.vmti, state)
+            worker_thread = driver.restore(run_after=False)
+        else:
+            # Reflection-based rebuild on the (slow) device CPU; no
+            # VMTI/JNI machinery involved (paper section IV.D).
+            worker.machine.charge(
+                self.sys.java_restore_fixed
+                + self.sys.java_restore_per_frame * nframes)
+            worker.machine.charge(worker.machine.cost.deserialize_cost(
+                rec.state_bytes))
+            worker_thread = java_level_restore(worker.machine, state)
+        rec.restore_time = worker.machine.clock - t0
+
+        self.timeline += rec.latency
+        self.migrations.append(rec)
+        if run_after_restore:
+            self.run(worker, worker_thread)
+        return worker, worker_thread, rec
+
+    # -- segment completion ------------------------------------------------------------
+
+    def complete_segment(self, worker: Host, worker_thread: ThreadState,
+                         home: Host, home_thread: ThreadState,
+                         nframes: int) -> float:
+        """Ship the finished segment's results home and resume the
+        residual stack there (paper section III.A: return value and
+        updated data are sent back, the home pops the outdated frames
+        with ForceEarlyReturn, and execution resumes).
+
+        Returns the write-back + resume-bookkeeping duration (the caller
+        continues running ``home_thread`` itself)."""
+        if not worker_thread.finished:
+            raise MigrationError("segment has not finished executing")
+        if worker_thread.uncaught is not None:
+            raise MigrationError(
+                f"segment died with uncaught "
+                f"{worker_thread.uncaught.class_name}")
+        objman = worker.objman
+        if objman is None:
+            raise MigrationError("worker has no object manager")
+        t0 = worker.machine.clock
+        message, nbytes = objman.build_writeback(worker_thread.result)
+        worker.machine.charge(worker.machine.cost.serialize_cost(nbytes))
+        wb_serialize = worker.machine.clock - t0
+        wire = self.transfer_time(worker.node_name, home.node_name,
+                                  worker.machine.cost.wire_bytes(nbytes))
+
+        t0 = home.machine.clock
+        home.machine.charge(home.machine.cost.deserialize_cost(nbytes))
+        value = home.server.apply_writeback(
+            message["updates"], message["elem_updates"],
+            message["static_updates"], message["graph"], message["return"])
+        if home.vmti is not None:
+            for _ in range(nframes - 1):
+                home.vmti.pop_frame(home_thread)
+            home.vmti.force_early_return(home_thread, value)
+        else:  # pragma: no cover - home always has VMTI in our experiments
+            for _ in range(nframes - 1):
+                home_thread.frames.pop()
+            home_thread.frames.pop()
+            if home_thread.frames:
+                home_thread.frames[-1].stack.append(value)
+            else:
+                home_thread.finished = True
+                home_thread.result = value
+        apply_time = home.machine.clock - t0
+        objman.clear_dirty()
+
+        dt = wb_serialize + wire + apply_time
+        self.timeline += dt
+        return dt
+
+    def resync_statics(self, worker: Host, home: Host) -> float:
+        """Refresh the worker's static fields from the home's current
+        values (release consistency at a hop boundary: a residual
+        segment restored *before* an earlier segment finished must see
+        that segment's static updates when control arrives)."""
+        from repro.migration.state import decode_value, encode_value
+        from repro.vm.values import LOC_STATIC
+        nbytes = 0
+        for cls in worker.machine.loader.loaded_classes().values():
+            if not cls.statics:
+                continue
+            try:
+                home_cls = home.machine.loader.load(cls.name)
+            except Exception:
+                continue
+            for fname in cls.statics:
+                enc, b = encode_value(home_cls.find_static_home(fname)
+                                      .statics[fname], home.node_name)
+                nbytes += b
+                cls.statics[fname] = decode_value(
+                    enc, (LOC_STATIC, cls.name, fname))
+        dt = self.transfer_time(home.node_name, worker.node_name,
+                                nbytes + 64)
+        self.timeline += dt
+        return dt
+
+    def flush_segment_effects(self, worker: Host, home: Host) -> float:
+        """Write a worker's dirty objects/statics back to ``home`` without
+        popping any frames (used by multi-hop flows before forwarding a
+        value onward, so the home heap is authoritative again)."""
+        objman = worker.objman
+        if objman is None or (not objman.dirty and not objman.dirty_statics):
+            return 0.0
+        t0 = worker.machine.clock
+        message, nbytes = objman.build_writeback(None)
+        worker.machine.charge(worker.machine.cost.serialize_cost(nbytes))
+        dt = worker.machine.clock - t0
+        dt += self.transfer_time(worker.node_name, home.node_name,
+                                 worker.machine.cost.wire_bytes(nbytes))
+        t0 = home.machine.clock
+        home.machine.charge(home.machine.cost.deserialize_cost(nbytes))
+        home.server.apply_writeback(
+            message["updates"], message["elem_updates"],
+            message["static_updates"], message["graph"], message["return"])
+        dt += home.machine.clock - t0
+        objman.clear_dirty()
+        self.timeline += dt
+        return dt
+
+    # -- one-call convenience ---------------------------------------------------------------
+
+    def run_segment_remote(self, home: Host, thread: ThreadState,
+                           dst_node: str, nframes: int = 1
+                           ) -> Tuple[Any, MigrationRecord]:
+        """Migrate, execute remotely to completion, return home, resume:
+        the paper's Fig. 1a flow.  Returns (final result of the home
+        thread, migration record)."""
+        worker, worker_thread, rec = self.migrate(home, thread, dst_node,
+                                                  nframes)
+        self.run(worker, worker_thread)
+        self.complete_segment(worker, worker_thread, home, thread, nframes)
+        self.run(home, thread)
+        if thread.uncaught is not None:
+            raise MigrationError(
+                f"home thread died: {thread.uncaught.class_name}")
+        return thread.result, rec

@@ -1,0 +1,18 @@
+"""The class preprocessor: bytecode rearrangement and handler injection."""
+
+from repro.preprocess.flatten import FlattenInfo, flatten
+from repro.preprocess.objectfault import (OBJECT_FAULT_CLASS,
+                                          inject_object_fault_handlers)
+from repro.preprocess.pipeline import preprocess_class, preprocess_program
+from repro.preprocess.restoration import (RESTORE_EXCEPTION,
+                                          inject_restoration_handler)
+from repro.preprocess.sizes import class_size, method_size
+from repro.preprocess.statuscheck import inject_status_checks
+
+__all__ = [
+    "FlattenInfo", "flatten",
+    "OBJECT_FAULT_CLASS", "inject_object_fault_handlers",
+    "preprocess_class", "preprocess_program",
+    "RESTORE_EXCEPTION", "inject_restoration_handler",
+    "class_size", "method_size", "inject_status_checks",
+]

@@ -1,0 +1,71 @@
+"""The class preprocessor (paper section III.A, module 1).
+
+Drives the transformation passes over compiled classes, producing one of
+three *builds*:
+
+* ``original`` — untouched code (the "JDK" rows of the tables);
+* ``faulting`` — SODEE's build: flatten (MSP creation) + object-fault
+  handlers + restoration handlers;
+* ``checking`` — the DSM baseline build: flatten + per-access status
+  checks + restoration handlers.
+
+Preprocessing is automatic, one-off and offline (no source changes), and
+every produced method is re-verified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.bytecode.code import ClassFile
+from repro.bytecode.verifier import verify_class
+from repro.errors import VerifyError
+from repro.lang.codegen import BUILTIN_EXCEPTIONS
+from repro.preprocess.flatten import flatten
+from repro.preprocess.objectfault import inject_object_fault_handlers
+from repro.preprocess.restoration import inject_restoration_handler
+from repro.preprocess.statuscheck import inject_status_checks
+
+BUILDS = ("original", "faulting", "checking", "flattened")
+
+
+def preprocess_class(cf: ClassFile, build: str = "faulting",
+                     verify: bool = True) -> ClassFile:
+    """Transform one class for the given build."""
+    if build not in BUILDS:
+        raise VerifyError(f"unknown build {build!r}")
+    if build == "original":
+        out = cf.copy()
+        out.version = "original"
+        return out
+    out = ClassFile(cf.name, cf.superclass, list(cf.fields), {},
+                    version=build)
+    for name, code in cf.methods.items():
+        info = flatten(code)
+        if build == "faulting":
+            transformed = inject_object_fault_handlers(info)
+        elif build == "checking":
+            # statuscheck rebuilds the code; restoration needs its MSPs.
+            transformed = inject_status_checks(info)
+        else:  # "flattened": rearrangement only (the C0 baseline)
+            transformed = info.code
+        transformed = inject_restoration_handler(transformed)
+        transformed.version = build
+        out.methods[name] = transformed
+    if verify:
+        verify_class(out)
+    return out
+
+
+def preprocess_program(classes: Dict[str, ClassFile],
+                       build: str = "faulting",
+                       verify: bool = True) -> Dict[str, ClassFile]:
+    """Transform a whole program (builtin exception classes pass through
+    untouched — they have no methods)."""
+    out: Dict[str, ClassFile] = {}
+    for name, cf in classes.items():
+        if name in BUILTIN_EXCEPTIONS:
+            out[name] = cf
+        else:
+            out[name] = preprocess_class(cf, build, verify=verify)
+    return out

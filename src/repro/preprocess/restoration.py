@@ -1,0 +1,58 @@
+"""Restoration-handler injection (paper section III.B.2, Fig. 4).
+
+Each method gets a trailing handler for ``InvalidStateException``::
+
+    R:  POP                                  ; discard the exception
+        CONST 0; NATIVE CapturedState.read 1; STORE 0
+        ...                                  ; one triple per local slot
+        NATIVE CapturedState.pc 0
+        LSWITCH {msp: msp, ...} default=<first msp>
+
+The restore driver (:mod:`repro.migration.restore`) arms a breakpoint at
+bci 0, invokes the method, and throws ``InvalidStateException`` from the
+breakpoint callback; the handler then rebuilds the locals from the
+``CapturedState`` and dispatches on the saved pc through the
+``lookupswitch`` — the same control flow as the paper's Fig. 4a bytecode
+(``CapturedState.readInt`` calls + ``lookupswitch``).
+
+The exception-table row is appended *after* the object-fault rows: the
+two mechanisms never compete (different exception classes).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import CodeObject, ExcEntry, Instr
+from repro.errors import VerifyError
+
+#: the guest exception class driving restoration
+RESTORE_EXCEPTION = "InvalidStateException"
+
+
+def inject_restoration_handler(code: CodeObject) -> CodeObject:
+    """Append the restoration handler to a flattened method."""
+    if not code.msps:
+        raise VerifyError(f"{code.qualname}: flatten must run first (no MSPs)")
+    out = code.copy()
+    instrs: List[Instr] = out.instrs
+    body_end = len(instrs)
+
+    handler = len(instrs)
+    instrs.append(Instr(op.POP))
+    for slot in range(out.max_locals):
+        instrs.append(Instr(op.CONST, slot))
+        instrs.append(Instr(op.NATIVE, "CapturedState.read", 1))
+        instrs.append(Instr(op.STORE, slot))
+    instrs.append(Instr(op.NATIVE, "CapturedState.pc", 0))
+    # The verifier requires every NATIVE result to be consumed/produced
+    # consistently: CapturedState.pc pushes the saved pc, LSWITCH pops it.
+    table = {msp: msp for msp in sorted(out.msps)}
+    default = min(out.msps)
+    instrs.append(Instr(op.LSWITCH, table, default))
+
+    out.exc_table = list(out.exc_table) + [
+        ExcEntry(0, body_end, handler, RESTORE_EXCEPTION)
+    ]
+    return out

@@ -1,0 +1,170 @@
+"""Status-check instrumentation — the traditional DSM baseline.
+
+This is the JavaSplit-style alternative the paper compares against
+(section III.C, Fig. 5 B1, Table V): before *every* object access, load
+the reference, test its status, and branch; if the status says "remote",
+call the object manager.  The test executes on every access whether or
+not the object is local — that is precisely the overhead the paper's
+object-faulting design eliminates.
+
+Injected sequences (normal path in brackets):
+
+* receiver ops (GETF/PUTF/ALOAD/ASTORE/LEN/INVOKEVIRT), inserted at the
+  instruction's group start::
+
+      [LOAD r] [ISREMOTE] [JZ skip]
+      LOAD r / NATIVE ObjMan.check 1 / STORE r
+      skip:  <original group>
+
+* static read (after the GETS)::
+
+      GETS [DUP] [ISREMOTE] [JZ skip]
+      POP / CONST cls / CONST f / NATIVE ObjMan.checkStatic 2
+      skip:  STORE t
+
+* static write (before the group)::
+
+      [GETS] [ISREMOTE] [JZ skip]
+      CONST cls / CONST f / NATIVE ObjMan.checkStatic 2 / POP
+      skip:  <original group>
+
+The three bracketed instructions per access mirror the paper's four
+added JVM instructions (dup / getfield status / iconst / if_icmpne).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import CodeObject, ExcEntry, Instr
+from repro.errors import VerifyError
+from repro.preprocess.flatten import FlattenInfo
+
+#: placeholder jump target meaning "the original instruction after this
+#: inserted block"
+_SKIP = -999
+
+
+def _receiver_temp(ins: Instr, base: int, depth: int) -> int:
+    """Temp slot holding the receiver of a faultable instruction."""
+    pops, _ = op.stack_effect(ins.op, ins.a, ins.b)
+    if ins.op in (op.GETF, op.LEN):
+        pos = 0
+    elif ins.op in (op.PUTF, op.ALOAD):
+        pos = 0
+    elif ins.op == op.ASTORE:
+        pos = 0
+    elif ins.op == op.INVOKEVIRT:
+        pos = 0
+    else:  # pragma: no cover
+        raise VerifyError(f"not a receiver op: {ins.op}")
+    # The receiver is the bottom-most popped operand for all these ops.
+    return base + depth - pops + pos
+
+
+def inject_status_checks(info: FlattenInfo) -> CodeObject:
+    """Instrument a flattened method with per-access status checks."""
+    code = info.code
+    n = len(code.instrs)
+
+    # inserts[old_bci] -> instructions placed immediately before it
+    inserts: Dict[int, List[Instr]] = {}
+
+    def add(pos: int, block: List[Instr]) -> None:
+        inserts.setdefault(pos, []).extend(block)
+
+    for bci, ins in enumerate(code.instrs):
+        if bci not in info.group_start:
+            continue  # not an original-op site (loads/stores/handlers)
+        depth = info.depth_before[bci]
+        if ins.op in (op.GETF, op.PUTF, op.ALOAD, op.ASTORE, op.LEN,
+                      op.INVOKEVIRT):
+            r = _receiver_temp(ins, info.base, depth)
+            add(info.group_start[bci], [
+                Instr(op.LOAD, r),
+                Instr(op.ISREMOTE),
+                Instr(op.JZ, _SKIP),
+                Instr(op.LOAD, r),
+                Instr(op.NATIVE, "ObjMan.check", 1),
+                Instr(op.STORE, r),
+            ])
+        elif ins.op == op.GETS:
+            cls, fname = ins.a
+            add(bci + 1, [
+                Instr(op.DUP),
+                Instr(op.ISREMOTE),
+                Instr(op.JZ, _SKIP),
+                Instr(op.POP),
+                Instr(op.CONST, cls),
+                Instr(op.CONST, fname),
+                Instr(op.NATIVE, "ObjMan.checkStatic", 2),
+            ])
+        elif ins.op == op.PUTS:
+            cls, fname = ins.a
+            add(info.group_start[bci], [
+                Instr(op.GETS, (cls, fname)),
+                Instr(op.ISREMOTE),
+                Instr(op.JZ, _SKIP),
+                Instr(op.CONST, cls),
+                Instr(op.CONST, fname),
+                Instr(op.NATIVE, "ObjMan.checkStatic", 2),
+                Instr(op.POP),
+            ])
+
+    return _rebuild(code, inserts)
+
+
+def _rebuild(code: CodeObject, inserts: Dict[int, List[Instr]]) -> CodeObject:
+    """Splice insert-blocks into the method, remapping targets/tables.
+
+    External branch targets map to the *block start* (checks re-execute,
+    which is safe and matches DSM semantics); the ``_SKIP`` placeholders
+    inside blocks map to the original instruction after the block.
+    """
+    n = len(code.instrs)
+    block_start: List[int] = [0] * (n + 1)
+    instr_pos: List[int] = [0] * n
+    new_instrs: List[Instr] = []
+    for old in range(n):
+        block_start[old] = len(new_instrs)
+        block = inserts.get(old, ())
+        skip_target_pending: List[int] = []
+        for b in block:
+            if b.op == op.JZ and b.a == _SKIP:
+                skip_target_pending.append(len(new_instrs))
+                new_instrs.append(Instr(op.JZ, _SKIP))
+            else:
+                new_instrs.append(Instr(b.op, b.a, b.b))
+        instr_pos[old] = len(new_instrs)
+        for p in skip_target_pending:
+            new_instrs[p] = Instr(op.JZ, instr_pos[old])
+        ins = code.instrs[old]
+        new_instrs.append(Instr(ins.op, ins.a, ins.b))
+    block_start[n] = len(new_instrs)
+
+    def m(old_bci: int) -> int:
+        return block_start[old_bci]
+
+    # Remap original branch targets (inserted JZs are already absolute).
+    pos_of_original = set(instr_pos)
+    final: List[Instr] = []
+    for idx, ins in enumerate(new_instrs):
+        if idx in pos_of_original and ins.op in op.BRANCHES:
+            final.append(Instr(ins.op, m(ins.a), ins.b))
+        elif idx in pos_of_original and ins.op == op.LSWITCH:
+            final.append(Instr(ins.op, {k: m(v) for k, v in ins.a.items()},
+                               m(ins.b)))
+        else:
+            final.append(ins)
+
+    exc_table = [ExcEntry(m(e.start), m(e.end), m(e.handler), e.exc_class)
+                 for e in code.exc_table]
+    line_table = [(m(bci), line) for bci, line in code.line_table]
+
+    out = CodeObject(code.class_name, code.name, code.nparams,
+                     code.max_locals, final, line_table, exc_table,
+                     list(code.local_names), code.is_static,
+                     version=code.version)
+    out.msps = {m(b) for b in code.msps}
+    return out

@@ -1,0 +1,224 @@
+"""A compact discrete-event simulation kernel.
+
+The cluster substrate and the multi-hop migration workflows need a
+virtual clock with overlapping activities (e.g. Fig. 1c of the paper:
+a segment transfers to node 3 *while* node 2 executes the top frame, so
+the second hop's freeze time is hidden).  This module provides a minimal,
+dependency-free kernel in the style of SimPy:
+
+* :class:`Environment` owns the clock and the event queue.
+* A *process* is a Python generator that yields :class:`Event` objects;
+  the kernel resumes it when the yielded event fires.
+* ``env.timeout(dt)`` produces an event that fires ``dt`` seconds later.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (a monotonically increasing sequence number breaks ties), so runs
+are bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import SimulationError
+
+ProcessGen = Generator["Event", Any, Any]
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, is *triggered* with an optional value, and
+    then fires: every waiting callback/process receives the value.
+    """
+
+    __slots__ = ("env", "_callbacks", "triggered", "value", "name")
+
+    def __init__(self, env: "Environment", name: str = ""):
+        self.env = env
+        self._callbacks: list[Callable[["Event"], None]] = []
+        self.triggered = False
+        self.value: Any = None
+        self.name = name
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event fires.  If the event has
+        already fired, ``fn`` runs at the current simulated time."""
+        if self.triggered:
+            fn(self)
+        else:
+            self._callbacks.append(fn)
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event *now* with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        for fn in self._callbacks:
+            fn(self)
+        self._callbacks.clear()
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.triggered else "pending"
+        return f"<Event {self.name or id(self)} {state}>"
+
+
+class Process(Event):
+    """A running generator; also an event that fires when the generator
+    returns (with its return value)."""
+
+    __slots__ = ("gen",)
+
+    def __init__(self, env: "Environment", gen: ProcessGen, name: str = ""):
+        super().__init__(env, name=name or getattr(gen, "__name__", "process"))
+        self.gen = gen
+        # Kick off at current time.
+        env._schedule(env.now, self._resume, None)
+
+    def _resume(self, fired: Optional[Event]) -> None:
+        try:
+            value = fired.value if fired is not None else None
+            target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        target.add_callback(self._resume)
+
+
+class Environment:
+    """The simulation environment: clock + event queue + runner."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: list[tuple[float, int, Callable, Any]] = []
+        self._seq = 0
+
+    # -- scheduling ------------------------------------------------------
+
+    def _schedule(self, at: float, fn: Callable, arg: Any) -> None:
+        if at < self.now - 1e-15:
+            raise SimulationError(f"cannot schedule at {at} < now {self.now}")
+        self._seq += 1
+        heapq.heappush(self._queue, (at, self._seq, fn, arg))
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event firing ``delay`` seconds from now, carrying ``value``."""
+        if delay < 0:
+            raise SimulationError(f"negative timeout {delay}")
+        ev = Event(self, name=name or f"timeout({delay:g})")
+        self._schedule(self.now + delay, lambda _arg: ev.succeed(value), None)
+        return ev
+
+    def event(self, name: str = "") -> Event:
+        """A bare event to be triggered manually via :meth:`Event.succeed`."""
+        return Event(self, name=name)
+
+    def process(self, gen: ProcessGen, name: str = "") -> Process:
+        """Start ``gen`` as a process at the current time."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event], name: str = "") -> Event:
+        """An event firing when every event in ``events`` has fired; its
+        value is the list of their values in input order."""
+        events = list(events)
+        done = self.event(name=name or "all_of")
+        remaining = len(events)
+        if remaining == 0:
+            done.succeed([])
+            return done
+        values: list[Any] = [None] * remaining
+        state = {"n": remaining}
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                values[i] = ev.value
+                state["n"] -= 1
+                if state["n"] == 0:
+                    done.succeed(values)
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    def any_of(self, events: Iterable[Event], name: str = "") -> Event:
+        """An event firing when the first of ``events`` fires; its value is
+        ``(index, value)`` of the winner."""
+        done = self.event(name=name or "any_of")
+
+        def make_cb(i: int) -> Callable[[Event], None]:
+            def cb(ev: Event) -> None:
+                if not done.triggered:
+                    done.succeed((i, ev.value))
+
+            return cb
+
+        for i, ev in enumerate(events):
+            ev.add_callback(make_cb(i))
+        return done
+
+    # -- running ---------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the queue drains (or the clock passes ``until``).
+        Returns the final simulated time."""
+        while self._queue:
+            at, _seq, fn, arg = self._queue[0]
+            if until is not None and at > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._queue)
+            self.now = at
+            fn(arg)
+        return self.now
+
+    def run_process(self, gen: ProcessGen, name: str = "") -> Any:
+        """Convenience: start ``gen``, run to completion, return its value."""
+        proc = self.process(gen, name=name)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError(f"process {proc.name!r} never finished (deadlock?)")
+        return proc.value
+
+
+class Resource:
+    """A counted resource (e.g. a link slot or a CPU) with FIFO queueing.
+
+    ``request()`` returns an event that fires when a unit is granted;
+    ``release()`` hands the unit to the next waiter.
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("resource capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: list[Event] = []
+
+    def request(self) -> Event:
+        """An event firing when a unit of the resource is acquired."""
+        ev = self.env.event(name="resource.request")
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed()
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Release one unit; wakes the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.pop(0).succeed()
+        else:
+            if self.in_use <= 0:
+                raise SimulationError("release() without matching request()")
+            self.in_use -= 1

@@ -1,0 +1,22 @@
+"""The repro stack-machine VM."""
+
+from repro.vm.classloader import ClassLoader
+from repro.vm.costmodel import (CostModel, SystemCosts, gjavampi_model,
+                                jdk_model, jessica2_model, sodee_model,
+                                xen_model)
+from repro.vm.frames import Frame, ThreadState
+from repro.vm.heap import Heap
+from repro.vm.machine import GuestThrow, Machine, UncaughtGuestException
+from repro.vm.objects import VMArray, VMClass, VMInstance
+from repro.vm.values import RemoteRef, is_nullish, truthy
+from repro.vm.vmti import VMTI
+
+__all__ = [
+    "ClassLoader", "CostModel", "SystemCosts",
+    "jdk_model", "sodee_model", "gjavampi_model", "jessica2_model",
+    "xen_model",
+    "Frame", "ThreadState", "Heap",
+    "GuestThrow", "Machine", "UncaughtGuestException",
+    "VMArray", "VMClass", "VMInstance",
+    "RemoteRef", "is_nullish", "truthy", "VMTI",
+]

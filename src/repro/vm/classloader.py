@@ -1,0 +1,85 @@
+"""Class loading and linking.
+
+The loader owns the set of :class:`ClassFile` definitions visible to one
+VM (its "classpath") and the cache of linked :class:`VMClass` objects.
+
+Two hooks make on-demand *code migration* work (paper section III.A):
+
+* ``missing_class_hook(name) -> ClassFile`` — called when a class is not
+  on the local classpath; a worker VM installs a hook that fetches the
+  class file from the home node over the network (charging transfer
+  time), mirroring ``JVMTI_EVENT_CLASS_FILE_LOAD_HOOK``.
+* ``load_listener(vmclass)`` — notified after a class links; migration
+  engines use it to charge class-load costs and to implement
+  JESSICA2-style allocate-statics-at-load behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.bytecode.code import ClassFile
+from repro.errors import LinkError
+from repro.lang.codegen import builtin_exception_classes
+from repro.vm.objects import VMClass
+
+
+class ClassLoader:
+    """Per-VM class loader."""
+
+    def __init__(self, classpath: Optional[Dict[str, ClassFile]] = None,
+                 include_builtins: bool = True):
+        self._classpath: Dict[str, ClassFile] = dict(classpath or {})
+        if include_builtins:
+            for name, cf in builtin_exception_classes().items():
+                self._classpath.setdefault(name, cf)
+        self._loaded: Dict[str, VMClass] = {}
+        self.missing_class_hook: Optional[Callable[[str], ClassFile]] = None
+        self.load_listener: Optional[Callable[[VMClass], None]] = None
+
+    def define(self, cf: ClassFile) -> None:
+        """Add (or replace) a class file on the classpath.  Replacing an
+        already-linked class is a host error."""
+        if cf.name in self._loaded:
+            raise LinkError(f"class {cf.name} already linked")
+        self._classpath[cf.name] = cf
+
+    def define_all(self, cfs: Iterable[ClassFile]) -> None:
+        for cf in cfs:
+            self.define(cf)
+
+    def is_loaded(self, name: str) -> bool:
+        return name in self._loaded
+
+    def loaded_classes(self) -> Dict[str, VMClass]:
+        """Snapshot of linked classes (name -> VMClass)."""
+        return dict(self._loaded)
+
+    def classfile(self, name: str) -> ClassFile:
+        """The raw class file for ``name`` (fetching if necessary)."""
+        cf = self._classpath.get(name)
+        if cf is None:
+            if self.missing_class_hook is None:
+                raise LinkError(f"class not found: {name}")
+            cf = self.missing_class_hook(name)
+            if cf is None:
+                raise LinkError(f"class not found: {name}")
+            self._classpath[name] = cf
+        return cf
+
+    def load(self, name: str) -> VMClass:
+        """Link ``name`` (and its superclass chain), running hooks."""
+        cls = self._loaded.get(name)
+        if cls is not None:
+            return cls
+        cf = self.classfile(name)
+        superclass = None
+        if cf.superclass is not None:
+            if cf.superclass == name:
+                raise LinkError(f"class {name} extends itself")
+            superclass = self.load(cf.superclass)
+        cls = VMClass(cf, superclass)
+        self._loaded[name] = cls
+        if self.load_listener is not None:
+            self.load_listener(cls)
+        return cls

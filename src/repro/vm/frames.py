@@ -1,0 +1,73 @@
+"""Activation records.
+
+A :class:`Frame` is exactly the paper's stack frame: local variable
+slots, an operand stack, the method (with its runtime constant pool via
+the code object), and the program counter.  Frames are plain data —
+migration captures and rebuilds them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.bytecode.code import CodeObject
+
+
+class Frame:
+    """One method activation."""
+
+    __slots__ = ("code", "locals", "stack", "pc", "pinned")
+
+    def __init__(self, code: CodeObject, args: Optional[List[Any]] = None):
+        self.code = code
+        self.locals: List[Any] = [None] * code.max_locals
+        if args is not None:
+            if len(args) != code.nparams:
+                raise ValueError(
+                    f"{code.qualname}: expected {code.nparams} args, "
+                    f"got {len(args)}")
+            self.locals[:len(args)] = args
+        self.stack: List[Any] = []
+        self.pc = 0
+        #: pinned frames must not migrate (e.g. they hold sockets, paper
+        #: section IV.D); the segmenter refuses to include them.
+        self.pinned = False
+
+    @property
+    def method_id(self) -> tuple[str, str]:
+        """(class name, method name) identity used by VMTI."""
+        return (self.code.class_name, self.code.name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<Frame {self.code.qualname} pc={self.pc} "
+                f"stack={len(self.stack)}>")
+
+
+class ThreadState:
+    """A guest thread: a stack of frames plus pending-exception state.
+
+    ``pending_exception`` supports JVMTI-style asynchronous exception
+    injection (the restore driver throws ``InvalidStateException`` into
+    the thread from a breakpoint callback).
+    """
+
+    __slots__ = ("frames", "pending_exception", "name", "finished",
+                 "result", "uncaught")
+
+    def __init__(self, name: str = "main"):
+        self.frames: List[Frame] = []
+        self.pending_exception: Any = None
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.uncaught: Any = None
+
+    @property
+    def top(self) -> Frame:
+        return self.frames[-1]
+
+    def depth(self) -> int:
+        return len(self.frames)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Thread {self.name} depth={len(self.frames)}>"

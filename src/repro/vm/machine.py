@@ -1,0 +1,506 @@
+"""The stack-machine VM.
+
+:class:`Machine` executes guest bytecode with real frames, a real heap,
+guest exception tables, breakpoints, and a virtual clock.  It is the
+substrate that migration engines manipulate through the debug interface
+(:mod:`repro.vm.vmti`).
+
+Execution model per instruction:
+
+1. deliver any pending (asynchronously injected) exception;
+2. fire a breakpoint event if one is set at the current location;
+3. execute the instruction, charging ``cost.op_cost`` to the clock
+   (scaled by the hosting node's CPU speed factor).
+
+Guest exceptions unwind through per-method exception tables; the
+interpreter never uses host recursion for guest calls, so frames are
+plain data that can be captured, shipped and rebuilt.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import ClassFile, CodeObject
+from repro.errors import LinkError, NativeError, VMError
+from repro.vm.classloader import ClassLoader
+from repro.vm.costmodel import CostModel
+from repro.vm.frames import Frame, ThreadState
+from repro.vm.heap import Heap
+from repro.vm.natives import NativeRegistry
+from repro.vm.objects import VMArray, VMClass, VMInstance
+from repro.vm.values import RemoteRef, is_nullish, truthy
+
+
+class GuestThrow(Exception):
+    """Internal unwinding carrier for guest exceptions (host-side)."""
+
+    def __init__(self, exc: VMInstance):
+        super().__init__(exc.class_name)
+        self.exc = exc
+
+
+class UncaughtGuestException(VMError):
+    """Raised by :meth:`Machine.call` when the guest program lets an
+    exception escape ``main`` and no uncaught-handler consumed it."""
+
+    def __init__(self, exc: VMInstance):
+        msg = exc.fields.get("msg", "")
+        super().__init__(f"uncaught {exc.class_name}: {msg}")
+        self.exc = exc
+
+
+class Machine:
+    """One virtual machine instance placed on a (simulated) node."""
+
+    def __init__(self, classpath: Optional[Dict[str, ClassFile]] = None,
+                 cost: Optional[CostModel] = None,
+                 node: Any = None, fs: Any = None,
+                 name: str = "vm"):
+        self.loader = ClassLoader(classpath)
+        self.heap = Heap()
+        self.natives = NativeRegistry()
+        self.cost = cost or CostModel()
+        #: the hosting cluster node (or None for standalone use)
+        self.node = node
+        #: the cluster file system (or None)
+        self.fs = fs
+        self.name = name
+        #: simulated seconds consumed by this VM
+        self.clock = 0.0
+        #: executed instruction count
+        self.instr_count = 0
+        #: guest console output lines
+        self.stdout: List[str] = []
+        #: breakpoints: (class_name, method_name, bci)
+        self.breakpoints: set[Tuple[str, str, int]] = set()
+        #: callback fired on breakpoint hit: fn(machine, thread)
+        self.on_breakpoint: Optional[Callable[["Machine", ThreadState], None]] = None
+        #: callback fired on a field/element write: fn(obj) — object
+        #: managers use it to track the dirty set for write-back
+        self.on_write: Optional[Callable[[Any], None]] = None
+        #: uncaught-exception hook: fn(machine, thread, exc) -> handled?
+        self.on_uncaught: Optional[
+            Callable[["Machine", ThreadState, VMInstance], bool]] = None
+        #: scratch space for attached runtimes (object manager, etc.)
+        self.extras: Dict[str, Any] = {}
+        self._speed = node.spec.speed_factor if node is not None else 1.0
+        self._bp_guard: Optional[Tuple[int, int]] = None
+
+    # -- time ------------------------------------------------------------
+
+    def charge(self, reference_seconds: float) -> None:
+        """Add CPU time (scaled by the node's speed factor)."""
+        self.clock += reference_seconds * self._speed
+
+    def charge_raw(self, seconds: float) -> None:
+        """Add wall time not subject to CPU scaling (I/O, network)."""
+        self.clock += seconds
+
+    # -- guest exception construction ----------------------------------------
+
+    def make_exception(self, class_name: str, msg: str = "",
+                       payload: Any = None) -> VMInstance:
+        """Allocate a guest exception object."""
+        cls = self.loader.load(class_name)
+        exc = self.heap.new_instance(cls)
+        if "msg" in exc.fields:
+            exc.fields["msg"] = msg
+        exc.host_payload = payload
+        return exc
+
+    def throw(self, class_name: str, msg: str = "",
+              payload: Any = None) -> GuestThrow:
+        """Build a guest exception and return the host carrier to raise."""
+        return GuestThrow(self.make_exception(class_name, msg, payload))
+
+    # -- threads --------------------------------------------------------------
+
+    def spawn(self, class_name: str, method_name: str,
+              args: Optional[List[Any]] = None,
+              thread_name: str = "main") -> ThreadState:
+        """Create a thread whose first frame invokes a static method."""
+        cls = self.loader.load(class_name)
+        code = cls.find_method(method_name)
+        if code is None:
+            raise LinkError(f"no method {class_name}.{method_name}")
+        if not code.is_static:
+            raise VMError(f"{class_name}.{method_name} is not static")
+        thread = ThreadState(thread_name)
+        thread.frames.append(Frame(code, list(args or [])))
+        return thread
+
+    def spawn_on_instance(self, receiver: VMInstance, method_name: str,
+                          args: Optional[List[Any]] = None,
+                          thread_name: str = "main") -> ThreadState:
+        """Create a thread invoking an instance method on ``receiver``."""
+        code = receiver.vmclass.find_method(method_name)
+        if code is None or code.is_static:
+            raise LinkError(
+                f"no instance method {receiver.class_name}.{method_name}")
+        thread = ThreadState(thread_name)
+        thread.frames.append(Frame(code, [receiver] + list(args or [])))
+        return thread
+
+    def call(self, class_name: str, method_name: str,
+             args: Optional[List[Any]] = None) -> Any:
+        """Run a static method to completion and return its value."""
+        thread = self.spawn(class_name, method_name, args)
+        self.run(thread)
+        if thread.uncaught is not None:
+            raise UncaughtGuestException(thread.uncaught)
+        return thread.result
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, thread: ThreadState,
+            stop: Optional[Callable[[ThreadState], bool]] = None,
+            max_instrs: Optional[int] = None) -> str:
+        """Execute ``thread`` until it finishes, ``stop`` returns True, or
+        ``max_instrs`` run.  Returns ``"finished"`` / ``"stopped"`` /
+        ``"limit"``."""
+        executed = 0
+        op_cost = (self.cost.instr_seconds * self.cost.exec_factor
+                   * self.cost.agent_factor * self._speed)
+        prev_thread = getattr(self, "current_thread", None)
+        self.current_thread = thread
+        try:
+            return self._run_loop(thread, stop, max_instrs, op_cost, executed)
+        finally:
+            self.current_thread = prev_thread
+
+    def _run_loop(self, thread: ThreadState,
+                  stop: Optional[Callable[[ThreadState], bool]],
+                  max_instrs: Optional[int],
+                  op_cost: float, executed: int) -> str:
+        weight = self.cost.op_weights.get
+        while thread.frames:
+            if thread.pending_exception is not None:
+                exc = thread.pending_exception
+                thread.pending_exception = None
+                if not self._dispatch(thread, exc):
+                    return "finished"
+                continue
+            if stop is not None and stop(thread):
+                return "stopped"
+            if max_instrs is not None and executed >= max_instrs:
+                return "limit"
+            frame = thread.frames[-1]
+            pc = frame.pc
+            if self.breakpoints:
+                key = (frame.code.class_name, frame.code.name, pc)
+                if key in self.breakpoints:
+                    guard = (id(frame), pc)
+                    if self._bp_guard != guard:
+                        self._bp_guard = guard
+                        if self.on_breakpoint is not None:
+                            self.on_breakpoint(self, thread)
+                        continue  # re-check pending exception etc.
+                else:
+                    self._bp_guard = None
+            ins = frame.code.instrs[pc]
+            try:
+                self._execute(thread, frame, ins)
+            except GuestThrow as gt:
+                if not self._dispatch(thread, gt.exc):
+                    return "finished"
+            self.clock += op_cost * weight(ins.op, 1.0)
+            self.instr_count += 1
+            executed += 1
+        thread.finished = True
+        return "finished"
+
+    # -- exception dispatch ------------------------------------------------------
+
+    def _dispatch(self, thread: ThreadState, exc: VMInstance) -> bool:
+        """Unwind ``thread`` looking for a handler for ``exc``.  Returns
+        False if the thread died (uncaught)."""
+        first = True
+        while thread.frames:
+            frame = thread.frames[-1]
+            # For frames suspended at a call, the raising bci is pc-1.
+            pc = frame.pc if first else max(0, frame.pc - 1)
+            first = False
+            for entry in frame.code.exc_table:
+                if entry.start <= pc < entry.end and self._matches(
+                        exc, entry.exc_class):
+                    frame.stack.clear()
+                    frame.stack.append(exc)
+                    frame.pc = entry.handler
+                    self._bp_guard = None
+                    return True
+            thread.frames.pop()
+        thread.finished = True
+        thread.uncaught = exc
+        if self.on_uncaught is not None and self.on_uncaught(self, thread, exc):
+            thread.uncaught = None
+        return False
+
+    def _matches(self, exc: VMInstance, handler_class: str) -> bool:
+        if handler_class == "__ObjectFault":
+            # Injected object-fault rows match only a NullPointerException
+            # that carries remote-ref provenance; a genuine application
+            # null falls through to application handlers (paper III.C).
+            return (isinstance(exc.host_payload, RemoteRef)
+                    and exc.vmclass.is_subclass_of("NullPointerException"))
+        if handler_class == "Throwable":
+            return True
+        return exc.vmclass.is_subclass_of(handler_class)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _npe(self, ref: Any, what: str) -> GuestThrow:
+        """NullPointerException carrying remote-ref provenance (if any)."""
+        return self.throw("NullPointerException", what, payload=ref)
+
+    def _resolve_method(self, receiver: Any, name: str) -> CodeObject:
+        if not isinstance(receiver, VMInstance):
+            raise VMError(
+                f"virtual call {name!r} on non-object {type(receiver).__name__}")
+        code = receiver.vmclass.find_method(name)
+        if code is None:
+            raise LinkError(f"no method {receiver.class_name}.{name}")
+        if code.is_static:
+            raise VMError(f"{receiver.class_name}.{name} is static")
+        return code
+
+    # -- the interpreter ------------------------------------------------------------
+
+    def _execute(self, thread: ThreadState, frame: Frame, ins: Any) -> None:
+        o = ins.op
+        stack = frame.stack
+
+        if o == op.LOAD:
+            stack.append(frame.locals[ins.a])
+        elif o == op.STORE:
+            frame.locals[ins.a] = stack.pop()
+        elif o == op.CONST:
+            stack.append(ins.a)
+        elif o == op.JMP:
+            frame.pc = ins.a
+            return
+        elif o == op.JZ:
+            if not truthy(stack.pop()):
+                frame.pc = ins.a
+                return
+        elif o == op.JNZ:
+            if truthy(stack.pop()):
+                frame.pc = ins.a
+                return
+        elif o in _ARITH:
+            b = stack.pop()
+            a = stack.pop()
+            stack.append(_ARITH[o](self, a, b))
+        elif o == op.NEG:
+            stack.append(-stack.pop())
+        elif o == op.NOT:
+            stack.append(not truthy(stack.pop()))
+        elif o == op.POP:
+            stack.pop()
+        elif o == op.DUP:
+            stack.append(stack[-1])
+        elif o == op.SWAP:
+            stack[-1], stack[-2] = stack[-2], stack[-1]
+        elif o == op.NOP:
+            pass
+        elif o == op.GETF:
+            obj = stack.pop()
+            if is_nullish(obj):
+                raise self._npe(obj, f"getfield {ins.a}")
+            if not isinstance(obj, VMInstance) or ins.a not in obj.fields:
+                raise LinkError(f"no field {ins.a!r} on {_tname(obj)}")
+            stack.append(obj.fields[ins.a])
+        elif o == op.PUTF:
+            value = stack.pop()
+            obj = stack.pop()
+            if is_nullish(obj):
+                raise self._npe(obj, f"putfield {ins.a}")
+            if not isinstance(obj, VMInstance) or ins.a not in obj.fields:
+                raise LinkError(f"no field {ins.a!r} on {_tname(obj)}")
+            obj.fields[ins.a] = value
+            if self.on_write is not None:
+                self.on_write(obj)
+        elif o == op.GETS:
+            cls_name, fname = ins.a
+            home = self.loader.load(cls_name).find_static_home(fname)
+            stack.append(home.statics[fname])
+        elif o == op.PUTS:
+            cls_name, fname = ins.a
+            home = self.loader.load(cls_name).find_static_home(fname)
+            home.statics[fname] = stack.pop()
+            if self.on_write is not None:
+                self.on_write(home)
+        elif o == op.ISREMOTE:
+            stack.append(isinstance(stack.pop(), RemoteRef))
+        elif o == op.NEW:
+            stack.append(self.heap.new_instance(self.loader.load(ins.a)))
+        elif o == op.NEWARR:
+            n = stack.pop()
+            if not isinstance(n, int) or n < 0:
+                raise self.throw("IndexOutOfBoundsException",
+                                 f"array length {n}")
+            need = n * (ins.b or 8) + 16
+            if self.node is not None and (
+                    self.heap.allocated_bytes + need
+                    > self.node.spec.ram_bytes):
+                raise self.throw(
+                    "OutOfMemoryError",
+                    f"array of {need} bytes exceeds node RAM")
+            stack.append(self.heap.new_array(ins.a, n, ins.b or 8))
+        elif o == op.ALOAD:
+            idx = stack.pop()
+            arr = stack.pop()
+            if is_nullish(arr):
+                raise self._npe(arr, "arrayload")
+            if not isinstance(arr, VMArray):
+                raise VMError(f"arrayload on {_tname(arr)}")
+            if not (0 <= idx < len(arr.data)):
+                raise self.throw("IndexOutOfBoundsException",
+                                 f"index {idx} length {len(arr.data)}")
+            stack.append(arr.data[idx])
+        elif o == op.ASTORE:
+            value = stack.pop()
+            idx = stack.pop()
+            arr = stack.pop()
+            if is_nullish(arr):
+                raise self._npe(arr, "arraystore")
+            if not isinstance(arr, VMArray):
+                raise VMError(f"arraystore on {_tname(arr)}")
+            if not (0 <= idx < len(arr.data)):
+                raise self.throw("IndexOutOfBoundsException",
+                                 f"index {idx} length {len(arr.data)}")
+            arr.data[idx] = value
+            if self.on_write is not None:
+                self.on_write(arr)
+        elif o == op.LEN:
+            arr = stack.pop()
+            if is_nullish(arr):
+                raise self._npe(arr, "arraylength")
+            if not isinstance(arr, VMArray):
+                raise VMError(f"arraylength on {_tname(arr)}")
+            stack.append(len(arr.data))
+        elif o == op.INVOKESTATIC:
+            cls_name, mname = ins.a
+            nargs = ins.b
+            args = stack[len(stack) - nargs:] if nargs else []
+            del stack[len(stack) - nargs:]
+            cls = self.loader.load(cls_name)
+            code = cls.find_method(mname)
+            if code is None:
+                raise LinkError(f"no method {cls_name}.{mname}")
+            if not code.is_static:
+                raise VMError(f"{cls_name}.{mname} is not static")
+            frame.pc += 1
+            thread.frames.append(Frame(code, args))
+            return
+        elif o == op.INVOKEVIRT:
+            nargs = ins.b
+            args = stack[len(stack) - nargs:] if nargs else []
+            del stack[len(stack) - nargs:]
+            receiver = stack.pop()
+            if is_nullish(receiver):
+                raise self._npe(receiver, f"invoke {ins.a}")
+            code = self._resolve_method(receiver, ins.a)
+            frame.pc += 1
+            thread.frames.append(Frame(code, [receiver] + args))
+            return
+        elif o == op.NATIVE:
+            nargs = ins.b
+            args = stack[len(stack) - nargs:] if nargs else []
+            del stack[len(stack) - nargs:]
+            fn = self.natives.lookup(ins.a)
+            self.charge(self.cost.native_base)
+            stack.append(fn(self, args))
+        elif o == op.RET:
+            self._return(thread, None)
+            return
+        elif o == op.RETV:
+            self._return(thread, stack.pop())
+            return
+        elif o == op.THROW:
+            exc = stack.pop()
+            if is_nullish(exc):
+                raise self._npe(exc, "throw")
+            if not isinstance(exc, VMInstance) or not exc.vmclass.is_subclass_of("Throwable"):
+                raise VMError(f"throw of non-Throwable {_tname(exc)}")
+            raise GuestThrow(exc)
+        elif o == op.LSWITCH:
+            key = stack.pop()
+            frame.pc = ins.a.get(key, ins.b)
+            return
+        else:  # pragma: no cover
+            raise VMError(f"unimplemented opcode {o}")
+        frame.pc += 1
+
+    def _return(self, thread: ThreadState, value: Any) -> None:
+        """Pop the top frame, delivering ``value`` to the caller (or
+        finishing the thread)."""
+        thread.frames.pop()
+        self._bp_guard = None
+        if thread.frames:
+            thread.frames[-1].stack.append(value)
+        else:
+            thread.finished = True
+            thread.result = value
+
+
+def _tname(v: Any) -> str:
+    if isinstance(v, VMInstance):
+        return v.class_name
+    if isinstance(v, VMArray):
+        return f"{v.kind}[]"
+    return type(v).__name__
+
+
+# -- arithmetic helpers (Java semantics for int division) ------------------------
+
+def _add(m: Machine, a: Any, b: Any) -> Any:
+    if isinstance(a, str) or isinstance(b, str):
+        from repro.vm.natives import _to_str
+        return _to_str(a) + _to_str(b) if not (
+            isinstance(a, str) and isinstance(b, str)) else a + b
+    return a + b
+
+
+def _div(m: Machine, a: Any, b: Any) -> Any:
+    if b == 0 and isinstance(a, int) and isinstance(b, int):
+        raise m.throw("ArithmeticException", "/ by zero")
+    if isinstance(a, int) and isinstance(b, int) and not isinstance(a, bool):
+        q = abs(a) // abs(b)
+        return q if (a >= 0) == (b >= 0) else -q
+    return a / b
+
+
+def _mod(m: Machine, a: Any, b: Any) -> Any:
+    if b == 0 and isinstance(a, int) and isinstance(b, int):
+        raise m.throw("ArithmeticException", "% by zero")
+    if isinstance(a, int) and isinstance(b, int):
+        return a - _div(m, a, b) * b
+    import math
+    return math.fmod(a, b)
+
+
+def _eq(m: Machine, a: Any, b: Any) -> bool:
+    if isinstance(a, (VMInstance, VMArray)) or isinstance(b, (VMInstance, VMArray)):
+        return a is b
+    if isinstance(a, RemoteRef) or isinstance(b, RemoteRef):
+        # Identity comparison against an unfetched object cannot be
+        # answered locally; a remote ref equals nothing but itself.
+        return a is b
+    return a == b
+
+
+_ARITH: Dict[str, Callable[[Machine, Any, Any], Any]] = {
+    op.ADD: _add,
+    op.SUB: lambda m, a, b: a - b,
+    op.MUL: lambda m, a, b: a * b,
+    op.DIV: _div,
+    op.MOD: _mod,
+    op.EQ: _eq,
+    op.NE: lambda m, a, b: not _eq(m, a, b),
+    op.LT: lambda m, a, b: a < b,
+    op.LE: lambda m, a, b: a <= b,
+    op.GT: lambda m, a, b: a > b,
+    op.GE: lambda m, a, b: a >= b,
+}

@@ -1,0 +1,13 @@
+"""Guest benchmark programs and the workload registry."""
+
+from repro.workloads import programs
+from repro.workloads.registry import (WORKLOADS, Workload, baseline_run,
+                                      calibrated_instr_seconds, clock_units,
+                                      compiled, expected_result,
+                                      instr_seconds_for)
+
+__all__ = [
+    "programs", "WORKLOADS", "Workload", "baseline_run",
+    "calibrated_instr_seconds", "clock_units", "compiled",
+    "expected_result", "instr_seconds_for",
+]

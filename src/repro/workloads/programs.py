@@ -1,0 +1,399 @@
+"""MiniLang sources of the paper's benchmark programs (Table I) and the
+application scenarios (sections IV.C / IV.D), plus the Geometry class of
+Fig. 4/5 and the Table V micro-benchmark.
+
+These are the *guest* programs: they compile to repro bytecode, run in
+the VM, and are what migrations actually move.
+"""
+
+FIB = """
+class Fib {
+  static int fib(int n) {
+    if (n < 2) { return n; }
+    int a = Fib.fib(n - 1);
+    int b = Fib.fib(n - 2);
+    return a + b;
+  }
+  static int main(int n) {
+    return Fib.fib(n);
+  }
+}
+"""
+
+NQUEENS = """
+class NQ {
+  static bool ok(int[] pos, int row, int c) {
+    for (int r = 0; r < row; r = r + 1) {
+      if (pos[r] == c) { return false; }
+      int d = row - r;
+      if (pos[r] == c - d || pos[r] == c + d) { return false; }
+    }
+    return true;
+  }
+  static int place(int[] pos, int row, int n) {
+    if (row == n) { return 1; }
+    int count = 0;
+    for (int c = 0; c < n; c = c + 1) {
+      if (NQ.ok(pos, row, c)) {
+        pos[row] = c;
+        count = count + NQ.place(pos, row + 1, n);
+      }
+    }
+    return count;
+  }
+  static int main(int n) {
+    int[] pos = new int[n];
+    return NQ.place(pos, 0, n);
+  }
+}
+"""
+
+# 2D FFT over static arrays.  ``elemBytes`` inflates the arrays'
+# *nominal* size (the paper's F > 64 MB static data) without storing
+# 64 MB for real; compute is exact Cooley-Tukey, checked against numpy
+# in the test suite.  ``checksum`` deliberately avoids touching the big
+# arrays (the paper placed the migration "at the method which did not
+# need to operate on the array").
+FFT = """
+class FFT {
+  static float[] re;
+  static float[] im;
+  static int dim;
+  static float result;
+
+  static void init(int dim, int elemBytes) {
+    FFT.dim = dim;
+    int total = dim * dim;
+    FFT.re = new float[total];
+    FFT.im = new float[total];
+    Sys.setNominal(FFT.re, elemBytes);
+    Sys.setNominal(FFT.im, elemBytes);
+    int seed = 1234567;
+    for (int i = 0; i < total; i = i + 1) {
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) { seed = -seed; }
+      FFT.re[i] = Sys.floatOf(seed % 1000) / 1000.0;
+      FFT.im[i] = 0.0;
+    }
+  }
+
+  static void fft1d(float[] xr, float[] xi, int m, int inverse) {
+    int j = 0;
+    for (int i = 0; i < m; i = i + 1) {
+      if (i < j) {
+        float tr = xr[i]; xr[i] = xr[j]; xr[j] = tr;
+        float ti = xi[i]; xi[i] = xi[j]; xi[j] = ti;
+      }
+      int k = m / 2;
+      while (k >= 1 && j >= k) { j = j - k; k = k / 2; }
+      j = j + k;
+    }
+    int len = 2;
+    while (len <= m) {
+      float ang = 2.0 * Sys.pi() / Sys.floatOf(len);
+      if (inverse == 0) { ang = -ang; }
+      float wr = Sys.cos(ang);
+      float wi = Sys.sin(ang);
+      for (int i = 0; i < m; i = i + len) {
+        float cwr = 1.0; float cwi = 0.0;
+        for (int q = 0; q < len / 2; q = q + 1) {
+          int a = i + q;
+          int b = i + q + len / 2;
+          float ur = xr[a]; float ui = xi[a];
+          float vr = xr[b] * cwr - xi[b] * cwi;
+          float vi = xr[b] * cwi + xi[b] * cwr;
+          xr[a] = ur + vr; xi[a] = ui + vi;
+          xr[b] = ur - vr; xi[b] = ui - vi;
+          float nwr = cwr * wr - cwi * wi;
+          cwi = cwr * wi + cwi * wr;
+          cwr = nwr;
+        }
+      }
+      len = len * 2;
+    }
+  }
+
+  static void fftRow(int row) {
+    int m = FFT.dim;
+    float[] tr = new float[m];
+    float[] ti = new float[m];
+    for (int i = 0; i < m; i = i + 1) { tr[i] = FFT.re[row * m + i]; ti[i] = FFT.im[row * m + i]; }
+    FFT.fft1d(tr, ti, m, 0);
+    for (int i = 0; i < m; i = i + 1) { FFT.re[row * m + i] = tr[i]; FFT.im[row * m + i] = ti[i]; }
+  }
+
+  static void fftCol(int col) {
+    int m = FFT.dim;
+    float[] tr = new float[m];
+    float[] ti = new float[m];
+    for (int i = 0; i < m; i = i + 1) { tr[i] = FFT.re[i * m + col]; ti[i] = FFT.im[i * m + col]; }
+    FFT.fft1d(tr, ti, m, 0);
+    for (int i = 0; i < m; i = i + 1) { FFT.re[i * m + col] = tr[i]; FFT.im[i * m + col] = ti[i]; }
+  }
+
+  static void compute() {
+    for (int r = 0; r < FFT.dim; r = r + 1) { FFT.fftRow(r); }
+    for (int c = 0; c < FFT.dim; c = c + 1) { FFT.fftCol(c); }
+  }
+
+  static float checksum(float seedRe, float seedIm) {
+    // Small post-processing step that does NOT read the big arrays:
+    // this is where the migration is placed (paper section IV.A).
+    float acc = 0.0;
+    for (int i = 0; i < 2000; i = i + 1) {
+      acc = acc + Sys.sqrt(seedRe * seedRe + seedIm * seedIm + Sys.floatOf(i));
+    }
+    return acc;
+  }
+
+  static float post(float a, float b) {
+    return FFT.checksum(a, b);
+  }
+
+  static float finishUp() {
+    return FFT.post(FFT.re[0], FFT.im[0]);
+  }
+
+  static float main(int dim, int elemBytes) {
+    FFT.init(dim, elemBytes);
+    FFT.compute();
+    FFT.result = FFT.finishUp();
+    return FFT.result;
+  }
+}
+"""
+
+# TSP with boxed distance entries: the distance matrix is an array of
+# row objects holding boxed cell objects, as a 2010 Java Vector-of-
+# Vectors would be.  After migration "almost all object fields need be
+# used frequently" (paper IV.A) -> one fault per row/cell object.
+TSP = """
+class City { int x; int y; }
+class Cell { int d; }
+class Row { Cell[] cells; }
+class TSP {
+  static City[] cities;
+  static Row[] dist;
+  static int n;
+  static int best;
+
+  static void init(int n) {
+    TSP.n = n;
+    TSP.cities = new City[n];
+    int seed = 424243;
+    for (int i = 0; i < n; i = i + 1) {
+      City c = new City();
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) { seed = -seed; }
+      c.x = seed % 1000;
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) { seed = -seed; }
+      c.y = seed % 1000;
+      TSP.cities[i] = c;
+    }
+    TSP.dist = new Row[n];
+    for (int i = 0; i < n; i = i + 1) {
+      Row row = new Row();
+      row.cells = new Cell[n];
+      for (int j = 0; j < n; j = j + 1) {
+        Cell cell = new Cell();
+        int dx = TSP.cities[i].x - TSP.cities[j].x;
+        int dy = TSP.cities[i].y - TSP.cities[j].y;
+        cell.d = Sys.intOf(Sys.sqrt(Sys.floatOf(dx * dx + dy * dy)));
+        row.cells[j] = cell;
+      }
+      TSP.dist[i] = row;
+    }
+  }
+
+  static int d(int i, int j) {
+    return TSP.dist[i].cells[j].d;
+  }
+
+  static void search(int city, int depth, int cost, int[] visited) {
+    if (cost >= TSP.best) { return; }
+    if (depth == TSP.n) {
+      int total = cost + TSP.d(city, 0);
+      if (total < TSP.best) { TSP.best = total; }
+      return;
+    }
+    for (int next = 1; next < TSP.n; next = next + 1) {
+      if (visited[next] == 0) {
+        visited[next] = 1;
+        TSP.search(next, depth + 1, cost + TSP.d(city, next), visited);
+        visited[next] = 0;
+      }
+    }
+  }
+
+  static int solve() {
+    int[] visited = new int[TSP.n];
+    visited[0] = 1;
+    TSP.search(0, 1, 0, visited);
+    return TSP.best;
+  }
+
+  static int run(int n) {
+    TSP.init(n);
+    TSP.best = 999999999;
+    return TSP.solve();
+  }
+
+  static int main(int n) {
+    return TSP.run(n);
+  }
+}
+"""
+
+# Full-text search over (possibly NFS-remote) files, section IV.C.
+TEXTSEARCH = """
+class Search {
+  static int chunk;
+  static int searchFile(str path, str needle) {
+    int size = FS.size(path);
+    int found = 0;
+    for (int off = 0; off < size; off = off + Search.chunk) {
+      int r = FS.scan(path, off, Search.chunk, needle);
+      if (r >= 0) { found = found + 1; }
+    }
+    return found;
+  }
+  static int run3(str a, str b, str c, str needle) {
+    Search.chunk = 4194304;
+    int total = Search.searchFile(a, needle);
+    total = total + Search.searchFile(b, needle);
+    total = total + Search.searchFile(c, needle);
+    return total;
+  }
+  static int runMany(str prefix, str needle) {
+    Search.chunk = 4194304;
+    str[] files = FS.list(prefix);
+    int total = 0;
+    for (int i = 0; i < Sys.len(files); i = i + 1) {
+      total = total + Search.searchFile(files[i], needle);
+    }
+    return total;
+  }
+}
+"""
+
+# Photo-sharing web server, section IV.D: the search task is migrated
+# to the phone (which hosts the photos); serve() holds the client
+# socket and is pinned at home.
+PHOTOSHARE = """
+class PhotoServer {
+  static str searchPhotos(str dir, str query) {
+    str[] files = FS.list(dir);
+    str out = "";
+    for (int i = 0; i < Sys.len(files); i = i + 1) {
+      if (Sys.indexOf(files[i], query) >= 0) {
+        out = out + files[i] + ";";
+      }
+    }
+    return out;
+  }
+  static str fetchPhoto(str path) {
+    int size = FS.size(path);
+    str data = FS.read(path, 0, size);
+    return data;
+  }
+  static str serve(str dir, str query) {
+    str listing = PhotoServer.searchPhotos(dir, query);
+    return listing;
+  }
+  static str fetchOne(str path) {
+    str data = PhotoServer.fetchPhoto(path);
+    return data;
+  }
+}
+"""
+
+# The Geometry class of the paper's Fig. 4 / Fig. 5 (preprocessing and
+# class-size comparison).
+GEOMETRY = """
+class Random2 {
+  int seed;
+  int nextInt() {
+    seed = (seed * 1103515245 + 12345) % 2147483647;
+    if (seed < 0) { seed = -seed; }
+    return seed;
+  }
+}
+class Point2 {
+  int x; int y;
+  int getX() { return x; }
+}
+class Geometry {
+  Random2 r;
+  Point2 p;
+  void setup() {
+    r = new Random2();
+    r.seed = 99991;
+    p = new Point2();
+  }
+  void displaceX() {
+    p.x = r.nextInt() + p.getX();
+  }
+}
+class GeoMain {
+  static int main(int reps) {
+    Geometry g = new Geometry();
+    g.setup();
+    for (int i = 0; i < reps; i = i + 1) { g.displaceX(); }
+    return g.p.x;
+  }
+}
+"""
+
+# Table V micro-benchmark: instance/static field reads and writes in a
+# tight loop, per build (original / faulting / checking).
+MICROBENCH = """
+class Holder { int field; }
+class Micro {
+  static int sfield;
+  static int baseline(int reps) {
+    int acc = 0;
+    for (int i = 0; i < reps; i = i + 1) {
+      acc = acc + 1;
+    }
+    return acc;
+  }
+  static int baselineW(int reps) {
+    int acc = 0;
+    for (int i = 0; i < reps; i = i + 1) {
+      acc = i;
+    }
+    return acc;
+  }
+  static int fieldRead(int reps) {
+    Holder h = new Holder();
+    h.field = 3;
+    int acc = 0;
+    for (int i = 0; i < reps; i = i + 1) {
+      acc = acc + h.field;
+    }
+    return acc;
+  }
+  static int fieldWrite(int reps) {
+    Holder h = new Holder();
+    for (int i = 0; i < reps; i = i + 1) {
+      h.field = i;
+    }
+    return h.field;
+  }
+  static int staticRead(int reps) {
+    Micro.sfield = 5;
+    int acc = 0;
+    for (int i = 0; i < reps; i = i + 1) {
+      acc = acc + Micro.sfield;
+    }
+    return acc;
+  }
+  static int staticWrite(int reps) {
+    for (int i = 0; i < reps; i = i + 1) {
+      Micro.sfield = i;
+    }
+    return Micro.sfield;
+  }
+}
+"""

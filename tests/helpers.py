@@ -1,0 +1,16 @@
+"""Test helpers shared across modules (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.vm import Machine
+
+
+def compile_and_run(source: str, cls: str, method: str, args=None,
+                    build: str = "original"):
+    """Compile, preprocess, run; returns (result, machine)."""
+    classes = preprocess_program(compile_source(source), build)
+    machine = Machine(classes)
+    result = machine.call(cls, method, list(args or []))
+    return result, machine

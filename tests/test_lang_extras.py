@@ -1,0 +1,224 @@
+"""Additional language/native coverage: strings, floats, natives,
+deep recursion, init methods, migration of richer programs."""
+
+import math
+
+import pytest
+
+from repro.cluster import gige_cluster
+from repro.errors import MigrationError
+from repro.lang import compile_source
+from repro.migration import SODEngine
+from repro.migration.workflow import roam
+from repro.preprocess import preprocess_program
+from repro.vm import Machine
+
+from tests.helpers import compile_and_run
+
+
+def run(src, cls="T", method="f", args=None, build="original"):
+    return compile_and_run(src, cls, method, args, build)[0]
+
+
+# -- string natives ----------------------------------------------------------
+
+def test_substr_and_charat():
+    src = """class T { static str f() {
+      str s = "stackondemand";
+      return Sys.substr(s, 5, 7) + Sys.charAt(s, 0);
+    } }"""
+    assert run(src) == "ons"
+
+
+def test_parse_int_roundtrip():
+    src = """class T { static int f() {
+      str s = "" + 451;
+      return Sys.parseInt(s) + 1;
+    } }"""
+    assert run(src) == 452
+
+
+def test_string_equality_and_ordering():
+    assert run('class T { static bool f() { return "abc" == "abc"; } }')
+    assert run('class T { static bool f() { return "abc" < "abd"; } }')
+
+
+def test_string_indexof_charges_scan_cost():
+    src = """class T { static int f() {
+      str s = "%s";
+      return Sys.indexOf(s, "zz");
+    } }""" % ("a" * 5000)
+    result, m = compile_and_run(src, "T", "f")
+    assert result == -1
+    assert m.clock > 5000 * m.cost.search_spb * 0.5
+
+
+# -- math natives ------------------------------------------------------------------
+
+def test_trig_and_pi():
+    src = """class T { static float f() {
+      return Sys.sin(Sys.pi() / 2.0) + Sys.cos(0.0);
+    } }"""
+    assert run(src) == pytest.approx(2.0)
+
+
+def test_ceil_floor_minmax_float():
+    src = """class T { static float f() {
+      return Sys.floatOf(Sys.ceil(1.2)) + Sys.floatOf(Sys.floor(1.8))
+           + Sys.min(0.5, 2.5) + Sys.max(0.5, 2.5);
+    } }"""
+    assert run(src) == pytest.approx(2 + 1 + 0.5 + 2.5)
+
+
+def test_numeric_native_rejects_strings():
+    from repro.errors import NativeError
+    with pytest.raises(NativeError):
+        run('class T { static float f() { return Sys.sqrt("four"); } }')
+
+
+# -- richer structure ------------------------------------------------------------------
+
+def test_deep_recursion_hundreds_of_frames():
+    src = """class T { static int f(int n) {
+      if (n == 0) { return 0; }
+      return 1 + T.f(n - 1);
+    } }"""
+    assert run(src, args=[500]) == 500
+
+
+def test_init_method_chain():
+    src = """
+    class Vec { float x; float y;
+      void init(float x0, float y0) { x = x0; y = y0; }
+      float norm() { return Sys.sqrt(x * x + y * y); }
+    }
+    class T { static float f() {
+      Vec v = new Vec(3.0, 4.0);
+      return v.norm();
+    } }"""
+    assert run(src) == pytest.approx(5.0)
+
+
+def test_exception_inside_init_propagates():
+    src = """
+    class Fragile { int v; void init(int d) { v = 10 / d; } }
+    class T { static int f() {
+      try { Fragile x = new Fragile(0); return x.v; }
+      catch (ArithmeticException e) { return -5; }
+    } }"""
+    assert run(src) == -5
+
+
+def test_objects_in_nested_arrays():
+    src = """
+    class Cell { int v; }
+    class T { static int f() {
+      Cell[] row0 = new Cell[2];
+      Cell[] row1 = new Cell[2];
+      Cell c = new Cell();
+      c.v = 9;
+      row0[1] = c;
+      row1[0] = c;
+      row1[0].v = row1[0].v + 1;
+      return row0[1].v;
+    } }"""
+    assert run(src) == 10  # aliasing through arrays
+
+
+def test_mixed_float_int_comparison():
+    assert run("class T { static bool f() { return 2 < 2.5; } }")
+
+
+# -- migration of richer programs ----------------------------------------------------------
+
+RICH_SRC = """
+class Order { int qty; float price; str sku; }
+class Store {
+  static Order[] orders;
+  static int filled(int n) {
+    Store.orders = new Order[n];
+    for (int i = 0; i < n; i = i + 1) {
+      Order o = new Order();
+      o.qty = i + 1;
+      o.price = Sys.floatOf(i) * 1.5;
+      o.sku = "sku-" + i;
+      Store.orders[i] = o;
+    }
+    return Store.total();
+  }
+  static int total() {
+    int acc = 0;
+    for (int i = 0; i < Sys.len(Store.orders); i = i + 1) {
+      Order o = Store.orders[i];
+      if (Sys.indexOf(o.sku, "-3") >= 0) { acc = acc + 100; }
+      acc = acc + o.qty * Sys.intOf(o.price);
+    }
+    return acc;
+  }
+}
+"""
+
+
+def test_migration_with_strings_floats_and_ref_arrays():
+    classes = preprocess_program(compile_source(RICH_SRC), "faulting")
+    ref = Machine(classes).call("Store", "filled", [8])
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "Store", "filled", [8])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "total")
+    result, _rec = eng.run_segment_remote(home, t, "node1", 1)
+    assert result == ref
+    worker = eng.hosts["node1"]
+    # The ref-array and the Order objects all faulted over.
+    assert worker.objman.stats.faults >= 9
+
+
+def test_roam_max_hops_enforced():
+    src = """class T {
+      static int helper(int i) { return i * 2; }
+      static int main(int n) {
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + T.helper(i); }
+        return s;
+      } }"""
+    classes = preprocess_program(compile_source(src), "faulting")
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "T", "main", [10])
+    with pytest.raises(MigrationError):
+        roam(eng, home, t,
+             itinerary=lambda th: "node1",
+             trigger=lambda th: (th.frames[-1].code.name == "helper"
+                                 and th.frames[-1].pc == 0),
+             max_hops=2)  # ten helper calls want ten hops
+
+
+def test_migrated_exception_handling_still_works():
+    src = """
+    class T {
+      static int guard(int n) {
+        try { return T.risky(n); }
+        catch (ArithmeticException e) { return -1; }
+      }
+      static int risky(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { acc = acc + 10 / (n - i - 1); }
+        return acc;
+      }
+      static int main(int n) { return T.guard(n); }
+    }
+    """
+    classes = preprocess_program(compile_source(src), "faulting")
+    ref = Machine(classes).call("T", "main", [4])
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "T", "main", [4])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "risky")
+    # Migrate risky(); it will divide by zero remotely.  The segment
+    # dies with the guest exception: SOD surfaces it (the guard frame is
+    # at home and never sees the remote unwind in this simple engine).
+    worker, wt, _rec = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    assert wt.uncaught is not None
+    with pytest.raises(MigrationError):
+        eng.complete_segment(worker, wt, home, t, 1)

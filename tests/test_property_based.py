@@ -1,0 +1,210 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bytecode.verifier import stack_depths, verify
+from repro.cluster import gige_cluster
+from repro.lang import compile_source
+from repro.migration import GraphDecoder, GraphEncoder
+from repro.preprocess import flatten, preprocess_program
+from repro.sim import Environment
+from repro.units import mb
+from repro.vm import Machine
+
+# -- expression compiler vs python oracle -------------------------------------
+
+_int_expr = st.recursive(
+    st.integers(min_value=-50, max_value=50).map(str),
+    lambda inner: st.tuples(inner, st.sampled_from(["+", "-", "*"]), inner)
+    .map(lambda t: f"({t[0]} {t[1]} {t[2]})"),
+    max_leaves=12,
+)
+
+
+@given(_int_expr)
+@settings(max_examples=60, deadline=None)
+def test_integer_expressions_match_python(expr):
+    src = f"class T {{ static int f() {{ return {expr}; }} }}"
+    got = Machine(compile_source(src)).call("T", "f")
+    assert got == eval(expr)
+
+
+@given(st.integers(min_value=-200, max_value=200),
+       st.integers(min_value=1, max_value=20))
+@settings(max_examples=50, deadline=None)
+def test_java_division_and_modulo_identity(a, b):
+    src = f"""class T {{ static int f() {{
+      return ({a} / {b}) * {b} + ({a} % {b});
+    }} }}"""
+    assert Machine(compile_source(src)).call("T", "f") == a
+
+
+# -- flattening preserves semantics on generated programs ------------------------
+
+@given(st.lists(st.integers(min_value=-9, max_value=9), min_size=1,
+                max_size=6),
+       st.integers(min_value=0, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_flatten_preserves_loop_accumulation(coeffs, n):
+    body = " + ".join(f"{c} * i" for c in coeffs)
+    src = f"""class T {{ static int f(int n) {{
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) {{ s = s + ({body}); }}
+      return s;
+    }} }}"""
+    classes = compile_source(src)
+    ref = Machine(classes).call("T", "f", [n])
+    for build in ("flattened", "faulting", "checking"):
+        pp = preprocess_program(classes, build)
+        assert Machine(pp).call("T", "f", [n]) == ref
+
+
+@given(st.integers(min_value=0, max_value=10))
+@settings(max_examples=20, deadline=None)
+def test_flattened_code_has_empty_stack_at_every_line_start(n):
+    src = f"""class T {{
+      static int g(int x) {{ return x * 3; }}
+      static int f(int n) {{
+        int acc = {n};
+        for (int i = 0; i < n; i = i + 1) {{
+          acc = T.g(acc) + T.g(i) - acc / 2;
+        }}
+        return acc;
+      }} }}"""
+    for code in compile_source(src)["T"].methods.values():
+        out = flatten(code).code
+        verify(out)
+        depths = stack_depths(out)
+        for bci, _ in out.line_table:
+            assert depths.get(bci, 0) == 0
+        assert out.msps
+
+
+# -- graph encode/decode roundtrip --------------------------------------------------
+
+_value = st.one_of(st.integers(min_value=-1000, max_value=1000),
+                   st.booleans(), st.text(max_size=8),
+                   st.floats(allow_nan=False, allow_infinity=False,
+                             width=32))
+
+
+@given(st.lists(_value, min_size=0, max_size=8))
+@settings(max_examples=40, deadline=None)
+def test_graph_roundtrip_primitive_arrays(values)\
+        :
+    src = "class Box { int v; } class T { static int f() { return 0; } }"
+    m = Machine(compile_source(src))
+    kind = "ref"
+    arr = m.heap.new_array("ref", len(values), 8)
+    # wrap each value in a Box-like instance chain via fields when int
+    arr.data[:] = list(values)
+    enc = GraphEncoder(this_node="w", eager=True)
+    root = enc.encode(arr)
+    dec = GraphDecoder(m.heap, m.loader, "w", enc.graph)
+    out = dec.decode(root)
+    assert list(out.data) == list(values)
+    assert enc.nbytes > 0
+
+
+@given(st.integers(min_value=1, max_value=12))
+@settings(max_examples=20, deadline=None)
+def test_graph_roundtrip_linked_list(n):
+    src = "class L { int v; L next; } class T { static int f() { return 0; } }"
+    m = Machine(compile_source(src))
+    head = None
+    for i in range(n):
+        node = m.heap.new_instance(m.loader.load("L"))
+        node.fields["v"] = i
+        node.fields["next"] = head
+        head = node
+    enc = GraphEncoder(this_node="w", eager=True)
+    root = enc.encode(head)
+    out = GraphDecoder(m.heap, m.loader, "w", enc.graph).decode(root)
+    seen = []
+    while out is not None:
+        seen.append(out.fields["v"])
+        out = out.fields["next"]
+    assert seen == list(range(n - 1, -1, -1))
+
+
+# -- FS.scan consistency with FS.read + indexOf ----------------------------------------
+
+@given(st.integers(min_value=0, max_value=mb(2) - 64),
+       st.integers(min_value=16, max_value=4096))
+@settings(max_examples=30, deadline=None)
+def test_fs_scan_agrees_with_read_indexof(plant_off, window):
+    cluster = gige_cluster(1)
+    path = f"/prop/f{plant_off}_{window}"
+    cluster.fs.host_file(cluster.node("node0"), path, mb(2),
+                         plant=[(plant_off, "NEEDLE99")])
+    src = f"""class T {{
+      static int scan(int off, int len) {{
+        return FS.scan("{path}", off, len, "NEEDLE99");
+      }}
+      static int via_read(int off, int len) {{
+        str s = FS.read("{path}", off, len);
+        int idx = Sys.indexOf(s, "NEEDLE99");
+        if (idx < 0) {{ return -1; }}
+        return off + idx;
+      }} }}"""
+    m = Machine(compile_source(src), node=cluster.node("node0"),
+                fs=cluster.fs)
+    lo = max(0, plant_off - window // 2)
+    got_scan = m.call("T", "scan", [lo, window])
+    got_read = m.call("T", "via_read", [lo, window])
+    assert got_scan == got_read
+
+
+# -- simulation kernel ordering ------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.001, max_value=100.0,
+                          allow_nan=False), min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_sim_kernel_fires_in_time_order(delays):
+    env = Environment()
+    fired = []
+
+    def proc(d):
+        yield env.timeout(d)
+        fired.append(env.now)
+
+    for d in delays:
+        env.process(proc(d))
+    env.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# -- migration correctness on randomized programs ---------------------------------------
+
+@given(st.integers(min_value=1, max_value=15),
+       st.integers(min_value=2, max_value=9))
+@settings(max_examples=15, deadline=None)
+def test_migration_equivalence_randomized(n, modulus):
+    from repro.migration import SODEngine
+    src = f"""
+    class Acc {{ int total; }}
+    class T {{
+      static Acc acc;
+      static int main(int n) {{
+        T.acc = new Acc();
+        int r = T.work(n);
+        return r + T.acc.total;
+      }}
+      static int work(int n) {{
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) {{
+          s = s + i % {modulus};
+          T.acc.total = T.acc.total + 1;
+        }}
+        return s;
+      }}
+    }}"""
+    classes = preprocess_program(compile_source(src), "faulting")
+    ref = Machine(classes).call("T", "main", [n])
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "T", "main", [n])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "work")
+    result, _rec = eng.run_segment_remote(home, t, "node1", 1)
+    assert result == ref

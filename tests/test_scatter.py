@@ -1,0 +1,87 @@
+"""Scatter/gather team migration (paper section II.B)."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.cluster.topology import gige_cluster
+from repro.errors import MigrationError
+from repro.lang import compile_source
+from repro.migration import SODEngine
+from repro.migration.workflow import scatter
+from repro.preprocess import preprocess_program
+from repro.units import kb
+from repro.vm import Machine
+
+SRC = """
+class Hunt {
+  static str find(str dir, str query) {
+    str[] files = FS.list(dir);
+    for (int i = 0; i < Sys.len(files); i = i + 1) {
+      if (Sys.indexOf(files[i], query) >= 0) { return files[i]; }
+    }
+    return "";
+  }
+  static str main(str dir, str query) {
+    str hit = Hunt.find(dir, query);
+    return hit;
+  }
+}
+"""
+
+
+@pytest.fixture()
+def fleet():
+    classes = preprocess_program(compile_source(SRC), "faulting")
+    cluster = gige_cluster(1)
+    devices = []
+    for i in range(3):
+        name = f"phone{i}"
+        cluster.add_node(NodeSpec(name=name, speed_factor=25.0, kind="phone"))
+        devices.append(name)
+        for j in range(4):
+            tag = "beach" if (i == 1 and j == 2) else "misc"
+            cluster.fs.host_file(cluster.node(name),
+                                 f"/dev{i}/IMG_{j}_{tag}.jpg", kb(200))
+    eng = SODEngine(cluster, classes)
+    home = eng.host("node0")
+    return classes, eng, home, devices
+
+
+def _prepared(eng, home, devices):
+    tasks = []
+    for i, dev in enumerate(devices):
+        t = eng.spawn(home, "Hunt", "main", [f"/dev{i}/", "beach"])
+        eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "find")
+        tasks.append((t, dev, 1))
+    return tasks
+
+
+def test_scatter_gathers_all_branches(fleet):
+    classes, eng, home, devices = fleet
+    rep = scatter(eng, home, _prepared(eng, home, devices))
+    assert rep.result[0] == "" and rep.result[2] == ""
+    assert "beach" in rep.result[1]
+    assert len(rep.records) == 3
+
+
+def test_scatter_timeline_is_not_serial(fleet):
+    classes, eng, home, devices = fleet
+    rep = scatter(eng, home, _prepared(eng, home, devices))
+    # Overlap: total < sum of all branch times; hidden > 0.
+    assert rep.hidden_latency > 0
+    serial_estimate = sum(r.latency for r in rep.records)
+    assert rep.total_time < serial_estimate + rep.hidden_latency
+
+
+def test_scatter_matches_local_results(fleet):
+    classes, eng, home, devices = fleet
+    rep = scatter(eng, home, _prepared(eng, home, devices))
+    for i, dev in enumerate(devices):
+        m = Machine(classes, node=eng.cluster.node(dev), fs=eng.cluster.fs)
+        assert m.call("Hunt", "main", [f"/dev{i}/", "beach"]) == rep.result[i]
+
+
+def test_scatter_empty_tasklist(fleet):
+    classes, eng, home, devices = fleet
+    rep = scatter(eng, home, [])
+    assert rep.result == [] and rep.total_time == 0

@@ -1,0 +1,210 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim import Environment, Resource
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    fired = []
+
+    def proc():
+        yield env.timeout(2.5)
+        fired.append(env.now)
+
+    env.run_process(proc())
+    assert fired == [2.5]
+    assert env.now == 2.5
+
+
+def test_timeout_carries_value():
+    env = Environment()
+
+    def proc():
+        v = yield env.timeout(1.0, value="hello")
+        return v
+
+    assert env.run_process(proc()) == "hello"
+
+
+def test_negative_timeout_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    env = Environment()
+    order = []
+
+    def make(name):
+        def proc():
+            yield env.timeout(1.0)
+            order.append(name)
+        return proc
+
+    env.process(make("a")())
+    env.process(make("b")())
+    env.process(make("c")())
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_nested_processes_sequence():
+    env = Environment()
+    log = []
+
+    def child():
+        yield env.timeout(1)
+        log.append(("child", env.now))
+        return 42
+
+    def parent():
+        v = yield env.process(child())
+        log.append(("parent", env.now, v))
+
+    env.run_process(parent())
+    assert log == [("child", 1.0), ("parent", 1.0, 42)]
+
+
+def test_all_of_waits_for_every_event():
+    env = Environment()
+
+    def proc():
+        evs = [env.timeout(1, "a"), env.timeout(3, "b"), env.timeout(2, "c")]
+        vals = yield env.all_of(evs)
+        return (env.now, vals)
+
+    now, vals = env.run_process(proc())
+    assert now == 3.0
+    assert vals == ["a", "b", "c"]
+
+
+def test_all_of_empty_fires_immediately():
+    env = Environment()
+
+    def proc():
+        vals = yield env.all_of([])
+        return vals
+
+    assert env.run_process(proc()) == []
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def proc():
+        winner = yield env.any_of([env.timeout(5, "slow"),
+                                   env.timeout(1, "fast")])
+        return (env.now, winner)
+
+    now, (idx, val) = env.run_process(proc())
+    assert now == 1.0
+    assert (idx, val) == (1, "fast")
+
+
+def test_event_double_trigger_rejected():
+    env = Environment()
+    ev = env.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+
+
+def test_callback_on_already_fired_event_runs_now():
+    env = Environment()
+    ev = env.event()
+    ev.succeed("x")
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == ["x"]
+
+
+def test_run_until_stops_clock():
+    env = Environment()
+
+    def proc():
+        yield env.timeout(10)
+
+    env.process(proc())
+    env.run(until=4.0)
+    assert env.now == 4.0
+
+
+def test_yielding_non_event_raises():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_run_process_detects_deadlock():
+    env = Environment()
+
+    def stuck():
+        yield env.event()  # never triggered
+
+    with pytest.raises(SimulationError):
+        env.run_process(stuck())
+
+
+def test_resource_serializes_two_holders():
+    env = Environment()
+    res = Resource(env, capacity=1)
+    spans = []
+
+    def worker(name, hold):
+        yield res.request()
+        start = env.now
+        yield env.timeout(hold)
+        res.release()
+        spans.append((name, start, env.now))
+
+    env.process(worker("a", 2.0))
+    env.process(worker("b", 1.0))
+    env.run()
+    assert spans == [("a", 0.0, 2.0), ("b", 2.0, 3.0)]
+
+
+def test_resource_capacity_two_runs_parallel():
+    env = Environment()
+    res = Resource(env, capacity=2)
+    done = []
+
+    def worker(name):
+        yield res.request()
+        yield env.timeout(1.0)
+        res.release()
+        done.append((name, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert done == [("a", 1.0), ("b", 1.0)]
+
+
+def test_resource_release_without_request_raises():
+    env = Environment()
+    res = Resource(env)
+    with pytest.raises(SimulationError):
+        res.release()
+
+
+def test_resource_bad_capacity():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Resource(env, capacity=0)
+
+
+def test_schedule_into_past_rejected():
+    env = Environment()
+    env._schedule(5.0, lambda _: None, None)
+    env.run()
+    with pytest.raises(SimulationError):
+        env._schedule(1.0, lambda _: None, None)

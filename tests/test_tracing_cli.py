@@ -1,0 +1,112 @@
+"""Tracer and CLI tests."""
+
+import pytest
+
+from repro.cluster import gige_cluster
+from repro.migration import SODEngine
+from repro.migration.tracing import Tracer, format_timeline
+from repro.__main__ import main as cli_main
+
+
+@pytest.fixture()
+def traced(app_classes_faulting):
+    eng = SODEngine(gige_cluster(2), app_classes_faulting)
+    tracer = Tracer().attach(eng)
+    home = eng.host("node0")
+    t = eng.spawn(home, "App", "work", [8])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "step")
+    eng.run_segment_remote(home, t, "node1", 1)
+    return eng, tracer
+
+
+def test_tracer_records_all_phases(traced):
+    eng, tracer = traced
+    counts = tracer.counts()
+    assert counts["migrate"] == 1
+    assert counts["fault"] >= 1
+    assert counts["writeback"] == 1
+
+
+def test_tracer_event_details(traced):
+    eng, tracer = traced
+    mig = tracer.of_kind("migrate")[0]
+    assert mig.src == "node0" and mig.dst == "node1"
+    assert mig.detail["frames"] == 1
+    assert mig.detail["state_bytes"] > 0
+    fault = tracer.of_kind("fault")[0]
+    assert fault.detail["bytes"] > 0
+
+
+def test_tracer_timestamps_monotone(traced):
+    eng, tracer = traced
+    times = [e.at for e in tracer.events]
+    assert times == sorted(times)
+
+
+def test_format_timeline_readable(traced):
+    eng, tracer = traced
+    text = format_timeline(tracer)
+    assert "migrate" in text and "fault" in text and "writeback" in text
+    assert "node0 -> node1" in text
+
+
+def test_tracer_double_attach_rejected(traced):
+    eng, tracer = traced
+    with pytest.raises(ValueError):
+        tracer.attach(eng)
+
+
+def test_tracer_detach_restores(app_classes_faulting):
+    eng = SODEngine(gige_cluster(2), app_classes_faulting)
+    tracer = Tracer().attach(eng)
+    orig_count = len(tracer.events)
+    tracer.detach()
+    home = eng.host("node0")
+    t = eng.spawn(home, "App", "work", [5])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "step")
+    eng.run_segment_remote(home, t, "node1", 1)
+    assert len(tracer.events) == orig_count  # nothing new recorded
+    tracer.detach()  # idempotent
+
+
+# -- CLI --------------------------------------------------------------------
+
+def test_cli_workloads(capsys):
+    assert cli_main(["workloads"]) == 0
+    out = capsys.readouterr().out
+    assert "Fib" in out and "TSP" in out
+
+
+def test_cli_run_workload(capsys):
+    assert cli_main(["run", "NQ"]) == 0
+    out = capsys.readouterr().out
+    assert "NQ(7,) = 40" in out
+
+
+def test_cli_run_unknown_workload(capsys):
+    assert cli_main(["run", "Ghost"]) == 2
+
+
+def test_cli_migrate(capsys):
+    assert cli_main(["migrate", "NQ"]) == 0
+    out = capsys.readouterr().out
+    assert "correct=True" in out and "migrate" in out
+
+
+def test_cli_report_subset(capsys):
+    assert cli_main(["report", "figure5"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+
+
+def test_cli_report_unknown(capsys):
+    assert cli_main(["report", "table99"]) == 2
+
+
+def test_cli_disasm(tmp_path, capsys):
+    src = tmp_path / "prog.mj"
+    src.write_text(
+        "class D { static int f(int n) { return n * 2; } }")
+    assert cli_main(["disasm", str(src), "D.f"]) == 0
+    out = capsys.readouterr().out
+    assert "method D.f" in out and "MUL" in out

@@ -1,0 +1,131 @@
+"""Workload programs: correctness oracles and structure."""
+
+import numpy as np
+import pytest
+
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.vm import Machine
+from repro.workloads import (WORKLOADS, baseline_run, clock_units, compiled,
+                             expected_result, instr_seconds_for, programs)
+
+
+def test_fib_value():
+    assert expected_result("Fib") == 10946  # fib(21)
+
+
+def test_nqueens_value():
+    assert expected_result("NQ") == 40  # 7-queens solutions
+
+
+def test_tsp_is_a_valid_tour_cost():
+    best = expected_result("TSP")
+    assert 0 < best < 999_999_999
+    # Brute-force check at a tiny size using the same guest code paths.
+    classes = compiled("TSP", "original")
+    m = Machine(classes)
+    small = m.call("TSP", "main", [5])
+    assert 0 < small < 999_999_999
+
+
+def test_fft_against_numpy():
+    classes = compiled("FFT", "original")
+    m = Machine(classes)
+    m.call("FFT", "init", [16, 8])
+    m.call("FFT", "compute", [])
+    re = np.array(m.loader.load("FFT").statics["re"].data).reshape(16, 16)
+    im = np.array(m.loader.load("FFT").statics["im"].data).reshape(16, 16)
+    m2 = Machine(compiled("FFT", "original"))
+    m2.call("FFT", "init", [16, 8])
+    inp = (np.array(m2.loader.load("FFT").statics["re"].data)
+           + 1j * np.array(m2.loader.load("FFT").statics["im"].data)
+           ).reshape(16, 16)
+    assert np.abs((re + 1j * im) - np.fft.fft2(inp)).max() < 1e-9
+
+
+def test_fft_nominal_array_size():
+    classes = compiled("FFT", "faulting")
+    m = Machine(classes)
+    m.call("FFT", "init", list(WORKLOADS["FFT"].sim_args))
+    re = m.loader.load("FFT").statics["re"]
+    im = m.loader.load("FFT").statics["im"]
+    total = re.nominal_bytes() + im.nominal_bytes()
+    assert total > 64 * 1024 * 1024  # the paper's F > 64M
+
+
+def test_all_builds_agree_per_workload():
+    for name, w in WORKLOADS.items():
+        oracle = expected_result(name)
+        for build in ("faulting", "checking"):
+            m = Machine(compiled(name, build))
+            got = m.call(w.main[0], w.main[1], list(w.sim_args))
+            if isinstance(oracle, float):
+                assert got == pytest.approx(oracle), (name, build)
+            else:
+                assert got == oracle, (name, build)
+
+
+def test_triggers_fire_for_every_workload():
+    for name, w in WORKLOADS.items():
+        m = Machine(compiled(name, "faulting"))
+        t = m.spawn(w.main[0], w.main[1], list(w.sim_args))
+        status = m.run(t, stop=w.trigger())
+        assert status == "stopped", name
+        assert t.frames[-1].code.name == w.trigger_method[1], name
+
+
+def test_clock_units_positive_and_build_dependent():
+    orig = clock_units("Fib", "original")
+    flat = clock_units("Fib", "faulting")
+    assert flat > orig > 0
+
+
+def test_instr_seconds_maps_to_target():
+    isec = instr_seconds_for("Fib", "original", 12.10)
+    assert isec * clock_units("Fib", "original") == pytest.approx(12.10)
+
+
+def test_textsearch_counts_hits():
+    from repro.cluster import gige_cluster
+    from repro.units import mb
+    classes = preprocess_program(compile_source(programs.TEXTSEARCH),
+                                 "original")
+    cluster = gige_cluster(1)
+    cluster.fs.host_file(cluster.node("node0"), "/t/a", mb(9),
+                         plant=[(mb(8), "zebra")])
+    cluster.fs.host_file(cluster.node("node0"), "/t/b", mb(9))
+    m = Machine(classes, node=cluster.node("node0"), fs=cluster.fs)
+    assert m.call("Search", "runMany", ["/t/", "zebra"]) == 1
+
+
+def test_photoshare_lists_matching_photos():
+    from repro.cluster import phone_setup
+    from repro.units import kb
+    classes = preprocess_program(compile_source(programs.PHOTOSHARE),
+                                 "original")
+    cluster = phone_setup()
+    phone = cluster.node("iphone")
+    cluster.fs.host_file(phone, "/pics/IMG_1_beach.jpg", kb(100))
+    cluster.fs.host_file(phone, "/pics/IMG_2_home.jpg", kb(100))
+    m = Machine(classes, node=phone, fs=cluster.fs)
+    listing = m.call("PhotoServer", "serve", ["/pics/", "beach"])
+    assert "beach" in listing and "home" not in listing
+
+
+def test_microbench_methods_return_sane_values():
+    classes = preprocess_program(compile_source(programs.MICROBENCH),
+                                 "original")
+    m = Machine(classes)
+    assert m.call("Micro", "fieldRead", [10]) == 30
+    assert m.call("Micro", "fieldWrite", [10]) == 9
+    assert m.call("Micro", "staticRead", [10]) == 50
+    assert m.call("Micro", "staticWrite", [10]) == 9
+    assert m.call("Micro", "baseline", [10]) == 10
+
+
+def test_geometry_displaces_deterministically():
+    classes = preprocess_program(compile_source(programs.GEOMETRY),
+                                 "original")
+    a = Machine(classes).call("GeoMain", "main", [3])
+    b = Machine(classes).call("GeoMain", "main", [3])
+    assert a == b != 0
