@@ -1,0 +1,150 @@
+"""Bench: raw interpreter throughput (instructions/second), fast vs
+legacy dispatch, across every registry workload.
+
+Methodology: each workload is measured in its own pristine subprocess so
+results are independent of suite ordering and of CPython's warm-state
+drift (the legacy loop speeds up substantially once the host interpreter
+is warm, which would make in-process ratios depend on when the bench
+runs).  Within a child the fast loop is timed *first* (fully cold) and
+the legacy loop second — any residual warm-state benefit goes to the
+baseline, keeping the reported speedup conservative.  Two attempts per
+workload; the fastest run per mode wins.
+
+Emits ``BENCH_interpreter.json`` at the repo root so the performance
+trajectory of the VM hot path is tracked from this PR on.  The asserted
+floor (geometric-mean speedup >= 3x) is the acceptance bar for the
+pre-decoded/fused/inline-cached dispatch rebuild.
+
+Run directly (``python benchmarks/test_interpreter_throughput.py``) to
+print the JSON report to stdout; ``--one <workload>`` runs a single
+child measurement.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_JSON = REPO_ROOT / "BENCH_interpreter.json"
+
+#: fresh-subprocess attempts per workload; the fastest run per mode wins
+ATTEMPTS = 2
+
+
+def _timed_run(classes, main, args, **kw):
+    from repro.vm.machine import Machine
+    m = Machine(classes, **kw)
+    t0 = time.perf_counter()
+    m.call(main[0], main[1], list(args))
+    return time.perf_counter() - t0, m
+
+
+def measure_one(name: str) -> dict:
+    """Measure one workload in this (expected: fresh) process."""
+    from repro.preprocess.fuse import fused_coverage
+    from repro.workloads import registry
+
+    w = registry.WORKLOADS[name]
+    classes = registry.compiled(name, "original")
+    fast_dt, fm = _timed_run(classes, w.main, w.sim_args)
+    legacy_dt, lm = _timed_run(classes, w.main, w.sim_args,
+                               dispatch="legacy")
+    assert fm.instr_count == lm.instr_count  # same work performed
+    cov: dict = {}
+    for cls in fm.loader.loaded_classes().values():
+        for code in cls.cf.methods.values():
+            for k, v in fused_coverage(fm.decoded(code)).items():
+                cov[k] = cov.get(k, 0) + v
+    return {
+        "instr_count": fm.instr_count,
+        "before_ips": fm.instr_count / legacy_dt,
+        "after_ips": fm.instr_count / fast_dt,
+        "fused_sites": sum(cov.values()),
+    }
+
+
+def _child_env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    return env
+
+
+def run_throughput() -> dict:
+    """Spawn one fresh subprocess per (workload, attempt) and aggregate."""
+    from repro.workloads import registry
+
+    report = {
+        "bench": "interpreter_throughput",
+        "unit": "guest instructions per second (host wall clock)",
+        "dispatch": {"before": "legacy string-keyed if/elif chain",
+                     "after": "pre-decoded + fused + inline-cached"},
+        "methodology": (f"best of {ATTEMPTS} fresh-subprocess runs per "
+                        "workload; fast timed cold, legacy timed second"),
+        "workloads": {},
+    }
+    speedups = []
+    env = _child_env()
+    for name in sorted(registry.WORKLOADS):
+        best: dict = {}
+        for _ in range(ATTEMPTS):
+            out = subprocess.run(
+                [sys.executable, str(Path(__file__).resolve()),
+                 "--one", name],
+                env=env, cwd=REPO_ROOT, capture_output=True, text=True,
+                check=True)
+            row = json.loads(out.stdout)
+            if not best:
+                best = row
+            else:
+                best["before_ips"] = max(best["before_ips"],
+                                         row["before_ips"])
+                best["after_ips"] = max(best["after_ips"], row["after_ips"])
+        speedup = best["after_ips"] / best["before_ips"]
+        speedups.append(speedup)
+        report["workloads"][name] = {
+            "instr_count": best["instr_count"],
+            "before_ips": round(best["before_ips"]),
+            "after_ips": round(best["after_ips"]),
+            "speedup": round(speedup, 2),
+            "fused_sites": best["fused_sites"],
+        }
+    report["geomean_speedup"] = round(
+        math.exp(sum(map(math.log, speedups)) / len(speedups)), 2)
+    return report
+
+
+def test_interpreter_throughput_vs_legacy(benchmark):
+    from conftest import once
+
+    report = once(benchmark, run_throughput)
+    BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\ninterpreter throughput ({report['unit']}):")
+    for name, row in report["workloads"].items():
+        print(f"  {name:4s} before={row['before_ips'] / 1e6:6.2f}M/s "
+              f"after={row['after_ips'] / 1e6:6.2f}M/s "
+              f"speedup={row['speedup']:.2f}x "
+              f"fused_sites={row['fused_sites']}")
+    print(f"  geomean speedup {report['geomean_speedup']:.2f}x "
+          f"-> {BENCH_JSON.name}")
+    # acceptance floor: >= 3x over the seed interpreter on a quiet
+    # machine; shared CI runners override via BENCH_MIN_SPEEDUP so a
+    # noisy-neighbour timing dip cannot fail unrelated PRs
+    floor = float(os.environ.get("BENCH_MIN_SPEEDUP", "3.0"))
+    assert report["geomean_speedup"] >= floor
+    # and every workload individually benefits substantially
+    assert all(r["speedup"] >= floor * 2 / 3
+               for r in report["workloads"].values())
+
+
+if __name__ == "__main__":
+    if len(sys.argv) >= 3 and sys.argv[1] == "--one":
+        print(json.dumps(measure_one(sys.argv[2])))
+    else:
+        print(json.dumps(run_throughput(), indent=2))

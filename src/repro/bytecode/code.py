@@ -45,7 +45,12 @@ class Instr:
                 and self.a == other.a and self.b == other.b)
 
     def __hash__(self) -> int:
-        return hash((self.op, repr(self.a), repr(self.b)))
+        # Cheap structural hash; LSWITCH carries a dict argument, so fall
+        # back to repr() only when an argument is unhashable.
+        try:
+            return hash((self.op, self.a, self.b))
+        except TypeError:
+            return hash((self.op, repr(self.a), repr(self.b)))
 
 
 @dataclass(frozen=True)
@@ -112,6 +117,12 @@ class CodeObject:
         )
         self.msps: set[int] = set()
         self.version = version
+        #: cache for :meth:`predecoded`: id(weights) -> (weights, stream).
+        #: The weight table itself is kept in the entry so the id cannot
+        #: be recycled by a new dict while the cache is alive.
+        self._predecoded: Dict[
+            int, Tuple[Dict[str, float],
+                       List[Tuple[int, Any, Any, float]]]] = {}
 
     # -- identity / display ------------------------------------------------
 
@@ -146,6 +157,37 @@ class CodeObject:
     def line_starts(self) -> List[int]:
         """All line-start bcis in order."""
         return [bci for bci, _ in self.line_table]
+
+    # -- pre-decoding ------------------------------------------------------
+
+    def predecoded(self, weights: Dict[str, float]
+                   ) -> List[Tuple[int, Any, Any, float]]:
+        """The cached tuple-form instruction stream.
+
+        Slot ``i`` holds ``(opid, a, b, weight)`` for ``instrs[i]``:
+        the dense integer opcode (:data:`repro.bytecode.opcodes.OP_IDS`),
+        the two raw arguments, and the pre-resolved cost weight from
+        ``weights`` (default 1.0) — so the interpreter's hot loop never
+        touches opcode strings or the weight table.
+
+        The stream is cached per weight-table identity; callers that
+        mutate ``instrs`` after execution started (no in-tree pass does)
+        must call :meth:`invalidate_decoded`.
+        """
+        entry = self._predecoded.get(id(weights))
+        if (entry is not None and entry[0] is weights
+                and len(entry[1]) == len(self.instrs)):
+            return entry[1]
+        get_w = weights.get
+        ids = op.OP_IDS
+        stream = [(ids[i.op], i.a, i.b, get_w(i.op, 1.0))
+                  for i in self.instrs]
+        self._predecoded[id(weights)] = (weights, stream)
+        return stream
+
+    def invalidate_decoded(self) -> None:
+        """Drop cached decoded streams (after in-place instr mutation)."""
+        self._predecoded.clear()
 
     # -- transformation support ---------------------------------------------
 

@@ -107,15 +107,37 @@ INVOKESTATIC = "INVOKESTATIC"
 INVOKEVIRT = "INVOKEVIRT"
 NATIVE = "NATIVE"
 
-#: every opcode in the ISA
-ALL_OPS = frozenset({
+#: the full ISA in canonical order — the *position* of an opcode in this
+#: tuple is its dense integer code (see :data:`OP_IDS`), used by the
+#: pre-decoded interpreter so dispatch compares small ints instead of
+#: strings.  Append-only: decoded streams bake these ids in.
+OPCODES = (
     CONST, LOAD, STORE, POP, DUP, SWAP, NOP,
     NEW, GETF, PUTF, GETS, PUTS, ISREMOTE,
     NEWARR, ALOAD, ASTORE, LEN,
-    ADD, SUB, MUL, DIV, MOD, NEG, EQ, NE, LT, LE, GT, GE, NOT,
+    # binary operators are kept contiguous so the dispatch loop can
+    # range-test them with two int compares
+    ADD, SUB, MUL, DIV, MOD, EQ, NE, LT, LE, GT, GE,
+    NEG, NOT,
     JMP, JZ, JNZ, LSWITCH, RET, RETV, THROW,
     INVOKESTATIC, INVOKEVIRT, NATIVE,
-})
+)
+
+#: opcode name -> dense integer code
+OP_IDS = {name: i for i, name in enumerate(OPCODES)}
+
+#: first id available for synthetic superinstructions (fused opcodes
+#: live above the base ISA; see :mod:`repro.preprocess.fuse`)
+FUSED_BASE = len(OPCODES)
+
+
+def opid(name: str) -> int:
+    """Dense integer code for ``name`` (KeyError on unknown opcodes)."""
+    return OP_IDS[name]
+
+
+#: every opcode in the ISA
+ALL_OPS = frozenset(OPCODES)
 
 #: opcodes that transfer control unconditionally (no fallthrough)
 TERMINATORS = frozenset({JMP, LSWITCH, RET, RETV, THROW})

@@ -1,6 +1,7 @@
 """The class preprocessor: bytecode rearrangement and handler injection."""
 
 from repro.preprocess.flatten import FlattenInfo, flatten
+from repro.preprocess.fuse import decode_and_fuse, fused_coverage
 from repro.preprocess.objectfault import (OBJECT_FAULT_CLASS,
                                           inject_object_fault_handlers)
 from repro.preprocess.pipeline import preprocess_class, preprocess_program
@@ -11,6 +12,7 @@ from repro.preprocess.statuscheck import inject_status_checks
 
 __all__ = [
     "FlattenInfo", "flatten",
+    "decode_and_fuse", "fused_coverage",
     "OBJECT_FAULT_CLASS", "inject_object_fault_handlers",
     "preprocess_class", "preprocess_program",
     "RESTORE_EXCEPTION", "inject_restoration_handler",

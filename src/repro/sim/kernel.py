@@ -19,6 +19,7 @@ are bit-reproducible.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from repro.errors import SimulationError
@@ -202,7 +203,9 @@ class Resource:
         self.env = env
         self.capacity = capacity
         self.in_use = 0
-        self._waiters: list[Event] = []
+        # deque: release() wakes the oldest waiter in O(1); a list's
+        # pop(0) is O(n) and melts under thousands of queued requests
+        self._waiters: deque[Event] = deque()
 
     def request(self) -> Event:
         """An event firing when a unit of the resource is acquired."""
@@ -217,7 +220,7 @@ class Resource:
     def release(self) -> None:
         """Release one unit; wakes the oldest waiter if any."""
         if self._waiters:
-            self._waiters.pop(0).succeed()
+            self._waiters.popleft().succeed()
         else:
             if self.in_use <= 0:
                 raise SimulationError("release() without matching request()")

@@ -108,6 +108,16 @@ class CostModel:
         return (self.instr_seconds * self.exec_factor * self.agent_factor
                 * self.op_weights.get(opcode, 1.0))
 
+    def unit_op_cost(self) -> float:
+        """Simulated seconds per weight-1.0 instruction (node speed not
+        included).  The interpreter multiplies this once per accounting
+        flush against a batch's accumulated weight; per-opcode weights
+        are baked into the pre-decoded streams
+        (:meth:`repro.bytecode.code.CodeObject.predecoded`), so changing
+        ``op_weights`` after execution started requires
+        ``Machine.invalidate_caches()``."""
+        return self.instr_seconds * self.exec_factor * self.agent_factor
+
     def serialize_cost(self, nominal_bytes: int) -> float:
         """Seconds to Java-serialize ``nominal_bytes`` of object data."""
         return nominal_bytes * self.serialize_spb

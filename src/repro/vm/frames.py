@@ -20,13 +20,18 @@ class Frame:
 
     def __init__(self, code: CodeObject, args: Optional[List[Any]] = None):
         self.code = code
-        self.locals: List[Any] = [None] * code.max_locals
+        # Frame construction sits on the interpreter's call hot path:
+        # build the locals in one concatenation instead of allocating a
+        # None-filled list and slice-assigning into it.
         if args is not None:
             if len(args) != code.nparams:
                 raise ValueError(
                     f"{code.qualname}: expected {code.nparams} args, "
                     f"got {len(args)}")
-            self.locals[:len(args)] = args
+            self.locals: List[Any] = args + [None] * (
+                code.max_locals - len(args))
+        else:
+            self.locals = [None] * code.max_locals
         self.stack: List[Any] = []
         self.pc = 0
         #: pinned frames must not migrate (e.g. they hold sockets, paper

@@ -15,15 +15,67 @@ Execution model per instruction:
 Guest exceptions unwind through per-method exception tables; the
 interpreter never uses host recursion for guest calls, so frames are
 plain data that can be captured, shipped and rebuilt.
+
+Dispatch
+--------
+
+The machine has two interpreter loops with identical observable
+semantics:
+
+* the **fast loop** (:meth:`Machine._run_fast`) runs whenever no
+  breakpoints, breakpoint callbacks, write hooks, ``stop`` predicates or
+  instruction limits are installed.  It executes a per-machine cached
+  *decoded stream* (:mod:`repro.preprocess.fuse`): dense integer
+  opcodes, pre-resolved cost weights, fused superinstructions, and
+  monomorphic inline caches for ``INVOKESTATIC``/``GETS``/``PUTS``
+  resolution plus a per-receiver-class virtual-call cache.  Clock and
+  instruction accounting is batched into local accumulators and flushed
+  at safepoints (native calls, exception dispatch, loop exit), so the
+  common path does no per-instruction attribute writes.
+
+* the **legacy loop** (:meth:`Machine._run_loop` + :meth:`_execute`)
+  preserves the original per-instruction semantics — breakpoint checks,
+  ``on_write`` barriers, ``stop``/``max_instrs`` polling — and is used
+  whenever any of those are active (``dispatch="legacy"`` forces it
+  unconditionally, which the differential test-suite uses as the
+  oracle).
+
+Loop selection happens in :meth:`run`; if a native call installs hooks
+*mid-run* (the only way hooks can appear while the fast loop owns the
+thread), the fast loop syncs ``frame.pc``, flushes its accounting and
+retreats, and :meth:`run` re-enters execution through the legacy loop.
+``frame.pc`` always holds an *original* bytecode index (fused
+superinstructions live in a parallel stream — see
+:mod:`repro.preprocess.fuse`), so VMTI, capture/restore, exception
+tables and line tables are oblivious to fusion.
+
+Inline caches are valid because classes cannot be redefined once linked
+(:meth:`repro.vm.classloader.ClassLoader.define` refuses) and method
+tables/static homes are immutable after linking; caches live in the
+per-machine decoded stream, never on shared ``CodeObject``s.  Swapping
+``machine.cost`` (or mutating its weight table) or mutating a method's
+``instrs`` after execution started requires
+:meth:`Machine.invalidate_caches`.
 """
 
 from __future__ import annotations
 
+import math
+import operator
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bytecode import opcodes as op
 from repro.bytecode.code import ClassFile, CodeObject
 from repro.errors import LinkError, NativeError, VMError
+from repro.preprocess.fuse import (F_CCMP_JNZ, F_CCMP_JZ, F_CMP_JNZ,
+                                   F_CMP_JZ, F_CONST_STORE,
+                                   F_GETS_LOAD_ALOAD, F_INC, F_L_ALOAD,
+                                   F_LC_ARITH, F_LC_CMP_JNZ, F_LC_CMP_JZ,
+                                   F_LC_OP2, F_LGS_CMP_JNZ, F_LGS_CMP_JZ,
+                                   F_LL_ALOAD, F_LL_ARITH, F_LL_CMP_JNZ,
+                                   F_LL_CMP_JZ, F_LL_OP2, F_LOAD_CONST,
+                                   F_LOAD_GETF, F_LOAD_JNZ, F_LOAD_JZ,
+                                   F_LOAD_LOAD, decode_and_fuse)
 from repro.vm.classloader import ClassLoader
 from repro.vm.costmodel import CostModel
 from repro.vm.frames import Frame, ThreadState
@@ -51,13 +103,21 @@ class UncaughtGuestException(VMError):
         self.exc = exc
 
 
+#: dispatch modes accepted by :class:`Machine`
+DISPATCH_MODES = ("fast", "legacy")
+
+
 class Machine:
     """One virtual machine instance placed on a (simulated) node."""
 
     def __init__(self, classpath: Optional[Dict[str, ClassFile]] = None,
                  cost: Optional[CostModel] = None,
                  node: Any = None, fs: Any = None,
-                 name: str = "vm"):
+                 name: str = "vm",
+                 dispatch: str = "fast",
+                 fuse: bool = True):
+        if dispatch not in DISPATCH_MODES:
+            raise VMError(f"unknown dispatch mode {dispatch!r}")
         self.loader = ClassLoader(classpath)
         self.heap = Heap()
         self.natives = NativeRegistry()
@@ -85,6 +145,13 @@ class Machine:
             Callable[["Machine", ThreadState, VMInstance], bool]] = None
         #: scratch space for attached runtimes (object manager, etc.)
         self.extras: Dict[str, Any] = {}
+        #: interpreter selection: "fast" (pre-decoded, inline-cached)
+        #: or "legacy" (string-dispatched reference loop)
+        self.dispatch = dispatch
+        #: fuse superinstructions in the decoded stream
+        self.fuse = fuse
+        #: per-machine decoded-stream cache (holds the inline caches)
+        self._decoded: Dict[CodeObject, List[tuple]] = {}
         self._speed = node.spec.speed_factor if node is not None else 1.0
         self._bp_guard: Optional[Tuple[int, int]] = None
 
@@ -152,6 +219,30 @@ class Machine:
             raise UncaughtGuestException(thread.uncaught)
         return thread.result
 
+    # -- decoded-stream cache --------------------------------------------------
+
+    def decoded(self, code: CodeObject) -> List[tuple]:
+        """The (cached) decoded+fused stream for ``code`` on this machine."""
+        stream = self._decoded.get(code)
+        if stream is None:
+            stream = decode_and_fuse(code, self.cost.op_weights, _ARITH,
+                                     _FAST2, fuse=self.fuse)
+            self._decoded[code] = stream
+        return stream
+
+    def invalidate_caches(self) -> None:
+        """Drop all decoded streams and the inline caches they carry.
+
+        Needed only after host-level surgery the VM cannot see: swapping
+        ``machine.cost`` (or mutating its weight table) after execution
+        started, or mutating a ``CodeObject.instrs`` list in place.
+        Also drops the per-CodeObject predecoded streams this machine
+        used, so re-decoding observes current weights and instrs.
+        """
+        for code in self._decoded:
+            code.invalidate_decoded()
+        self._decoded.clear()
+
     # -- main loop --------------------------------------------------------------
 
     def run(self, thread: ThreadState,
@@ -161,14 +252,535 @@ class Machine:
         ``max_instrs`` run.  Returns ``"finished"`` / ``"stopped"`` /
         ``"limit"``."""
         executed = 0
-        op_cost = (self.cost.instr_seconds * self.cost.exec_factor
-                   * self.cost.agent_factor * self._speed)
+        op_cost = self.cost.unit_op_cost() * self._speed
         prev_thread = getattr(self, "current_thread", None)
         self.current_thread = thread
         try:
+            if (stop is None and max_instrs is None
+                    and self.dispatch == "fast"
+                    and not self.breakpoints
+                    and self.on_breakpoint is None
+                    and self.on_write is None):
+                self._bp_guard = None
+                status = self._run_fast(thread, op_cost)
+                if status is not None:
+                    return status
+                # A native installed hooks mid-run: the fast loop synced
+                # frame.pc and flushed accounting — continue under the
+                # hook-aware loop.
             return self._run_loop(thread, stop, max_instrs, op_cost, executed)
         finally:
             self.current_thread = prev_thread
+
+    # -- the fast loop -----------------------------------------------------------
+
+    def _run_fast(self, thread: ThreadState, op_cost: float) -> Optional[str]:
+        """Zero-overhead interpretation of ``thread``.
+
+        Preconditions (enforced by :meth:`run`): no breakpoints, no
+        breakpoint callback, no write hook, no ``stop`` predicate, no
+        instruction limit.  Returns ``"finished"``, or ``None`` if a
+        native call armed hooks and the loop retreated (``frame.pc``
+        synced, accounting flushed) for :meth:`run` to continue on the
+        legacy loop.
+        """
+        # Localize everything the hot path touches.
+        frames = thread.frames
+        decoded = self._decoded
+        nullish = is_nullish
+        tr = truthy
+        RR = RemoteRef
+        Inst = VMInstance
+        Arr = VMArray
+        Frm = Frame
+        miss = _MISSING
+        w_acc = 0.0
+        n_acc = 0
+        # dense opcode ids as locals (LOAD_FAST beats LOAD_GLOBAL)
+        I_LOAD = _I_LOAD; I_CONST = _I_CONST; I_STORE = _I_STORE
+        I_JMP = _I_JMP; I_JZ = _I_JZ; I_JNZ = _I_JNZ
+        I_GETF = _I_GETF; I_PUTF = _I_PUTF; I_GETS = _I_GETS
+        I_ALOAD = _I_ALOAD; I_ASTORE = _I_ASTORE
+        I_DUP = _I_DUP; I_POP = _I_POP
+        I_INVOKESTATIC = _I_INVOKESTATIC; I_INVOKEVIRT = _I_INVOKEVIRT
+        I_NATIVE = _I_NATIVE; I_RET = _I_RET; I_RETV = _I_RETV
+        BIN_LO = _I_BINOP_LO; BIN_HI = _I_BINOP_HI
+        FI_LL_CMP_JZ = F_LL_CMP_JZ; FI_LL_CMP_JNZ = F_LL_CMP_JNZ
+        FI_LC_CMP_JZ = F_LC_CMP_JZ; FI_LC_CMP_JNZ = F_LC_CMP_JNZ
+        FI_CMP_JZ = F_CMP_JZ; FI_CMP_JNZ = F_CMP_JNZ
+        FI_LL_OP2 = F_LL_OP2; FI_LL_ARITH = F_LL_ARITH
+        FI_LC_OP2 = F_LC_OP2; FI_LC_ARITH = F_LC_ARITH
+        FI_INC = F_INC; FI_LL_ALOAD = F_LL_ALOAD
+        FI_LOAD_LOAD = F_LOAD_LOAD; FI_LOAD_CONST = F_LOAD_CONST
+        FI_CONST_STORE = F_CONST_STORE; FI_LOAD_GETF = F_LOAD_GETF
+        FI_GLA = F_GETS_LOAD_ALOAD
+        FI_LOAD_JZ = F_LOAD_JZ; FI_LOAD_JNZ = F_LOAD_JNZ
+        FI_LGS_CMP_JZ = F_LGS_CMP_JZ; FI_LGS_CMP_JNZ = F_LGS_CMP_JNZ
+        FI_CCMP_JZ = F_CCMP_JZ; FI_CCMP_JNZ = F_CCMP_JNZ
+        FI_L_ALOAD = F_L_ALOAD
+        try:
+            while frames:
+                if thread.pending_exception is not None:
+                    exc = thread.pending_exception
+                    thread.pending_exception = None
+                    self.clock += op_cost * w_acc
+                    self.instr_count += n_acc
+                    w_acc = 0.0
+                    n_acc = 0
+                    if not self._dispatch(thread, exc):
+                        return "finished"
+                    continue
+                frame = frames[-1]
+                stream = decoded.get(frame.code)
+                if stream is None:
+                    stream = self.decoded(frame.code)
+                pc = frame.pc
+                stack = frame.stack
+                locs = frame.locals
+                push = stack.append
+                pop = stack.pop
+                try:
+                    while True:
+                        ins = stream[pc]
+                        oid = ins[0]
+                        if oid == I_LOAD:
+                            push(locs[ins[1]])
+                            pc += 1
+                        elif oid == FI_LL_CMP_JZ:
+                            s = ins[1]
+                            pc = pc + 4 if ins[5](locs[s[0]], locs[s[1]]) \
+                                else ins[2]
+                        elif oid == FI_LC_CMP_JZ:
+                            s = ins[1]
+                            pc = pc + 4 if ins[5](locs[s[0]], s[1]) \
+                                else ins[2]
+                        elif oid == FI_LGS_CMP_JZ:
+                            s = ins[1]
+                            aux = ins[5]
+                            cell = aux[1]
+                            c = cell[0]
+                            if c is None:
+                                cls_name, fname = s[1]
+                                home = self.loader.load(
+                                    cls_name).find_static_home(fname)
+                                c = (home.statics, fname)
+                                cell[0] = c
+                            pc = pc + 4 if aux[0](locs[s[0]], c[0][c[1]]) \
+                                else ins[2]
+                        elif oid == FI_CCMP_JZ:
+                            pc = pc + 3 if ins[5](pop(), ins[1]) else ins[2]
+                        elif oid == FI_CCMP_JNZ:
+                            pc = ins[2] if ins[5](pop(), ins[1]) else pc + 3
+                        elif oid == FI_L_ALOAD:
+                            arr = pop()
+                            idx = locs[ins[1]]
+                            if arr is None or arr.__class__ is RR:
+                                raise self._npe(arr, "arrayload")
+                            if not isinstance(arr, Arr):
+                                raise VMError(f"arrayload on {_tname(arr)}")
+                            data = arr.data
+                            if 0 <= idx < len(data):
+                                push(data[idx])
+                            else:
+                                raise self.throw(
+                                    "IndexOutOfBoundsException",
+                                    f"index {idx} length {len(data)}")
+                            pc += 2
+                        elif oid == FI_INC:
+                            x = locs[ins[1]]
+                            b = ins[2]
+                            if type(x) is int:
+                                locs[b[1]] = x + b[0]
+                            else:
+                                locs[b[1]] = ins[5](self, x, b[0])
+                            pc += 4
+                        elif oid == FI_GLA:
+                            cell = ins[5]
+                            c = cell[0]
+                            if c is None:
+                                cls_name, fname = ins[2]
+                                home = self.loader.load(
+                                    cls_name).find_static_home(fname)
+                                c = (home.statics, fname)
+                                cell[0] = c
+                            arr = c[0][c[1]]
+                            idx = locs[ins[1]]
+                            if arr is None or arr.__class__ is RR:
+                                raise self._npe(arr, "arrayload")
+                            if not isinstance(arr, Arr):
+                                raise VMError(f"arrayload on {_tname(arr)}")
+                            data = arr.data
+                            if 0 <= idx < len(data):
+                                push(data[idx])
+                            else:
+                                raise self.throw(
+                                    "IndexOutOfBoundsException",
+                                    f"index {idx} length {len(data)}")
+                            pc += 3
+                        elif oid == FI_LOAD_JZ:
+                            pc = pc + 2 if tr(locs[ins[1]]) else ins[2]
+                        elif oid == FI_LOAD_JNZ:
+                            pc = ins[2] if tr(locs[ins[1]]) else pc + 2
+                        elif oid == FI_LL_OP2:
+                            push(ins[5](locs[ins[1]], locs[ins[2]]))
+                            pc += 3
+                        elif oid == FI_LC_OP2:
+                            push(ins[5](locs[ins[1]], ins[2]))
+                            pc += 3
+                        elif oid == FI_LL_ARITH:
+                            push(ins[5](self, locs[ins[1]], locs[ins[2]]))
+                            pc += 3
+                        elif oid == FI_LC_ARITH:
+                            push(ins[5](self, locs[ins[1]], ins[2]))
+                            pc += 3
+                        elif oid == FI_LL_ALOAD:
+                            arr = locs[ins[1]]
+                            idx = locs[ins[2]]
+                            if arr is None or arr.__class__ is RR:
+                                raise self._npe(arr, "arrayload")
+                            if not isinstance(arr, Arr):
+                                raise VMError(f"arrayload on {_tname(arr)}")
+                            data = arr.data
+                            if 0 <= idx < len(data):
+                                push(data[idx])
+                            else:
+                                raise self.throw(
+                                    "IndexOutOfBoundsException",
+                                    f"index {idx} length {len(data)}")
+                            pc += 3
+                        elif oid == FI_LOAD_LOAD:
+                            push(locs[ins[1]])
+                            push(locs[ins[2]])
+                            pc += 2
+                        elif oid == FI_LOAD_CONST:
+                            push(locs[ins[1]])
+                            push(ins[2])
+                            pc += 2
+                        elif oid == FI_CONST_STORE:
+                            locs[ins[2]] = ins[1]
+                            pc += 2
+                        elif oid == FI_CMP_JZ:
+                            b = pop()
+                            a = pop()
+                            pc = pc + 2 if ins[5](a, b) else ins[1]
+                        elif oid == FI_CMP_JNZ:
+                            b = pop()
+                            a = pop()
+                            pc = ins[1] if ins[5](a, b) else pc + 2
+                        elif oid == FI_LL_CMP_JNZ:
+                            s = ins[1]
+                            pc = ins[2] if ins[5](locs[s[0]], locs[s[1]]) \
+                                else pc + 4
+                        elif oid == FI_LC_CMP_JNZ:
+                            s = ins[1]
+                            pc = ins[2] if ins[5](locs[s[0]], s[1]) \
+                                else pc + 4
+                        elif oid == FI_LGS_CMP_JNZ:
+                            s = ins[1]
+                            aux = ins[5]
+                            cell = aux[1]
+                            c = cell[0]
+                            if c is None:
+                                cls_name, fname = s[1]
+                                home = self.loader.load(
+                                    cls_name).find_static_home(fname)
+                                c = (home.statics, fname)
+                                cell[0] = c
+                            pc = ins[2] if aux[0](locs[s[0]], c[0][c[1]]) \
+                                else pc + 4
+                        elif oid == FI_LOAD_GETF:
+                            obj = locs[ins[1]]
+                            fname = ins[2]
+                            if isinstance(obj, Inst):
+                                v = obj.fields.get(fname, miss)
+                                if v is miss:
+                                    raise LinkError(
+                                        f"no field {fname!r} on {_tname(obj)}")
+                                push(v)
+                            elif obj is None or obj.__class__ is RR:
+                                raise self._npe(obj, f"getfield {fname}")
+                            else:
+                                raise LinkError(
+                                    f"no field {fname!r} on {_tname(obj)}")
+                            pc += 2
+                        elif oid == I_CONST:
+                            push(ins[1])
+                            pc += 1
+                        elif oid == I_STORE:
+                            locs[ins[1]] = pop()
+                            pc += 1
+                        elif oid == I_GETS:
+                            cell = ins[5]
+                            c = cell[0]
+                            if c is None:
+                                cls_name, fname = ins[1]
+                                home = self.loader.load(
+                                    cls_name).find_static_home(fname)
+                                c = (home.statics, fname)
+                                cell[0] = c
+                            push(c[0][c[1]])
+                            pc += 1
+                        elif oid == I_ALOAD:
+                            idx = pop()
+                            arr = pop()
+                            if arr is None or arr.__class__ is RR:
+                                raise self._npe(arr, "arrayload")
+                            if not isinstance(arr, Arr):
+                                raise VMError(f"arrayload on {_tname(arr)}")
+                            data = arr.data
+                            if 0 <= idx < len(data):
+                                push(data[idx])
+                            else:
+                                raise self.throw(
+                                    "IndexOutOfBoundsException",
+                                    f"index {idx} length {len(data)}")
+                            pc += 1
+                        elif BIN_LO <= oid <= BIN_HI:
+                            b = pop()
+                            a = pop()
+                            push(ins[5](self, a, b))
+                            pc += 1
+                        elif oid == I_JZ:
+                            pc = pc + 1 if tr(pop()) else ins[1]
+                        elif oid == I_JMP:
+                            pc = ins[1]
+                        elif oid == I_JNZ:
+                            pc = ins[1] if tr(pop()) else pc + 1
+                        elif oid == I_GETF:
+                            obj = pop()
+                            fname = ins[1]
+                            if isinstance(obj, Inst):
+                                v = obj.fields.get(fname, miss)
+                                if v is miss:
+                                    raise LinkError(
+                                        f"no field {fname!r} on {_tname(obj)}")
+                                push(v)
+                            elif obj is None or obj.__class__ is RR:
+                                raise self._npe(obj, f"getfield {fname}")
+                            else:
+                                raise LinkError(
+                                    f"no field {fname!r} on {_tname(obj)}")
+                            pc += 1
+                        elif oid == I_PUTF:
+                            value = pop()
+                            obj = pop()
+                            fname = ins[1]
+                            if isinstance(obj, Inst) and fname in obj.fields:
+                                obj.fields[fname] = value
+                            elif obj is None or obj.__class__ is RR:
+                                raise self._npe(obj, f"putfield {fname}")
+                            else:
+                                raise LinkError(
+                                    f"no field {fname!r} on {_tname(obj)}")
+                            pc += 1
+                        elif oid == I_ASTORE:
+                            value = pop()
+                            idx = pop()
+                            arr = pop()
+                            if arr is None or arr.__class__ is RR:
+                                raise self._npe(arr, "arraystore")
+                            if not isinstance(arr, Arr):
+                                raise VMError(f"arraystore on {_tname(arr)}")
+                            data = arr.data
+                            if 0 <= idx < len(data):
+                                data[idx] = value
+                            else:
+                                raise self.throw(
+                                    "IndexOutOfBoundsException",
+                                    f"index {idx} length {len(data)}")
+                            pc += 1
+                        elif oid == I_INVOKESTATIC:
+                            cell = ins[5]
+                            c = cell[0]
+                            if c is None:
+                                cls_name, mname = ins[1]
+                                cls = self.loader.load(cls_name)
+                                code2 = cls.find_method(mname)
+                                if code2 is None:
+                                    raise LinkError(
+                                        f"no method {cls_name}.{mname}")
+                                if not code2.is_static:
+                                    raise VMError(
+                                        f"{cls_name}.{mname} is not static")
+                                c = (code2, _arity_pad(code2, ins[2]))
+                                cell[0] = c
+                            code2 = c[0]
+                            nargs = ins[2]
+                            if nargs:
+                                args = stack[-nargs:]
+                                del stack[-nargs:]
+                            else:
+                                args = []
+                            frame.pc = pc + 1
+                            # pre-validated arity: build the frame without
+                            # re-running Frame.__init__'s checks
+                            frame = Frm.__new__(Frm)
+                            frame.code = code2
+                            frame.locals = locs = args + c[1]
+                            frame.stack = stack = []
+                            frame.pc = pc = 0
+                            frame.pinned = False
+                            frames.append(frame)
+                            push = stack.append
+                            pop = stack.pop
+                            stream = decoded.get(code2)
+                            if stream is None:
+                                stream = self.decoded(code2)
+                        elif oid == I_RETV:
+                            value = pop()
+                            frames.pop()
+                            if frames:
+                                frame = frames[-1]
+                                stack = frame.stack
+                                stack.append(value)
+                                locs = frame.locals
+                                pc = frame.pc
+                                push = stack.append
+                                pop = stack.pop
+                                code2 = frame.code
+                                stream = decoded.get(code2)
+                                if stream is None:
+                                    stream = self.decoded(code2)
+                            else:
+                                thread.finished = True
+                                thread.result = value
+                                w_acc += ins[3]
+                                n_acc += 1
+                                break
+                        elif oid == I_RET:
+                            frames.pop()
+                            if frames:
+                                frame = frames[-1]
+                                stack = frame.stack
+                                stack.append(None)
+                                locs = frame.locals
+                                pc = frame.pc
+                                push = stack.append
+                                pop = stack.pop
+                                code2 = frame.code
+                                stream = decoded.get(code2)
+                                if stream is None:
+                                    stream = self.decoded(code2)
+                            else:
+                                thread.finished = True
+                                thread.result = None
+                                w_acc += ins[3]
+                                n_acc += 1
+                                break
+                        elif oid == I_INVOKEVIRT:
+                            nargs = ins[2]
+                            if nargs:
+                                args = stack[-nargs:]
+                                del stack[-nargs:]
+                            else:
+                                args = []
+                            receiver = pop()
+                            cell = ins[5]
+                            if isinstance(receiver, Inst) \
+                                    and receiver.vmclass is cell[0]:
+                                c = cell[1]
+                            else:
+                                if nullish(receiver):
+                                    raise self._npe(receiver,
+                                                    f"invoke {ins[1]}")
+                                code2 = self._resolve_method(receiver, ins[1])
+                                # bind the cell only once fully resolved:
+                                # _arity_pad may raise, and a half-written
+                                # cell would mis-dispatch later receivers
+                                c = (code2, _arity_pad(code2, nargs + 1))
+                                cell[0] = receiver.vmclass
+                                cell[1] = c
+                            code2 = c[0]
+                            frame.pc = pc + 1
+                            frame = Frm.__new__(Frm)
+                            frame.code = code2
+                            frame.locals = locs = [receiver] + args + c[1]
+                            frame.stack = stack = []
+                            frame.pc = pc = 0
+                            frame.pinned = False
+                            frames.append(frame)
+                            push = stack.append
+                            pop = stack.pop
+                            stream = decoded.get(code2)
+                            if stream is None:
+                                stream = self.decoded(code2)
+                        elif oid == I_NATIVE:
+                            nargs = ins[2]
+                            if nargs:
+                                args = stack[-nargs:]
+                                del stack[-nargs:]
+                            else:
+                                args = []
+                            # Safepoint: natives may read the clock, print,
+                            # charge time, or install hooks — flush batched
+                            # accounting and expose a precise frame.pc.
+                            self.clock += op_cost * w_acc
+                            self.instr_count += n_acc
+                            w_acc = 0.0
+                            n_acc = 0
+                            frame.pc = pc
+                            fn = self.natives.lookup(ins[1])
+                            self.charge(self.cost.native_base)
+                            push(fn(self, args))
+                            pc += 1
+                            if (self.breakpoints
+                                    or self.on_breakpoint is not None
+                                    or self.on_write is not None):
+                                # Loop-selection guard: hooks appeared.
+                                w_acc += ins[3]
+                                n_acc += 1
+                                frame.pc = pc
+                                return None
+                            if thread.pending_exception is not None:
+                                w_acc += ins[3]
+                                n_acc += 1
+                                frame.pc = pc
+                                break
+                        elif oid == I_DUP:
+                            push(stack[-1])
+                            pc += 1
+                        elif oid == I_POP:
+                            pop()
+                            pc += 1
+                        else:
+                            h = _COLD.get(oid)
+                            if h is None:  # pragma: no cover
+                                raise VMError(
+                                    f"unimplemented opcode "
+                                    f"{frame.code.instrs[pc].op}")
+                            pc = h(self, frame, stack, ins, pc)
+                        w_acc += ins[3]
+                        n_acc += ins[4]
+                except GuestThrow as gt:
+                    # Guest exceptions always originate from the last
+                    # component of a (super)instruction: report the
+                    # precise faulting bci and charge the group's leading
+                    # components, then dispatch.  The faulting component
+                    # itself is charged only when a handler is found —
+                    # the legacy loop returns before charging a fatally-
+                    # throwing instruction.
+                    frame.pc = pc + ins[4] - 1
+                    self.clock += op_cost * (w_acc + ins[6])
+                    self.instr_count += n_acc + ins[4] - 1
+                    w_acc = 0.0
+                    n_acc = 0
+                    if not self._dispatch(thread, gt.exc):
+                        return "finished"
+                    w_acc = ins[3] - ins[6]
+                    n_acc = 1
+                except BaseException:
+                    # Host-level error (LinkError, VMError, TypeError...):
+                    # report the faulting bci like the legacy loop before
+                    # propagating.
+                    frame.pc = pc
+                    raise
+            thread.finished = True
+            return "finished"
+        finally:
+            self.clock += op_cost * w_acc
+            self.instr_count += n_acc
+
+    # -- the legacy (hook-aware) loop ---------------------------------------------
 
     def _run_loop(self, thread: ThreadState,
                   stop: Optional[Callable[[ThreadState], bool]],
@@ -265,7 +877,7 @@ class Machine:
             raise VMError(f"{receiver.class_name}.{name} is static")
         return code
 
-    # -- the interpreter ------------------------------------------------------------
+    # -- the legacy interpreter ---------------------------------------------------
 
     def _execute(self, thread: ThreadState, frame: Frame, ins: Any) -> None:
         o = ins.op
@@ -453,6 +1065,20 @@ def _tname(v: Any) -> str:
     return type(v).__name__
 
 
+#: missing-field sentinel for the fast GETF path
+_MISSING = object()
+
+
+def _arity_pad(code: CodeObject, nargs: int) -> List[Any]:
+    """Validate a call site's arity against ``code`` once (at inline-
+    cache bind time) and return the shared locals padding the fast loop
+    concatenates after the arguments (callers copy, never mutate it)."""
+    if nargs != code.nparams:
+        raise ValueError(
+            f"{code.qualname}: expected {code.nparams} args, got {nargs}")
+    return [None] * (code.max_locals - nargs)
+
+
 # -- arithmetic helpers (Java semantics for int division) ------------------------
 
 def _add(m: Machine, a: Any, b: Any) -> Any:
@@ -477,7 +1103,6 @@ def _mod(m: Machine, a: Any, b: Any) -> Any:
         raise m.throw("ArithmeticException", "% by zero")
     if isinstance(a, int) and isinstance(b, int):
         return a - _div(m, a, b) * b
-    import math
     return math.fmod(a, b)
 
 
@@ -503,4 +1128,156 @@ _ARITH: Dict[str, Callable[[Machine, Any, Any], Any]] = {
     op.LE: lambda m, a, b: a <= b,
     op.GT: lambda m, a, b: a > b,
     op.GE: lambda m, a, b: a >= b,
+}
+
+#: 2-arg fast equivalents used by fused superinstructions.  ``EQ``/``NE``
+#: reduce to ``operator.eq``/``ne`` because no guest value type defines
+#: ``__eq__``: VMInstance/VMArray/RemoteRef fall back to identity, which
+#: is exactly what :func:`_eq` computes, and primitives compare by value.
+#: ``ADD`` (string coercion) and ``DIV``/``MOD`` (guest exceptions) are
+#: deliberately absent — they keep the 3-arg machine helpers.
+_FAST2: Dict[str, Callable[[Any, Any], Any]] = {
+    op.SUB: operator.sub,
+    op.MUL: operator.mul,
+    op.EQ: operator.eq,
+    op.NE: operator.ne,
+    op.LT: operator.lt,
+    op.LE: operator.le,
+    op.GT: operator.gt,
+    op.GE: operator.ge,
+}
+
+
+# -- dense opcode ids used by the fast loop --------------------------------------
+
+_I_CONST = op.OP_IDS[op.CONST]
+_I_LOAD = op.OP_IDS[op.LOAD]
+_I_STORE = op.OP_IDS[op.STORE]
+_I_POP = op.OP_IDS[op.POP]
+_I_DUP = op.OP_IDS[op.DUP]
+_I_GETF = op.OP_IDS[op.GETF]
+_I_PUTF = op.OP_IDS[op.PUTF]
+_I_GETS = op.OP_IDS[op.GETS]
+_I_ALOAD = op.OP_IDS[op.ALOAD]
+_I_ASTORE = op.OP_IDS[op.ASTORE]
+_I_JMP = op.OP_IDS[op.JMP]
+_I_JZ = op.OP_IDS[op.JZ]
+_I_JNZ = op.OP_IDS[op.JNZ]
+_I_RET = op.OP_IDS[op.RET]
+_I_RETV = op.OP_IDS[op.RETV]
+_I_INVOKESTATIC = op.OP_IDS[op.INVOKESTATIC]
+_I_INVOKEVIRT = op.OP_IDS[op.INVOKEVIRT]
+_I_NATIVE = op.OP_IDS[op.NATIVE]
+_I_BINOP_LO = op.OP_IDS[op.ADD]
+_I_BINOP_HI = op.OP_IDS[op.GE]
+
+
+# -- cold-path handlers for the fast loop ----------------------------------------
+#
+# Rarely executed opcodes are dispatched through this table instead of
+# bloating the hot if/elif chain.  Signature: fn(machine, frame, stack,
+# ins, pc) -> new pc; guest exceptions propagate as GuestThrow.
+
+def _cold_new(m: "Machine", frame: Frame, stack: list, ins: tuple,
+              pc: int) -> int:
+    stack.append(m.heap.new_instance(m.loader.load(ins[1])))
+    return pc + 1
+
+
+def _cold_newarr(m: "Machine", frame: Frame, stack: list, ins: tuple,
+                 pc: int) -> int:
+    n = stack.pop()
+    if not isinstance(n, int) or n < 0:
+        raise m.throw("IndexOutOfBoundsException", f"array length {n}")
+    need = n * (ins[2] or 8) + 16
+    if m.node is not None and (
+            m.heap.allocated_bytes + need > m.node.spec.ram_bytes):
+        raise m.throw("OutOfMemoryError",
+                      f"array of {need} bytes exceeds node RAM")
+    stack.append(m.heap.new_array(ins[1], n, ins[2] or 8))
+    return pc + 1
+
+
+def _cold_len(m: "Machine", frame: Frame, stack: list, ins: tuple,
+              pc: int) -> int:
+    arr = stack.pop()
+    if is_nullish(arr):
+        raise m._npe(arr, "arraylength")
+    if not isinstance(arr, VMArray):
+        raise VMError(f"arraylength on {_tname(arr)}")
+    stack.append(len(arr.data))
+    return pc + 1
+
+
+def _cold_puts(m: "Machine", frame: Frame, stack: list, ins: tuple,
+               pc: int) -> int:
+    cell = ins[5]
+    c = cell[0]
+    if c is None:
+        cls_name, fname = ins[1]
+        home = m.loader.load(cls_name).find_static_home(fname)
+        c = (home.statics, fname)
+        cell[0] = c
+    c[0][c[1]] = stack.pop()
+    # the fast loop only runs with on_write uninstalled, so no barrier
+    return pc + 1
+
+
+def _cold_isremote(m: "Machine", frame: Frame, stack: list, ins: tuple,
+                   pc: int) -> int:
+    stack.append(isinstance(stack.pop(), RemoteRef))
+    return pc + 1
+
+
+def _cold_neg(m: "Machine", frame: Frame, stack: list, ins: tuple,
+              pc: int) -> int:
+    stack.append(-stack.pop())
+    return pc + 1
+
+
+def _cold_not(m: "Machine", frame: Frame, stack: list, ins: tuple,
+              pc: int) -> int:
+    stack.append(not truthy(stack.pop()))
+    return pc + 1
+
+
+def _cold_swap(m: "Machine", frame: Frame, stack: list, ins: tuple,
+               pc: int) -> int:
+    stack[-1], stack[-2] = stack[-2], stack[-1]
+    return pc + 1
+
+
+def _cold_nop(m: "Machine", frame: Frame, stack: list, ins: tuple,
+              pc: int) -> int:
+    return pc + 1
+
+
+def _cold_throw(m: "Machine", frame: Frame, stack: list, ins: tuple,
+                pc: int) -> int:
+    exc = stack.pop()
+    if is_nullish(exc):
+        raise m._npe(exc, "throw")
+    if not isinstance(exc, VMInstance) \
+            or not exc.vmclass.is_subclass_of("Throwable"):
+        raise VMError(f"throw of non-Throwable {_tname(exc)}")
+    raise GuestThrow(exc)
+
+
+def _cold_lswitch(m: "Machine", frame: Frame, stack: list, ins: tuple,
+                  pc: int) -> int:
+    return ins[1].get(stack.pop(), ins[2])
+
+
+_COLD: Dict[int, Callable[..., int]] = {
+    op.OP_IDS[op.NEW]: _cold_new,
+    op.OP_IDS[op.NEWARR]: _cold_newarr,
+    op.OP_IDS[op.LEN]: _cold_len,
+    op.OP_IDS[op.PUTS]: _cold_puts,
+    op.OP_IDS[op.ISREMOTE]: _cold_isremote,
+    op.OP_IDS[op.NEG]: _cold_neg,
+    op.OP_IDS[op.NOT]: _cold_not,
+    op.OP_IDS[op.SWAP]: _cold_swap,
+    op.OP_IDS[op.NOP]: _cold_nop,
+    op.OP_IDS[op.THROW]: _cold_throw,
+    op.OP_IDS[op.LSWITCH]: _cold_lswitch,
 }

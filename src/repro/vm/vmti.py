@@ -13,6 +13,19 @@ breakpoints, asynchronous exception injection, `pop_frame` /
 `force_early_return`, and static-field access.  Also like JVMTI, it does
 **not** expose operand stacks — which is why migration-safe points exist
 (section III.B.1).
+
+Interaction with the dispatch loops: while no breakpoints, breakpoint
+callbacks or write hooks are installed, the machine runs its
+zero-overhead fast loop (see :mod:`repro.vm.machine`).  Installing any
+of them through this interface flips the machine's loop-selection guard:
+if the thread is suspended (the normal case — VMTI calls happen between
+``run()`` calls or from breakpoint callbacks, which already execute
+under the hook-aware loop), the next ``run()`` picks the hook-aware
+loop at entry; if the install happens *mid-run* from a native, the fast
+loop observes it at the native-call safepoint, syncs ``frame.pc``,
+flushes its batched accounting and retreats to the hook-aware loop.
+Either way ``get_frame_location`` always sees a precise original
+bytecode index — superinstruction fusion is invisible here.
 """
 
 from __future__ import annotations

@@ -1,0 +1,360 @@
+"""Differential suite: fast (pre-decoded, fused, inline-cached) dispatch
+must be observationally identical to the legacy string-dispatched loop.
+
+Covers every registry workload plus targeted programs for guest
+exceptions, fused-sequence faults, inline-cache polymorphism, breakpoint
+/ write-hook interplay, mid-fused-sequence suspension and resumption,
+and capture/restore on fast-dispatch machines.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.lang import compile_source
+from repro.migration import RestoreDriver, capture_segment, run_to_msp
+from repro.preprocess import preprocess_program
+from repro.preprocess.fuse import fused_coverage
+from repro.vm import Machine, VMTI
+from repro.vm.machine import UncaughtGuestException
+from repro.workloads import registry
+
+#: dispatch configurations under test: (label, Machine kwargs)
+MODES = [
+    ("fast", dict(dispatch="fast", fuse=True)),
+    ("fast-nofuse", dict(dispatch="fast", fuse=False)),
+]
+
+
+def _run(classes, main, args, **kw):
+    m = Machine(classes, **kw)
+    try:
+        result = m.call(main[0], main[1], list(args))
+        err = None
+    except UncaughtGuestException as exc:
+        result, err = None, (exc.exc.class_name, exc.exc.fields.get("msg"))
+    return m, result, err
+
+
+def _assert_equivalent(classes, main, args):
+    ref, r_ref, e_ref = _run(classes, main, args, dispatch="legacy")
+    for label, kw in MODES:
+        m, r, e = _run(classes, main, args, **kw)
+        assert r == r_ref, f"{label}: result diverged"
+        assert e == e_ref, f"{label}: uncaught-exception diverged"
+        assert m.stdout == ref.stdout, f"{label}: stdout diverged"
+        assert m.instr_count == ref.instr_count, f"{label}: instr_count"
+        assert math.isclose(m.clock, ref.clock, rel_tol=1e-9, abs_tol=1e-12), \
+            f"{label}: clock diverged ({m.clock} vs {ref.clock})"
+    return ref
+
+
+# -- every registry workload, original and preprocessed builds ---------------
+
+@pytest.mark.parametrize("name", sorted(registry.WORKLOADS))
+def test_registry_workloads_identical(name):
+    w = registry.WORKLOADS[name]
+    classes = registry.compiled(name, "original")
+    ref = _assert_equivalent(classes, w.main, w.sim_args)
+    assert ref.instr_count > 1000  # the suite actually executed something
+
+
+@pytest.mark.parametrize("name", ["Fib", "TSP"])
+def test_registry_workloads_identical_faulting_build(name):
+    """The preprocessed (flattened + handler-injected) build too: its
+    restoration LSWITCH prologues and fault-handler rows produce very
+    different instruction shapes."""
+    w = registry.WORKLOADS[name]
+    classes = registry.compiled(name, "faulting")
+    _assert_equivalent(classes, w.main, w.sim_args)
+
+
+# -- guest exceptions, incl. faults from inside fused sequences --------------
+
+EXC_SRC = """
+class E {
+  static int guarded(int a, int b) {
+    int r = 0;
+    try { r = a / b; }                       // LOAD+LOAD+DIV fused group
+    catch (ArithmeticException e) { r = 111; }
+    try { r = r + a % b; }
+    catch (ArithmeticException e) { r = r + 222; }
+    return r;
+  }
+  static int bounds(int n) {
+    int[] xs = new int[4];
+    int s = 0;
+    try {
+      for (int i = 0; i <= n; i = i + 1) { s = s + xs[i]; }
+    } catch (IndexOutOfBoundsException e) { s = s + 7; }
+    return s;
+  }
+  static int npe() {
+    E x = null;
+    try { return E.poke(x); }
+    catch (NullPointerException e) { return 13; }
+  }
+  static int poke(E e) { return 1; }
+  static str concat(int n) { return "n=" + n; }
+  static int uncaught(int n) { return n / 0; }
+}
+"""
+
+
+def exc_classes():
+    return preprocess_program(compile_source(EXC_SRC), "original")
+
+
+@pytest.mark.parametrize("main,args", [
+    (("E", "guarded"), (7, 0)),
+    (("E", "guarded"), (7, 2)),
+    (("E", "bounds"), (10,)),
+    (("E", "npe"), ()),
+    (("E", "concat"), (42,)),
+    (("E", "uncaught"), (5,)),
+])
+def test_guest_exceptions_identical(main, args):
+    _assert_equivalent(exc_classes(), main, args)
+
+
+# -- inline caches -----------------------------------------------------------
+
+POLY_SRC = """
+class A { int tag; int get() { return 1; } }
+class B extends A { int get() { return 2; } }
+class S { static int base; }
+class T extends S { }
+class P {
+  static int virt(int n) {
+    A a = new A();
+    A b = new B();
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      A r = a;
+      if (i % 2 == 1) { r = b; }
+      s = s + r.get();                 // polymorphic site: cache rewrites
+    }
+    return s;
+  }
+  static int statics(int n) {
+    T.base = 3;                        // PUTS resolved via subclass name
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + T.base; }
+    S.base = S.base + 1;
+    return s + T.base;
+  }
+}
+"""
+
+
+def test_polymorphic_virtual_site_identical():
+    classes = preprocess_program(compile_source(POLY_SRC), "original")
+    ref = _assert_equivalent(classes, ("P", "virt"), (50,))
+    assert ref.stdout == []
+
+
+def test_static_home_cache_respects_inheritance():
+    classes = preprocess_program(compile_source(POLY_SRC), "original")
+    _assert_equivalent(classes, ("P", "statics"), (20,))
+    # and the cached home really is the declaring superclass
+    m = Machine(classes)
+    m.call("P", "statics", [5])
+    assert m.loader.load("S").statics["base"] == 4
+    assert "base" not in m.loader.load("T").statics
+
+
+# -- fusion structure ---------------------------------------------------------
+
+LOOP_SRC = """
+class L {
+  static int sum(int n) {
+    int s = 0;
+    for (int i = 0; i < n; i = i + 1) { s = s + i; }
+    return s;
+  }
+}
+"""
+
+
+def _loop_setup():
+    classes = preprocess_program(compile_source(LOOP_SRC), "original")
+    m = Machine(classes)
+    code = m.loader.load("L").find_method("sum")
+    return m, code, m.decoded(code)
+
+
+def test_fused_stream_structure():
+    m, code, stream = _loop_setup()
+    cov = fused_coverage(stream)
+    # the loop header and induction step must both have fused
+    assert any("cmp+JZ" in k for k in cov), cov
+    assert "LOAD+CONST+ADD+STORE" in cov, cov
+    # streams are parallel to the original instrs: every slot is an
+    # executable decode for its own bci and groups never run off the end
+    assert len(stream) == len(code.instrs)
+    for i, slot in enumerate(stream):
+        assert slot[4] >= 1
+        assert i + slot[4] <= len(stream)
+
+
+def test_fast_and_unfused_share_results():
+    classes = preprocess_program(compile_source(LOOP_SRC), "original")
+    _assert_equivalent(classes, ("L", "sum"), (200,))
+
+
+# -- suspension and resumption mid-fused-sequence -----------------------------
+
+def _interior_bci(stream):
+    """An original bci strictly inside a 4-wide fused group (the loop
+    header compare-and-branch or the induction step — both live inside
+    the loop, so they execute once per iteration)."""
+    for i, slot in enumerate(stream):
+        if slot[4] == 4:
+            return i + 2
+    raise AssertionError("no 4-wide fused group found")
+
+
+def test_resume_inside_fused_group_on_fast_loop():
+    m, code, stream = _loop_setup()
+    interior = _interior_bci(stream)
+    t = m.spawn("L", "sum", [60])
+    # stop exactly at the interior bci (slow loop, bci-precise)...
+    status = m.run(t, stop=lambda th: th.frames[-1].pc == interior)
+    assert status == "stopped"
+    assert t.frames[-1].pc == interior
+    # ...then resume on the fast loop: execution enters the middle of a
+    # fused group and must run the interior slots unfused.
+    m.run(t)
+    assert t.result == sum(range(60))
+
+
+def test_breakpoint_fires_mid_fused_sequence():
+    m, code, stream = _loop_setup()
+    interior = _interior_bci(stream)
+    vmti = VMTI(m)
+    hits = []
+    vmti.set_breakpoint("L", "sum", interior)
+    vmti.set_breakpoint_callback(
+        lambda mach, th: hits.append(th.frames[-1].pc))
+    t = m.spawn("L", "sum", [10])
+    m.run(t)
+    assert t.result == sum(range(10))
+    assert hits and all(pc == interior for pc in hits)
+    # the interior bci is loop-body code: it fires once per iteration
+    # (n or n+1 times depending on whether it is the header or the step)
+    assert len(hits) in (10, 11)
+
+
+def test_write_hook_observes_all_writes():
+    classes = preprocess_program(compile_source(POLY_SRC), "original")
+    writes = {"fast": [], "legacy": []}
+    machines = {}
+    for label in ("fast", "legacy"):
+        m = Machine(classes, dispatch=label)
+        m.on_write = lambda obj, lab=label: writes[lab].append(type(obj).__name__)
+        m.call("P", "statics", [8])
+        machines[label] = m
+    assert writes["fast"] == writes["legacy"]
+    assert writes["fast"]  # statics writes observed
+    assert machines["fast"].instr_count == machines["legacy"].instr_count
+
+
+def test_native_installed_hooks_retreat_to_slow_loop():
+    """The loop-selection guard: a native arms a breakpoint mid-run; the
+    fast loop must notice at the safepoint and hand over to the
+    hook-aware loop so the breakpoint actually fires."""
+    src = """
+    class G {
+      static int go(int n) {
+        Sys.armHook();
+        int s = 0;
+        for (int i = 0; i < n; i = i + 1) { s = s + i; }
+        return s;
+      }
+    }
+    """
+    classes = preprocess_program(compile_source(src), "original")
+    m = Machine(classes)
+    hits = []
+
+    def arm(machine, args):
+        code = machine.loader.load("G").find_method("go")
+        interior = _interior_bci(machine.decoded(code))
+        machine.breakpoints.add(("G", "go", interior))
+        machine.on_breakpoint = lambda mach, th: hits.append(
+            th.frames[-1].pc)
+        return None
+
+    m.natives.register("Sys.armHook", arm)
+    result = m.call("G", "go", [5])
+    assert result == sum(range(5))
+    assert hits, "breakpoint armed by a native never fired"
+
+
+# -- capture / restore on fast-dispatch machines ------------------------------
+
+MIG_SRC = """
+class Data { int v; }
+class R {
+  static Data shared;
+  static int outer(int n) {
+    R.shared = new Data();
+    R.shared.v = 50;
+    int x = R.middle(n);
+    return x + R.shared.v;
+  }
+  static int middle(int n) { return R.inner(n) * 2; }
+  static int inner(int n) {
+    int acc = 3;
+    for (int i = 0; i < n; i = i + 1) { acc = acc + i; }
+    acc = acc + R.shared.v;
+    return acc;
+  }
+}
+"""
+
+
+def test_capture_restore_roundtrip_on_fast_dispatch():
+    """The restore dance (breakpoints + injected handlers + LSWITCH
+    dispatch to the saved pc) runs on machines whose default dispatch is
+    fast — exercising the fast→slow handover and bci-precise capture
+    from a thread that was running fused code."""
+    classes = preprocess_program(compile_source(MIG_SRC), "faulting")
+    m = Machine(classes)  # fast dispatch
+    t = m.spawn("R", "outer", [6])
+    m.run(t, stop=lambda th: th.frames[-1].code.name == "inner")
+    run_to_msp(m, t)
+    top = t.frames[-1]
+    assert top.pc in top.code.msps  # frame.pc is an original bci
+    captured_pc = top.pc
+    captured_locals = list(top.locals)
+    state = capture_segment(VMTI(m), t, 1, home_node="home")
+
+    dst = Machine(classes)  # fast dispatch on the destination too
+    restored = RestoreDriver(dst, VMTI(dst), state).restore()
+    assert restored.depth() == 1
+    rf = restored.frames[-1]
+    assert rf.pc == captured_pc
+    assert not rf.stack
+    # primitive locals travel by value (objects become remote refs)
+    for a, b in zip(captured_locals, rf.locals):
+        if isinstance(a, (int, float, bool, str)) or a is None:
+            assert a == b
+
+
+def test_full_migration_workflow_still_works(sod_engine, app_classes_faulting):
+    """End-to-end SOD migration (engines drive breakpoints, write hooks
+    and stop predicates) on machines whose default dispatch is fast."""
+    expected = Machine(app_classes_faulting,
+                       dispatch="legacy").call("App", "work", [5])
+    eng = sod_engine
+    home = eng.host("node0")
+    t = eng.spawn(home, "App", "work", [5])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "step")
+    worker, wt, _rec = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+    eng.run(home, t)
+    assert t.result == expected

@@ -208,3 +208,26 @@ def test_schedule_into_past_rejected():
     env.run()
     with pytest.raises(SimulationError):
         env._schedule(1.0, lambda _: None, None)
+
+
+def test_resource_many_waiters_fifo_stress():
+    """Thousands of queued requests drain strictly FIFO; the deque-based
+    wait queue keeps each wakeup O(1) (a list.pop(0) queue is O(n) per
+    release and quadratic overall)."""
+    env = Environment()
+    res = Resource(env, capacity=1)
+    n = 5000
+    order = []
+
+    def worker(i):
+        yield res.request()
+        yield env.timeout(0.001)
+        res.release()
+        order.append(i)
+
+    for i in range(n):
+        env.process(worker(i))
+    env.run()
+    assert order == list(range(n))
+    assert env.now == pytest.approx(n * 0.001)
+    assert not res._waiters and res.in_use == 0  # fully drained
