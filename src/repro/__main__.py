@@ -8,6 +8,9 @@ Commands:
   result and instruction count (``Fib``, ``NQ``, ``FFT``, ``TSP``).
 * ``migrate <workload>`` — run it under SODEE with a top-frame migration
   and print the migration record and trace timeline.
+* ``serve [--mix parallel] [--nodes 4] [--requests 32]`` — run the
+  elastic cluster scheduler on a request mix and print the serving
+  report (deterministic; ``--json`` for machine-readable output).
 * ``disasm <file.mj> [Class.method]`` — compile a MiniLang file and print
   the (preprocessed) bytecode.
 * ``workloads`` — list registered workloads with paper/sim parameters.
@@ -85,6 +88,38 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve import serve_mix
+    from repro.workloads import MIXES
+    if args.mix not in MIXES:
+        print(f"unknown mix {args.mix!r}; known: {sorted(MIXES)}",
+              file=sys.stderr)
+        return 2
+    rep = serve_mix(args.mix, n_nodes=args.nodes, n_requests=args.requests,
+                    seed=args.seed, quantum=args.quantum,
+                    placement=args.placement, offload=args.offload)
+    if args.json:
+        print(_json.dumps(rep.to_dict(), indent=2))
+        return 0 if rep.correct == rep.served == rep.submitted else 1
+    print(f"mix={rep.mix} nodes={rep.n_nodes} "
+          f"served={rep.served}/{rep.submitted} correct={rep.correct}")
+    print(f"makespan={rep.makespan:.4f}s  "
+          f"throughput={rep.throughput:.1f} req/s  "
+          f"latency p50={rep.latency_p50 * 1e3:.1f}ms "
+          f"p95={rep.latency_p95 * 1e3:.1f}ms")
+    s = rep.stats
+    print(f"quanta={s['quanta']} handoffs={s['handoffs']} "
+          f"sod_offloads={s['sod_offloads']} "
+          f"(batched {s['batched_threads']}) "
+          f"completions={s['completions']}")
+    for node, row in rep.per_node.items():
+        print(f"  {node}: served={row['served']:<3d} "
+              f"busy={row['busy_s']:.4f}s w={row['cpu_weight']:g}")
+    return 0 if rep.correct == rep.served == rep.submitted else 1
+
+
 def _cmd_disasm(args: argparse.Namespace) -> int:
     from repro.bytecode import disassemble
     from repro.lang import compile_source
@@ -125,6 +160,19 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("migrate", help="run a workload with SOD migration")
     p.add_argument("workload")
     p.set_defaults(fn=_cmd_migrate)
+
+    p = sub.add_parser("serve", help="run the elastic cluster scheduler")
+    p.add_argument("--mix", default="parallel")
+    p.add_argument("--nodes", type=int, default=4)
+    p.add_argument("--requests", type=int, default=32)
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--quantum", type=int, default=2500)
+    p.add_argument("--placement", default="round-robin",
+                   choices=["round-robin", "front-door"])
+    p.add_argument("--offload", default="queue-depth",
+                   choices=["queue-depth", "clock-pressure", "none"])
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser("disasm", help="compile + disassemble MiniLang")
     p.add_argument("path")

@@ -3,9 +3,11 @@
 from repro.cluster.network import LinkSpec, Network
 from repro.cluster.nfs import DiskSpec, FileSystem, SimFile
 from repro.cluster.node import Node, NodeSpec
-from repro.cluster.topology import Cluster, gige_cluster, phone_setup, wan_grid
+from repro.cluster.topology import (Cluster, gige_cluster, phone_setup,
+                                    serve_cluster, wan_grid)
 
 __all__ = [
     "LinkSpec", "Network", "DiskSpec", "FileSystem", "SimFile",
-    "Node", "NodeSpec", "Cluster", "gige_cluster", "phone_setup", "wan_grid",
+    "Node", "NodeSpec", "Cluster", "gige_cluster", "phone_setup",
+    "serve_cluster", "wan_grid",
 ]

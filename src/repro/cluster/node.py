@@ -34,6 +34,12 @@ class NodeSpec:
             Java-serialization at Java level, which is much slower,
             cf. paper section IV.D).
         kind: freeform tag ("server", "phone", "cloud") used by policies.
+        cpu_weight: relative serving capacity used by the elastic
+            scheduler for weighted queue-depth balancing (a node with
+            weight 2 should carry twice the runnable threads of a
+            weight-1 node).  Independent of ``speed_factor`` so
+            placement preferences can be tuned without changing the
+            timing model.
     """
 
     name: str
@@ -41,6 +47,7 @@ class NodeSpec:
     ram_bytes: int = gb(32)
     has_vmti: bool = True
     kind: str = "server"
+    cpu_weight: float = 1.0
 
 
 class Node:

@@ -48,6 +48,11 @@ class Cluster:
     def names(self) -> List[str]:
         return list(self.nodes)
 
+    def latency(self, a: str, b: str) -> float:
+        """One-way link latency between two nodes (topology-aware
+        placement uses it to prefer nearby offload targets)."""
+        return self.network.link(a, b).latency
+
 
 def _base(default_link: LinkSpec) -> Cluster:
     env = Environment()
@@ -62,6 +67,40 @@ def gige_cluster(n_nodes: int = 2, ram_bytes: int = gb(32)) -> Cluster:
     cluster = _base(LinkSpec(bandwidth=gbps(1), latency=us(80)))
     for i in range(n_nodes):
         cluster.add_node(NodeSpec(name=f"node{i}", ram_bytes=ram_bytes))
+    return cluster
+
+
+def serve_cluster(n_nodes: int = 4,
+                  cpu_weights: Optional[List[float]] = None,
+                  ram_bytes: int = gb(32),
+                  rack_size: int = 4,
+                  cross_rack_latency: float = us(320)) -> Cluster:
+    """The elastic-serving testbed: ``n_nodes`` GigE nodes named
+    ``node0..node{n-1}``, grouped into racks of ``rack_size``.
+
+    Links within a rack are one switch hop (the default GigE latency);
+    links between racks cross an aggregation switch and pay
+    ``cross_rack_latency`` one way, so topology-aware offload placement
+    has a real gradient to exploit.  ``cpu_weights`` (one per node)
+    makes the cluster heterogeneous: weight w serves w times the
+    requests of weight 1 and runs guest code w times faster
+    (``speed_factor = 1/w``).
+    """
+    if cpu_weights is not None and len(cpu_weights) != n_nodes:
+        raise ClusterError(
+            f"expected {n_nodes} cpu weights, got {len(cpu_weights)}")
+    cluster = _base(LinkSpec(bandwidth=gbps(1), latency=us(80)))
+    for i in range(n_nodes):
+        w = cpu_weights[i] if cpu_weights is not None else 1.0
+        if w <= 0:
+            raise ClusterError(f"node{i}: cpu weight must be > 0, got {w}")
+        cluster.add_node(NodeSpec(name=f"node{i}", ram_bytes=ram_bytes,
+                                  speed_factor=1.0 / w, cpu_weight=w))
+    slow = LinkSpec(bandwidth=gbps(1), latency=cross_rack_latency)
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            if i // rack_size != j // rack_size:
+                cluster.network.set_link(f"node{i}", f"node{j}", slow)
     return cluster
 
 

@@ -110,7 +110,25 @@ class WorkerObjectManager:
         self.home_identity: Dict[int, Tuple[int, str]] = {}
         #: dirty fetched objects (by id) and locally created dirty roots
         self.dirty: Dict[int, Any] = {}
-        self.dirty_statics: Dict[Tuple[str, str], VMClass] = {}
+        #: (class, field) -> (worker-side class, attributed home node or
+        #: None).  The home attribution lets a multi-tenant write-back
+        #: ship each home its own static updates; None means the write
+        #: came from a thread with no registered home (a local request,
+        #: or a single-tenant flow that never registers).
+        self.dirty_statics: Dict[Tuple[str, str],
+                                 Tuple[VMClass, Optional[str]]] = {}
+        #: cache keys fetched on behalf of each running segment thread,
+        #: so its consistency epoch can be released at completion (the
+        #: serve scheduler re-offloads threads whose home state has
+        #: moved on; serving them stale cached copies would fork state)
+        self.fetched_by: Dict[Any, List[Tuple[int, str]]] = {}
+        #: restored segment thread -> the home node its state came from
+        self.thread_home: Dict[Any, str] = {}
+        #: static-bearing classes each segment thread's state touches
+        self.thread_statics: Dict[Any, frozenset] = {}
+        #: the one bound barrier (bound methods are created per access;
+        #: pinning it makes arm/disarm identity checks possible)
+        self._barrier = self._on_write
         self.stats = FaultStats()
         #: pluggable prefetching scheme (see repro.migration.prefetch)
         from repro.migration.prefetch import NoPrefetch
@@ -119,16 +137,40 @@ class WorkerObjectManager:
         #: + serializer setup); charged once per demand fetch and once
         #: per prefetch *batch* — batching is what prefetching buys.
         self.service_fixed = 0.0
-        machine.on_write = self._on_write
+        machine.on_write = self._barrier
 
     # -- dirty tracking ----------------------------------------------------
 
     def _on_write(self, target: Any) -> None:
         if isinstance(target, VMClass):
+            home = self.thread_home.get(
+                getattr(self.machine, "current_thread", None))
             for fname in target.statics:
-                self.dirty_statics[(target.name, fname)] = target
+                self.dirty_statics[(target.name, fname)] = (target, home)
         else:
             self.dirty[id(target)] = target
+
+    def register_thread_home(self, thread: Any, home_node: str,
+                             static_classes: frozenset = frozenset()
+                             ) -> None:
+        """Record which home a restored segment thread came from (so
+        its static writes are attributed and written back to *that*
+        home) and which static-bearing classes its state carries (so
+        a later cross-home segment sharing them is refused)."""
+        self.thread_home[thread] = home_node
+        if static_classes:
+            self.thread_statics[thread] = static_classes
+
+    def arm(self) -> None:
+        """(Re)install the write barrier on the machine."""
+        self.machine.on_write = self._barrier
+
+    def disarm(self) -> None:
+        """Remove the write barrier (only safe with no active segment
+        epochs and nothing dirty: tracking writes for nobody just
+        forces every thread on this machine onto the hook-aware loop)."""
+        if self.machine.on_write is self._barrier:
+            self.machine.on_write = None
 
     # -- fetching ---------------------------------------------------------------
 
@@ -137,6 +179,10 @@ class WorkerObjectManager:
         key = (ref.home_oid, ref.home_node)
         hit = self.cache.get(key)
         if hit is not None:
+            # A cache hit still joins the faulting thread's epoch:
+            # releasing another thread must not evict (and de-identify)
+            # a copy this thread is actively using.
+            self._track_fetch(key)
             return hit
         t0 = self.machine.clock
         payload, nbytes, owner = self.fetch_service(self.node_name, ref)
@@ -147,6 +193,7 @@ class WorkerObjectManager:
         obj = self._decode(payload)
         self.cache[key] = obj
         self.home_identity[id(obj)] = (ref.home_oid, ref.home_node)
+        self._track_fetch(key)
         self.stats.faults += 1
         self.stats.fetched_bytes += nbytes
         self.prefetcher.record(ref, obj)
@@ -183,6 +230,7 @@ class WorkerObjectManager:
                     obj = self._decode(payload)
                     self.cache[key] = obj
                     self.home_identity[id(obj)] = key
+                    self._track_fetch(key)
                     count += 1
                     next_frontier.extend(
                         x for x in self.prefetcher.after_fetch(self, r, obj)
@@ -197,6 +245,36 @@ class WorkerObjectManager:
                 self.machine.charge(self.machine.cost.deserialize_cost(total))
                 self.stats.prefetched += count
                 self.stats.fetched_bytes += total
+
+    def _track_fetch(self, key: Tuple[int, str]) -> None:
+        """Attribute a fetched cache entry to the thread that faulted."""
+        thread = getattr(self.machine, "current_thread", None)
+        if thread is not None:
+            self.fetched_by.setdefault(thread, []).append(key)
+
+    def release_thread(self, thread: Any) -> None:
+        """End one segment thread's consistency epoch: forget the home
+        copies fetched on its behalf.  The home resumes (and mutates)
+        those objects the moment the segment completes, so a later
+        segment of the same program must re-fetch rather than reuse the
+        now-stale cache.  Copies shared with a still-running segment
+        (it hit the cache on the same key) stay — evicting them would
+        also drop the identity its write-back needs."""
+        keys = self.fetched_by.pop(thread, [])
+        self.thread_home.pop(thread, None)
+        self.thread_statics.pop(thread, None)
+        if not keys:
+            return
+        still_used = set()
+        for other in self.fetched_by.values():
+            still_used.update(other)
+        for key in keys:
+            if key in still_used:
+                continue
+            obj = self.cache.pop(key, None)
+            if obj is not None:
+                self.home_identity.pop(id(obj), None)
+                self.dirty.pop(id(obj), None)
 
     def _decode(self, payload: Any) -> Any:
         from repro.migration.state import decode_value
@@ -290,10 +368,18 @@ class WorkerObjectManager:
 
     # -- write-back ----------------------------------------------------------------
 
-    def build_writeback(self, return_value: Any
+    def build_writeback(self, return_value: Any,
+                        home_node: Optional[str] = None
                         ) -> Tuple[Dict[str, Any], int]:
         """Assemble the completion message: return value + dirty objects
-        + dirty statics.  Returns (message, modeled_bytes)."""
+        + dirty statics.  Returns (message, modeled_bytes).
+
+        ``home_node`` scopes the message to objects fetched *from that
+        home*: a worker machine serving several concurrent segments
+        (the elastic scheduler) must not ship another home's dirty
+        objects — their oids mean nothing to this home's server and
+        would be applied to unrelated objects.  ``None`` keeps the
+        single-tenant behavior (ship everything)."""
         enc = GraphEncoder(self.node_name, self.home_identity, eager=False)
         updates: Dict[int, Dict[str, Any]] = {}
         elem_updates: Dict[int, List[Any]] = {}
@@ -302,6 +388,8 @@ class WorkerObjectManager:
             if ident is None:
                 continue  # locally created: travels inline if reachable
             oid, node = ident
+            if home_node is not None and node != home_node:
+                continue  # another segment's working set
             if isinstance(obj, VMInstance):
                 updates[oid] = {n: enc.encode(v) for n, v in obj.fields.items()}
             else:
@@ -310,9 +398,15 @@ class WorkerObjectManager:
                 else:
                     elem_updates[oid] = list(obj.data)
                     enc.nbytes += len(obj.data) * obj.nominal_elem_bytes
+        # Statics: a scoped write-back ships only writes attributed to
+        # that home (every restored segment thread is registered, so an
+        # unattributed home=None write comes from a *local* thread and
+        # must never ride a foreign segment's completion).  Unscoped
+        # write-backs (single-tenant flushes) keep shipping everything.
         static_updates = {
             key: enc.encode(cls.statics[key[1]])
-            for key, cls in self.dirty_statics.items()
+            for key, (cls, home) in self.dirty_statics.items()
+            if home_node is None or home == home_node
         }
         return_enc = enc.encode(return_value)
         message = {
@@ -324,8 +418,24 @@ class WorkerObjectManager:
         }
         return message, enc.nbytes + 64
 
-    def clear_dirty(self) -> None:
+    def clear_dirty(self, home_node: Optional[str] = None) -> None:
         """Forget the dirty set after a successful write-back, so later
-        flushes (multi-hop roaming) only ship fresh changes."""
-        self.dirty.clear()
-        self.dirty_statics.clear()
+        flushes (multi-hop roaming) only ship fresh changes.  With
+        ``home_node``, forget only what that write-back shipped: objects
+        homed there plus locally created roots; another segment's dirty
+        objects stay tracked for its own completion."""
+        if home_node is None:
+            self.dirty.clear()
+            self.dirty_statics.clear()
+            return
+        self.dirty = {
+            key: obj for key, obj in self.dirty.items()
+            if (self.home_identity.get(id(obj)) or (0, home_node))[1]
+            != home_node
+        }
+        # drop exactly what the scoped write-back shipped
+        self.dirty_statics = {
+            key: (cls, home)
+            for key, (cls, home) in self.dirty_statics.items()
+            if home != home_node
+        }

@@ -68,6 +68,14 @@ def after_instrs(machine, budget: int) -> Trigger:
     return lambda t: machine.instr_count - start >= budget
 
 
+def after_clock(machine, budget: float) -> Trigger:
+    """Fires once the machine's virtual clock has advanced ``budget``
+    simulated seconds (the serve scheduler's clock-pressure offload
+    trigger is built on the same idea at node granularity)."""
+    start = machine.clock
+    return lambda t: machine.clock - start >= budget
+
+
 def any_of(*triggers: Trigger) -> Trigger:
     """Fires when any sub-trigger fires."""
     return lambda t: any(trig(t) for trig in triggers)

@@ -73,7 +73,9 @@ class Host:
         self.objman: Optional[WorkerObjectManager] = None
 
     def attach_object_manager(self) -> WorkerObjectManager:
-        """Install the worker-side object manager (ObjMan natives)."""
+        """Install the worker-side object manager (ObjMan natives).
+        Re-attaching re-arms the write barrier (it may have been
+        disarmed between segment episodes to keep fast dispatch)."""
         if self.objman is None:
             self.objman = WorkerObjectManager(
                 self.machine, self.node_name,
@@ -81,6 +83,8 @@ class Host:
                 rtt_service=self.engine.rtt)
             self.objman.service_fixed = self.engine.sys.fault_service_fixed
             self.objman.install_natives()
+        else:
+            self.objman.arm()
         return self.objman
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -123,11 +127,14 @@ class SODEngine:
         self.hosts[node_name] = h
         return h
 
-    def _worker_host(self, node_name: str, home: Host) -> Tuple[Host, float]:
+    def _worker_host(self, node_name: str, home: Host,
+                     attach_objman: bool = True) -> Tuple[Host, float]:
         """Get/spawn the worker host on ``node_name`` with on-demand class
         fetching from ``home``.  Returns (host, spawn_seconds)."""
         existing = self.hosts.get(node_name)
         if existing is not None:
+            if attach_objman:
+                existing.attach_object_manager()
             return existing, 0.0
         worker = self.host(node_name, with_classes=False)
         spawn = 0.0 if self.prestart_workers else self.sys.worker_spawn
@@ -141,8 +148,26 @@ class SODEngine:
             return cf
 
         worker.machine.loader.missing_class_hook = missing
-        worker.attach_object_manager()
+        if attach_objman:
+            worker.attach_object_manager()
         return worker, spawn
+
+    def worker_host(self, node_name: str, home: Host,
+                    attach_objman: bool = True) -> Host:
+        """Public worker-host accessor for schedulers: the host on
+        ``node_name`` with on-demand class fetching from ``home``.  A
+        first-time spawn cost (when workers are not pre-started) is
+        charged to the engine timeline.
+
+        ``attach_objman=False`` defers the object manager (and its
+        write barrier, which forces the hook-aware interpreter loop):
+        a node serving only locally spawned requests keeps fast
+        dispatch, and :meth:`migrate`/:meth:`migrate_many` attach the
+        manager the moment a segment actually lands there."""
+        worker, spawn = self._worker_host(node_name, home,
+                                          attach_objman=attach_objman)
+        self.timeline += spawn
+        return worker
 
     # -- network services -------------------------------------------------------
 
@@ -181,6 +206,39 @@ class SODEngine:
         return status
 
     # -- SOD migration -----------------------------------------------------------------
+
+    @staticmethod
+    def _static_classes(state: CapturedState) -> frozenset:
+        """Classes whose statics travel with this captured segment."""
+        return frozenset(cname for (cname, _f) in state.statics)
+
+    @staticmethod
+    def _check_cross_home_statics(worker: Host, state: CapturedState,
+                                  src_node: str) -> None:
+        """Refuse to co-locate segments from *different* homes whose
+        classes carry mutable statics: a worker machine has one static
+        cell per class, so restoring the second segment would overwrite
+        the first home's values and their updates would compose on one
+        shared cell — silent cross-tenant corruption.  (Same-home
+        co-location keeps last-writer-wins release consistency;
+        reentrant, statics-free programs — the serving contract — are
+        never affected.)"""
+        objman = worker.objman
+        if objman is None:
+            return
+        new = SODEngine._static_classes(state)
+        if not new:
+            return
+        for thread, home in objman.thread_home.items():
+            if home == src_node:
+                continue
+            shared = objman.thread_statics.get(thread, frozenset()) & new
+            if shared:
+                raise MigrationError(
+                    f"cross-home static conflict on {sorted(shared)}: "
+                    f"worker {worker.node_name} already hosts a segment "
+                    f"from {home} using these statics; cannot also "
+                    f"serve {src_node}")
 
     def migrate(self, src_host: Host, thread: ThreadState, dst_node: str,
                 nframes: int = 1,
@@ -241,6 +299,7 @@ class SODEngine:
         # The top frame's class arrives with the state.
         worker.machine.loader._classpath.setdefault(top_class, cf)
         worker.attach_object_manager()
+        self._check_cross_home_statics(worker, state, src_host.node_name)
         t0 = worker.machine.clock
         if worker.vmti is not None:
             worker.machine.charge(self.sys.sod_restore_fixed
@@ -256,6 +315,10 @@ class SODEngine:
             worker.machine.charge(worker.machine.cost.deserialize_cost(
                 rec.state_bytes))
             worker_thread = java_level_restore(worker.machine, state)
+        if worker.objman is not None:
+            worker.objman.register_thread_home(
+                worker_thread, src_host.node_name,
+                self._static_classes(state))
         rec.restore_time = worker.machine.clock - t0
 
         self.timeline += rec.latency
@@ -263,6 +326,114 @@ class SODEngine:
         if run_after_restore:
             self.run(worker, worker_thread)
         return worker, worker_thread, rec
+
+    def migrate_many(self, src_host: Host, threads: List[ThreadState],
+                     dst_node: str, nframes: int = 1
+                     ) -> Tuple[Host, List[Tuple[ThreadState,
+                                                 MigrationRecord]]]:
+        """Batched SOD offload: capture the top ``nframes`` frames of
+        *several* threads and ship them to ``dst_node`` in one bulk
+        message.
+
+        Under serving load the offload trigger routinely fires for more
+        than one hot thread at once; shipping the captures together
+        amortizes the fixed per-message transfer setup
+        (``sod_transfer_fixed``) and sends each distinct top-frame class
+        once instead of once per thread.  Per-thread capture and restore
+        costs are unchanged (VMTI walks every frame either way).
+
+        Returns ``(worker_host, [(worker_thread, record), ...])`` in
+        input order.  Requires ``threads`` to be non-empty.
+        """
+        if not threads:
+            raise MigrationError("migrate_many: empty thread batch")
+        if src_host.vmti is None:
+            raise MigrationError(
+                f"source {src_host.node_name} lacks VMTI; cannot capture")
+        machine = src_host.machine
+        dst_spec = self.cluster.node(dst_node).spec
+        if not dst_spec.has_vmti:
+            raise MigrationError(
+                "migrate_many targets VMTI-capable nodes only")
+
+        # -- capture every thread (each at its own MSP) --
+        recs: List[MigrationRecord] = []
+        states: List[CapturedState] = []
+        for thread in threads:
+            t0 = machine.clock
+            run_to_msp(machine, thread)
+            self.timeline += machine.clock - t0
+            t0 = machine.clock
+            state = capture_segment(src_host.vmti, thread, nframes,
+                                    home_node=src_host.node_name)
+            machine.charge(self.sys.sod_capture_fixed)
+            rec = MigrationRecord(src=src_host.node_name, dst=dst_node,
+                                  nframes=nframes)
+            rec.capture_time = machine.clock - t0
+            rec.state_bytes = state.state_bytes()
+            states.append(state)
+            recs.append(rec)
+
+        # -- one bulk transfer: single fixed setup, classes deduplicated --
+        class_files = {}
+        for state in states:
+            top_class = state.frames[-1].class_name
+            if top_class not in class_files:
+                class_files[top_class] = machine.loader.classfile(top_class)
+        state_wire = sum(machine.cost.wire_bytes(r.state_bytes)
+                         for r in recs)
+        class_bytes = {name: class_size(cf)
+                       for name, cf in class_files.items()}
+        class_wire = sum(machine.cost.wire_bytes(b)
+                         for b in class_bytes.values())
+        bulk_state = (self.sys.sod_transfer_fixed
+                      + self.transfer_time(src_host.node_name, dst_node,
+                                           state_wire))
+        bulk_class = self.transfer_time(src_host.node_name, dst_node,
+                                        class_wire)
+        # Attribute the shared bulk times evenly across the batch so
+        # per-record latencies still sum to the true wire time; each
+        # distinct class's bytes are charged to the first record that
+        # ships it (summing class_bytes across records must equal what
+        # actually crossed the wire).
+        n = len(recs)
+        charged: set = set()
+        for rec, state in zip(recs, states):
+            top_class = state.frames[-1].class_name
+            if top_class not in charged:
+                charged.add(top_class)
+                rec.class_bytes = class_bytes[top_class]
+            rec.state_transfer_time = bulk_state / n
+            rec.class_transfer_time = bulk_class / n
+            rec.transfer_time = rec.state_transfer_time \
+                + rec.class_transfer_time
+
+        # -- restore each segment on the worker --
+        worker, spawn = self._worker_host(dst_node, src_host)
+        for name, cf in class_files.items():
+            worker.machine.loader._classpath.setdefault(name, cf)
+        worker.attach_object_manager()
+        for state in states:
+            self._check_cross_home_statics(worker, state,
+                                           src_host.node_name)
+        out: List[Tuple[ThreadState, MigrationRecord]] = []
+        for rec, state in zip(recs, states):
+            rec.worker_spawn_time = spawn
+            spawn = 0.0  # charged once per batch
+            t0 = worker.machine.clock
+            worker.machine.charge(self.sys.sod_restore_fixed
+                                  + self.sys.sod_restore_per_frame * nframes)
+            driver = RestoreDriver(worker.machine, worker.vmti, state)
+            worker_thread = driver.restore(run_after=False)
+            if worker.objman is not None:
+                worker.objman.register_thread_home(
+                    worker_thread, src_host.node_name,
+                    self._static_classes(state))
+            rec.restore_time = worker.machine.clock - t0
+            self.timeline += rec.latency
+            self.migrations.append(rec)
+            out.append((worker_thread, rec))
+        return worker, out
 
     # -- segment completion ------------------------------------------------------------
 
@@ -286,7 +457,11 @@ class SODEngine:
         if objman is None:
             raise MigrationError("worker has no object manager")
         t0 = worker.machine.clock
-        message, nbytes = objman.build_writeback(worker_thread.result)
+        # Scope the message to this segment's home: a worker serving
+        # several concurrent segments must not ship another home's
+        # dirty objects (their oids are meaningless to this server).
+        message, nbytes = objman.build_writeback(worker_thread.result,
+                                                 home_node=home.node_name)
         worker.machine.charge(worker.machine.cost.serialize_cost(nbytes))
         wb_serialize = worker.machine.clock - t0
         wire = self.transfer_time(worker.node_name, home.node_name,
@@ -311,11 +486,46 @@ class SODEngine:
                 home_thread.finished = True
                 home_thread.result = value
         apply_time = home.machine.clock - t0
-        objman.clear_dirty()
+        objman.clear_dirty(home.node_name)
+        objman.release_thread(worker_thread)
+        if (not objman.thread_home and not objman.dirty
+                and not objman.dirty_statics):
+            # No segment epoch left on this worker (thread_home tracks
+            # every restored-and-unreleased segment, including ones
+            # that have not faulted anything yet): drop the write
+            # barrier so locally served requests regain fast dispatch
+            # (the next restore re-arms it via attach_object_manager).
+            objman.disarm()
 
         dt = wb_serialize + wire + apply_time
         self.timeline += dt
         return dt
+
+    def abandon_segment(self, worker: Host,
+                        worker_thread: ThreadState) -> None:
+        """Discard a dead segment's worker-side state without any
+        write-back (e.g. it died of an uncaught guest exception): the
+        epoch is released, the home's pending static writes are dropped
+        unless a sibling segment from that home is still running, and
+        the write barrier disarms once the worker is idle — mirroring
+        :meth:`complete_segment`'s cleanup, minus the message."""
+        objman = worker.objman
+        if objman is None:
+            return
+        home = objman.thread_home.get(worker_thread)
+        objman.release_thread(worker_thread)
+        if home is not None and home not in objman.thread_home.values():
+            objman.dirty_statics = {
+                k: (c, h) for k, (c, h) in objman.dirty_statics.items()
+                if h != home}
+        # drop untracked local roots too: they are never shipped and
+        # would only keep the barrier armed
+        objman.dirty = {
+            k: o for k, o in objman.dirty.items()
+            if objman.home_identity.get(id(o)) is not None}
+        if (not objman.thread_home and not objman.dirty
+                and not objman.dirty_statics):
+            objman.disarm()
 
     def resync_statics(self, worker: Host, home: Host) -> float:
         """Refresh the worker's static fields from the home's current

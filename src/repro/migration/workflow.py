@@ -117,6 +117,8 @@ def _restore_residual(engine: SODEngine, home: Host, thread: ThreadState,
         raise MigrationError("residual restore requires VMTI at destination")
     driver = RestoreDriver(worker.machine, worker.vmti, state)
     residual_thread = driver.restore(run_after=False)
+    if worker.objman is not None:
+        worker.objman.register_thread_home(residual_thread, home.node_name)
     rec.restore_time = worker.machine.clock - t0
     engine.migrations.append(rec)
     return worker, residual_thread, rec

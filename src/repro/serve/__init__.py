@@ -1,0 +1,25 @@
+"""The elastic serving layer (ROADMAP north star: serve heavy traffic).
+
+Builds on everything below it: the discrete-event kernel schedules node
+processes, the cluster substrate prices links and capacities, the VM's
+safepoint-polled quantum preemption time-slices many guest threads per
+node, and the SOD machinery ships the top frames of hot threads to
+underloaded nodes mid-run.
+
+* :mod:`repro.serve.loadgen` — requests and the seeded load generator.
+* :mod:`repro.serve.policies` — admission placement and offload policies.
+* :mod:`repro.serve.scheduler` — the cluster scheduler itself.
+"""
+
+from repro.serve.loadgen import LoadGenerator, Request
+from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
+                                  OffloadPolicy, Placement, QueueDepthPolicy,
+                                  WeightedRoundRobinPlacement)
+from repro.serve.scheduler import ClusterScheduler, ServeReport, serve_mix
+
+__all__ = [
+    "LoadGenerator", "Request",
+    "Placement", "FrontDoorPlacement", "WeightedRoundRobinPlacement",
+    "OffloadPolicy", "QueueDepthPolicy", "ClockPressurePolicy",
+    "ClusterScheduler", "ServeReport", "serve_mix",
+]

@@ -1,0 +1,96 @@
+"""Requests and the load generator.
+
+A :class:`Request` is one admitted guest-program invocation moving
+through the scheduler; the :class:`LoadGenerator` turns a request mix
+into a deterministic arrival stream inside the event kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.vm.frames import ThreadState
+from repro.workloads.mixes import RequestMix, RequestSpec
+
+
+@dataclass
+class Request:
+    """One unit of schedulable work.
+
+    ``kind`` is ``"request"`` for an admitted guest-program invocation
+    and ``"segment"`` for the worker-side half of a SOD offload (the
+    migrated top frames executing remotely on behalf of a parent
+    request).  Segments are scheduled like requests but are never
+    themselves offloaded and never counted as served.
+    """
+
+    rid: int
+    spec: Optional[RequestSpec] = None
+    kind: str = "request"
+    #: virtual admission / first-run / completion times (env.now)
+    arrival: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    #: the guest thread (created on first quantum) and the node whose
+    #: machine owns its frames
+    thread: Optional[ThreadState] = None
+    host_node: Optional[str] = None
+    #: lifecycle: queued -> running -> (remote ->) queued -> done|failed
+    state: str = "queued"
+    result: Any = None
+    error: Optional[str] = None
+    #: pre-start handoff count (bounded by the policy's max_hops)
+    hops: int = 0
+    #: quanta this request has consumed
+    quanta: int = 0
+    #: times this request's top frames were offloaded via SOD
+    sod_offloads: int = 0
+    #: for segments: the request whose frames these are, and how many
+    parent: Optional["Request"] = None
+    nframes: int = 0
+
+    @property
+    def depth(self) -> int:
+        return self.thread.depth() if self.thread is not None else 0
+
+    def label(self) -> str:
+        if self.kind == "segment":
+            return f"seg#{self.rid}<-{self.parent.label()}"
+        return f"req#{self.rid}:{self.spec.label()}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.label()} {self.state}>"
+
+
+class LoadGenerator:
+    """Turns a :class:`RequestMix` into a deterministic arrival stream.
+
+    ``interarrival`` is the fixed virtual gap between admissions (an
+    open-loop arrival process; 0 models a burst that is already queued
+    when serving starts).  Which program each request runs is drawn from
+    the mix with the seeded stream, so the whole schedule is a pure
+    function of (mix, n, seed, interarrival).
+    """
+
+    def __init__(self, mix: RequestMix, n_requests: int, seed: int = 0,
+                 interarrival: float = 0.0):
+        if n_requests < 1:
+            raise ValueError(f"need at least one request, got {n_requests}")
+        if interarrival < 0:
+            raise ValueError(f"negative interarrival {interarrival}")
+        self.mix = mix
+        self.n_requests = n_requests
+        self.seed = seed
+        self.interarrival = interarrival
+
+    def specs(self) -> List[RequestSpec]:
+        return self.mix.draw(self.n_requests, seed=self.seed)
+
+    def admit_proc(self, scheduler):
+        """Kernel process admitting the stream into ``scheduler``."""
+        env = scheduler.env
+        for i, spec in enumerate(self.specs()):
+            if i and self.interarrival:
+                yield env.timeout(self.interarrival)
+            scheduler.submit(spec)

@@ -1,0 +1,175 @@
+"""Admission placement and offload policies.
+
+Placement decides where a freshly admitted request first queues;
+offload policies decide when a node is hot enough to push work away —
+either *handing off* a request that has not started yet (cheap: only a
+descriptor crosses the wire) or *SOD-offloading* the top frames of a
+running thread (the paper's stack-on-demand migration, executed through
+the engine's capture/transfer/restore machinery).
+
+All decisions read only scheduler state that is a deterministic
+function of the run so far (queue depths, machine clocks, topology), so
+scheduler runs replay exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+# -- load accounting -----------------------------------------------------------
+
+
+def weighted_load(sched, node: str, extra: int = 0) -> float:
+    """Runnable-or-imminent threads on ``node`` per unit of serving
+    capacity: the queue, the running slot, deliveries already in flight
+    toward the node (so simultaneous offload decisions don't dogpile
+    one idle target), and ``extra`` — work the caller knows about but
+    has already popped from the queue (the request in hand)."""
+    busy = 1 if sched.running.get(node) is not None else 0
+    in_flight = sched.pending.get(node, 0)
+    return (len(sched.stores[node]) + busy + in_flight + extra) \
+        / sched.cluster.node(node).spec.cpu_weight
+
+
+def pick_underloaded(sched, src: str, src_load: float,
+                     min_gap: float) -> Optional[str]:
+    """The best offload target seen from ``src``: the least-loaded node,
+    ties broken by link latency from ``src`` (topology-aware: same-rack
+    nodes win over cross-rack ones) and then by name.  Returns None
+    unless the target is at least ``min_gap`` weighted threads below
+    ``src``."""
+    best: Optional[str] = None
+    best_key = None
+    for node in sched.node_names:
+        if node == src:
+            continue
+        key = (weighted_load(sched, node),
+               sched.cluster.latency(src, node), node)
+        if best_key is None or key < best_key:
+            best, best_key = node, key
+    if best is None or src_load - best_key[0] < min_gap:
+        return None
+    return best
+
+
+# -- admission placement -------------------------------------------------------
+
+
+class Placement:
+    """Chooses the node a freshly admitted request first queues on."""
+
+    def place(self, sched, req) -> str:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class FrontDoorPlacement(Placement):
+    """Everything arrives at one front node (a single ingress box); the
+    offload policies are then the only path to the rest of the cluster —
+    the pure elasticity scenario."""
+
+    def __init__(self, node: Optional[str] = None):
+        self.node = node
+
+    def place(self, sched, req) -> str:
+        return self.node or sched.front
+
+
+class WeightedRoundRobinPlacement(Placement):
+    """Smooth weighted round-robin over node capacities (the classic
+    nginx algorithm): each round every node gains its weight, the
+    richest node wins the request and pays the total back."""
+
+    def __init__(self):
+        self._credit = {}
+
+    def place(self, sched, req) -> str:
+        names = sched.node_names
+        if set(self._credit) != set(names):
+            # fresh scheduler (or a reused instance on a different
+            # cluster): start the credit cycle over
+            self._credit = {n: 0.0 for n in names}
+        total = 0.0
+        for n in names:
+            w = sched.cluster.node(n).spec.cpu_weight
+            self._credit[n] += w
+            total += w
+        best = max(names, key=lambda n: self._credit[n])
+        self._credit[best] -= total
+        return best
+
+
+# -- offload policies ----------------------------------------------------------
+
+
+@dataclass
+class OffloadPolicy:
+    """Base offload policy: common knobs plus the depth-based handoff
+    rule every policy shares (a pre-start request carries no clock, so
+    queue depth is the only signal it can be judged by).  Subclasses
+    define *when a running thread* is worth SOD-offloading.
+
+    Attributes:
+        min_depth: frames a thread needs before SOD offload is
+            considered (the residual stack must keep >= 1 frame).
+        mig_frames: how many top frames a SOD offload ships.
+        max_hops: pre-start handoffs a request may take before it must
+            run where it is (prevents ping-ponging descriptors).
+        batch_limit: max threads captured into one bulk offload message
+            (see :meth:`repro.migration.sodee.SODEngine.migrate_many`).
+        depth_threshold: weighted runnable count at which a node is hot.
+        min_gap: how many weighted threads lighter a target must be.
+    """
+
+    min_depth: int = 4
+    mig_frames: int = 3
+    max_hops: int = 2
+    batch_limit: int = 3
+    depth_threshold: float = 2.0
+    min_gap: float = 2.0
+
+    def handoff_target(self, sched, node: str) -> Optional[str]:
+        load = weighted_load(sched, node, extra=1)
+        if load < self.depth_threshold:
+            return None
+        return pick_underloaded(sched, node, load, self.min_gap)
+
+    def offload_target(self, sched, node: str, req) -> Optional[str]:
+        return None
+
+
+@dataclass
+class QueueDepthPolicy(OffloadPolicy):
+    """Queue-depth trigger: a node is hot when its weighted runnable
+    count reaches ``depth_threshold``; work moves to a node at least
+    ``min_gap`` weighted threads lighter."""
+
+    def offload_target(self, sched, node: str, req) -> Optional[str]:
+        if req.kind != "request" or req.depth < self.min_depth:
+            return None
+        load = weighted_load(sched, node, extra=1)
+        if load < self.depth_threshold:
+            return None
+        return pick_underloaded(sched, node, load, self.min_gap)
+
+
+@dataclass
+class ClockPressurePolicy(OffloadPolicy):
+    """Clock-pressure trigger: a node is hot when its accumulated busy
+    time runs ``pressure_ratio`` times ahead of the cluster mean (its
+    backlog is time, not queue slots — catches few-but-heavy threads
+    that a queue-depth trigger misses).  Handoff stays depth-based
+    (inherited): pre-start requests carry no clock yet."""
+
+    pressure_ratio: float = 1.5
+    min_gap: float = 1.0
+
+    def offload_target(self, sched, node: str, req) -> Optional[str]:
+        if req.kind != "request" or req.depth < self.min_depth:
+            return None
+        busies = [sched.busy_time(n) for n in sched.node_names]
+        mean = sum(busies) / len(busies)
+        if mean <= 0 or sched.busy_time(node) < self.pressure_ratio * mean:
+            return None
+        load = weighted_load(sched, node, extra=1)
+        return pick_underloaded(sched, node, load, self.min_gap)

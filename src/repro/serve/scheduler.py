@@ -1,0 +1,447 @@
+"""The elastic cluster scheduler.
+
+Each node runs a kernel process that time-slices the guest threads in
+its run queue: a quantum of guest instructions executes on the node's
+machine (the VM's safepoint-polled preemption keeps fast dispatch), the
+consumed virtual CPU time is yielded back to the event kernel, and the
+offload policy then decides whether the node is hot enough to push work
+away.  Two mechanisms provide the elasticity:
+
+* **request handoff** — a request that has not started yet is just a
+  descriptor; it moves to an underloaded node for the price of one
+  small message.
+* **SOD offload** — a *running* thread's top frames are captured via
+  VMTI, shipped, and restored on the target (the paper's
+  stack-on-demand migration); the worker-side segment is scheduled like
+  any other work, and its completion writes results back and requeues
+  the parent's residual stack at home.  Hot batches ship as one bulk
+  message (:meth:`repro.migration.sodee.SODEngine.migrate_many`).
+
+Everything runs under the discrete-event kernel with deterministic
+tie-breaking, so a serving run is a pure function of (cluster, mix,
+seed, knobs) and replays bit-identically in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Union
+
+from repro.cluster.topology import Cluster, serve_cluster
+from repro.errors import ClusterError, MigrationError
+from repro.migration.segments import max_migratable
+from repro.migration.sodee import Host, SODEngine
+from repro.serve.loadgen import LoadGenerator, Request
+from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
+                                  OffloadPolicy, Placement, QueueDepthPolicy,
+                                  WeightedRoundRobinPlacement)
+from repro.sim.kernel import Store
+from repro.vm.costmodel import CostModel, sodee_model
+from repro.workloads.mixes import (MIXES, expected_request_result,
+                                   serve_classpath)
+
+#: serving-scale per-instruction time: one request is milliseconds of
+#: guest compute, so the fixed VMTI/transfer costs of an offload are
+#: small relative to the work it moves (the regime the paper's
+#: mobility scenarios assume)
+SERVE_INSTR_SECONDS = 1e-6
+
+#: wire size of a handed-off request descriptor (entry point + args)
+DESCRIPTOR_BYTES = 192
+
+#: sentinel shutting down a node process
+_STOP = object()
+
+
+@dataclass
+class ServeReport:
+    """Outcome of one serving run (JSON-friendly via :meth:`to_dict`)."""
+
+    n_nodes: int
+    submitted: int
+    served: int
+    failed: int
+    unserved: int
+    correct: int
+    makespan: float
+    throughput: float
+    latency_mean: float
+    latency_p50: float
+    latency_p95: float
+    latency_max: float
+    per_node: Dict[str, Dict[str, Any]]
+    stats: Dict[str, int]
+    quantum: int
+    mix: str = ""
+    seed: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "mix": self.mix, "seed": self.seed, "n_nodes": self.n_nodes,
+            "quantum": self.quantum, "submitted": self.submitted,
+            "served": self.served, "failed": self.failed,
+            "unserved": self.unserved, "correct": self.correct,
+            "makespan_s": self.makespan,
+            "throughput_rps": self.throughput,
+            "latency_s": {
+                "mean": self.latency_mean, "p50": self.latency_p50,
+                "p95": self.latency_p95, "max": self.latency_max,
+            },
+            "per_node": self.per_node,
+            "sched": dict(self.stats),
+        }
+
+
+class ClusterScheduler:
+    """Serves a stream of guest-program requests across a cluster."""
+
+    def __init__(self, cluster: Cluster, classes: Dict[str, Any],
+                 cost: Optional[CostModel] = None,
+                 quantum: int = 2500,
+                 placement: Optional[Placement] = None,
+                 offload: Optional[OffloadPolicy] = None,
+                 front: Optional[str] = None):
+        if not cluster.nodes:
+            raise ClusterError("cannot schedule on an empty cluster")
+        self.cluster = cluster
+        self.env = cluster.env
+        self.node_names: List[str] = list(cluster.names())
+        self.front = front or self.node_names[0]
+        if self.front not in cluster.nodes:
+            raise ClusterError(f"front node {self.front!r} not in cluster")
+        self.engine = SODEngine(
+            cluster, classes,
+            cost=cost or sodee_model(SERVE_INSTR_SECONDS))
+        self.quantum = quantum
+        self.placement = placement or WeightedRoundRobinPlacement()
+        self.offload = offload
+        #: per-node run queues (Store exposes .items for load inspection)
+        self.stores: Dict[str, Store] = {
+            n: Store(self.env, name=f"runq:{n}") for n in self.node_names}
+        #: the request currently holding each node's CPU (or None)
+        self.running: Dict[str, Optional[Request]] = {
+            n: None for n in self.node_names}
+        #: handoffs/segments in flight toward each node — counted as
+        #: load so simultaneous offload decisions don't dogpile one
+        #: idle target before any delivery lands
+        self.pending: Dict[str, int] = {n: 0 for n in self.node_names}
+        self.requests: List[Request] = []
+        self.finished: List[Request] = []
+        self.stats: Dict[str, int] = {
+            "quanta": 0, "handoffs": 0, "sod_offloads": 0,
+            "batched_threads": 0, "offload_aborts": 0, "completions": 0,
+            "failed": 0,
+        }
+        self._expected: Optional[int] = None
+        self._next_rid = 0
+        self._stopped = False
+        for n in self.node_names:
+            self.env.process(self._node_proc(n), name=f"node:{n}")
+
+    # -- admission ---------------------------------------------------------
+
+    def submit(self, spec) -> Request:
+        """Admit one request now; placement picks its first queue."""
+        req = Request(rid=self._take_rid(), spec=spec, arrival=self.env.now)
+        self.requests.append(req)
+        self._enqueue(req, self.placement.place(self, req))
+        return req
+
+    def serve(self, load: LoadGenerator) -> ServeReport:
+        """Admit ``load``'s stream, run to completion, report.
+
+        One-shot: the node processes exit when the stream completes, so
+        a scheduler cannot be reused (a second call would enqueue onto
+        queues nobody consumes and silently serve nothing)."""
+        if self._stopped:
+            raise ClusterError(
+                "ClusterScheduler is one-shot: build a fresh scheduler "
+                "for another serving run")
+        self._expected = (self._expected or 0) + load.n_requests
+        self.env.process(load.admit_proc(self), name="loadgen")
+        self.env.run()
+        return self.report()
+
+    # -- scheduling core ---------------------------------------------------
+
+    def _node_proc(self, name: str):
+        """One node's serving loop: pop, maybe hand off, run a quantum,
+        maybe offload, requeue."""
+        store = self.stores[name]
+        env = self.env
+        policy = self.offload
+        while True:
+            req = yield store.get()
+            if req is _STOP:
+                break
+            if (policy is not None and req.kind == "request"
+                    and req.thread is None and req.hops < policy.max_hops):
+                target = policy.handoff_target(self, name)
+                if target is not None:
+                    req.hops += 1
+                    self.stats["handoffs"] += 1
+                    self._dispatch_delivery(
+                        req, target,
+                        self.engine.transfer_time(name, target,
+                                                  DESCRIPTOR_BYTES))
+                    continue
+            self.running[name] = req
+            req.state = "running"
+            dt, status = self._run_quantum(name, req)
+            self.stats["quanta"] += 1
+            if dt > 0:
+                # Hold the busy slot across the quantum's virtual span
+                # so other nodes' load probes see this CPU occupied.
+                yield env.timeout(dt)
+            self.running[name] = None
+            if status == "finished":
+                done_dt = self._on_finished(name, req)
+                if done_dt > 0:
+                    yield env.timeout(done_dt)
+            else:  # preempted at a safepoint
+                target = None
+                if policy is not None:
+                    target = policy.offload_target(self, name, req)
+                if target is not None:
+                    yield env.timeout(self._sod_offload(name, req, target))
+                else:
+                    self._enqueue(req, name)
+
+    def _run_quantum(self, node: str, req: Request):
+        """Run one quantum of ``req`` on ``node``; returns (virtual
+        seconds consumed, run status)."""
+        machine = self._host(node).machine
+        t0 = machine.clock
+        if req.thread is None:
+            req.started_at = self.env.now
+            req.host_node = node
+            cls, meth = req.spec.main
+            req.thread = machine.spawn(cls, meth, list(req.spec.args),
+                                       thread_name=req.label())
+        req.quanta += 1
+        status = machine.run(req.thread, quantum=self.quantum)
+        return machine.clock - t0, status
+
+    def _dispatch_delivery(self, req: Request, node: str,
+                           delay: float) -> None:
+        """Start a delivery toward ``node``, counted as pending load
+        immediately (before the wire time elapses)."""
+        self.pending[node] += 1
+        self.env.process(self._deliver_proc(req, node, delay))
+
+    def _deliver_proc(self, req: Request, node: str, delay: float):
+        """Request/segment in flight: becomes runnable after the wire
+        time (the source node keeps serving meanwhile)."""
+        yield self.env.timeout(delay)
+        self.pending[node] -= 1
+        req.host_node = node if req.thread is None else req.host_node
+        self._enqueue(req, node)
+
+    # -- completion --------------------------------------------------------
+
+    def _on_finished(self, node: str, req: Request) -> float:
+        if req.kind == "segment":
+            return self._complete_segment(node, req)
+        req.finished_at = self.env.now
+        t = req.thread
+        if t.uncaught is not None:
+            self._fail(req, t.uncaught.class_name)
+        else:
+            req.state = "done"
+            req.result = t.result
+            self.finished.append(req)
+            self._maybe_stop()
+        return 0.0
+
+    def _complete_segment(self, node: str, seg: Request) -> float:
+        """A migrated segment finished on ``node``: write results back
+        to the parent's home and requeue the residual stack there."""
+        parent = seg.parent
+        if seg.thread.uncaught is not None:
+            self.engine.abandon_segment(self._host(node), seg.thread)
+            parent.finished_at = self.env.now
+            self._fail(parent, seg.thread.uncaught.class_name)
+            return 0.0
+        dt = self.engine.complete_segment(
+            self._host(node), seg.thread,
+            self._host(parent.host_node), parent.thread, seg.nframes)
+        self.stats["completions"] += 1
+        self._enqueue(parent, parent.host_node)
+        return dt
+
+    def _fail(self, req: Request, error: str) -> None:
+        req.state = "failed"
+        req.error = error
+        self.stats["failed"] += 1
+        self.finished.append(req)
+        self._maybe_stop()
+
+    def _maybe_stop(self) -> None:
+        if (self._expected is not None and not self._stopped
+                and len(self.finished) >= self._expected):
+            self._stopped = True
+            for store in self.stores.values():
+                store.put(_STOP)
+
+    # -- SOD offload -------------------------------------------------------
+
+    def _sod_offload(self, node: str, req: Request, target: str) -> float:
+        """Capture the hot thread's top frames (plus any batchable
+        queued hot threads) and ship them to ``target``.  Returns the
+        source node's capture time; transfer + restore ride a delivery
+        process so the source keeps serving."""
+        policy = self.offload
+        home = self._host(node)
+        machine = home.machine
+        store = self.stores[node]
+        batch = [req]
+        for cand in list(store.items):
+            if len(batch) >= policy.batch_limit:
+                break
+            if (cand.kind == "request" and cand.thread is not None
+                    and cand.depth >= policy.min_depth):
+                store.remove(cand)
+                batch.append(cand)
+        nframes = max(1, min(
+            policy.mig_frames,
+            min(max_migratable(r.thread) for r in batch),
+            min(r.depth - 1 for r in batch)))
+        t0 = machine.clock
+        try:
+            if len(batch) == 1:
+                worker, wt, rec = self.engine.migrate(
+                    home, req.thread, target, nframes)
+                pairs = [(req, wt, rec)]
+            else:
+                worker, results = self.engine.migrate_many(
+                    home, [r.thread for r in batch], target, nframes)
+                pairs = [(r, wt, rec)
+                         for r, (wt, rec) in zip(batch, results)]
+                self.stats["batched_threads"] += len(batch)
+        except MigrationError:
+            # Not capturable right now (finished during the MSP run,
+            # pinned frame, ...): put everything back.
+            self.stats["offload_aborts"] += 1
+            for r in batch:
+                if r.thread.finished:
+                    self._on_finished(node, r)
+                else:
+                    self._enqueue(r, node)
+            return machine.clock - t0
+        capture_dt = machine.clock - t0
+        # Delivery timing: the whole bulk message must land before any
+        # restore starts (per-record transfer_time is the bulk evenly
+        # attributed, so summing recovers it), and restores run
+        # sequentially on the worker — segment k is runnable only after
+        # restores 1..k.
+        bulk_wire = sum(rec.transfer_time for _r, _wt, rec in pairs)
+        restored = 0.0
+        for r, wt, rec in pairs:
+            r.state = "remote"
+            r.sod_offloads += 1
+            self.stats["sod_offloads"] += 1
+            restored += rec.restore_time + rec.worker_spawn_time
+            seg = Request(rid=self._take_rid(), kind="segment", parent=r,
+                          arrival=self.env.now, thread=wt,
+                          host_node=target, nframes=nframes)
+            self._dispatch_delivery(seg, target, bulk_wire + restored)
+        return capture_dt
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _take_rid(self) -> int:
+        rid = self._next_rid
+        self._next_rid += 1
+        return rid
+
+    def _enqueue(self, req: Request, node: str) -> None:
+        req.state = "queued"
+        if req.thread is None:
+            req.host_node = node
+        self.stores[node].put(req)
+
+    def _host(self, node: str) -> Host:
+        if node == self.front:
+            return self.engine.host(node)
+        # No eager object manager: a node serving only handed-off local
+        # requests keeps fast dispatch; the engine attaches the manager
+        # (and its write barrier) when a segment actually lands there.
+        return self.engine.worker_host(node, self.engine.host(self.front),
+                                       attach_objman=False)
+
+    def busy_time(self, node: str) -> float:
+        """Virtual CPU seconds this node's machine has consumed."""
+        h = self.engine.hosts.get(node)
+        return h.machine.clock if h is not None else 0.0
+
+    # -- reporting ---------------------------------------------------------
+
+    def report(self) -> ServeReport:
+        served = [r for r in self.finished if r.state == "done"]
+        failed = [r for r in self.finished if r.state == "failed"]
+        submitted = len(self.requests)
+        lat = sorted(r.finished_at - r.arrival for r in served)
+        makespan = max((r.finished_at for r in self.finished), default=0.0)
+        correct = sum(1 for r in served
+                      if r.result == expected_request_result(r.spec))
+        per_node: Dict[str, Dict[str, Any]] = {}
+        for n in self.node_names:
+            per_node[n] = {
+                "served": sum(1 for r in served if r.host_node == n),
+                "busy_s": self.busy_time(n),
+                "cpu_weight": self.cluster.node(n).spec.cpu_weight,
+            }
+        def pct(p: float) -> float:
+            return lat[int(p * (len(lat) - 1))] if lat else 0.0
+        return ServeReport(
+            n_nodes=len(self.node_names), submitted=submitted,
+            served=len(served), failed=len(failed),
+            unserved=submitted - len(self.finished),
+            correct=correct, makespan=makespan,
+            throughput=(len(served) / makespan) if makespan > 0 else 0.0,
+            latency_mean=sum(lat) / len(lat) if lat else 0.0,
+            latency_p50=pct(0.50), latency_p95=pct(0.95),
+            latency_max=lat[-1] if lat else 0.0,
+            per_node=per_node, stats=dict(self.stats),
+            quantum=self.quantum)
+
+
+# -- one-call sweep entry ------------------------------------------------------
+
+_PLACEMENTS = {
+    "round-robin": WeightedRoundRobinPlacement,
+    "front-door": FrontDoorPlacement,
+}
+
+_OFFLOADS = {
+    "queue-depth": QueueDepthPolicy,
+    "clock-pressure": ClockPressurePolicy,
+    "none": lambda: None,
+}
+
+
+def serve_mix(mix: str = "parallel", n_nodes: int = 4,
+              n_requests: int = 32, seed: int = 7,
+              quantum: int = 2500, interarrival: float = 0.0,
+              placement: Union[str, Placement] = "round-robin",
+              offload: Union[str, OffloadPolicy, None] = "queue-depth",
+              cpu_weights: Optional[List[float]] = None,
+              cost: Optional[CostModel] = None) -> ServeReport:
+    """Serve ``n_requests`` drawn from a named mix on a fresh
+    ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
+    same arguments, same report."""
+    mixobj = MIXES[mix]
+    cluster = serve_cluster(n_nodes, cpu_weights=cpu_weights)
+    if isinstance(placement, str):
+        placement = _PLACEMENTS[placement]()
+    if isinstance(offload, str):
+        offload = _OFFLOADS[offload]()
+    sched = ClusterScheduler(cluster, serve_classpath(mixobj.programs()),
+                             cost=cost, quantum=quantum,
+                             placement=placement, offload=offload)
+    load = LoadGenerator(mixobj, n_requests, seed=seed,
+                         interarrival=interarrival)
+    rep = sched.serve(load)
+    rep.mix = mix
+    rep.seed = seed
+    return rep

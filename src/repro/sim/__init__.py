@@ -1,5 +1,5 @@
 """Discrete-event simulation kernel used by the cluster substrate."""
 
-from repro.sim.kernel import Environment, Event, Process, Resource
+from repro.sim.kernel import Environment, Event, Process, Resource, Store
 
-__all__ = ["Environment", "Event", "Process", "Resource"]
+__all__ = ["Environment", "Event", "Process", "Resource", "Store"]

@@ -190,6 +190,58 @@ class Environment:
         return proc.value
 
 
+class Store:
+    """An unbounded FIFO item queue connecting producer and consumer
+    processes (e.g. a scheduler's per-node run queue).
+
+    ``put(item)`` delivers immediately: if a consumer is blocked in
+    ``get()`` the oldest one wakes at the current simulated time,
+    otherwise the item queues.  ``get()`` returns an event whose value
+    is the item.  Ordering is strictly FIFO on both sides, so runs are
+    deterministic.
+
+    ``items`` is deliberately exposed: schedulers inspect queue depth
+    for load accounting and may remove queued items (work stealing /
+    request handoff) via :meth:`remove`.
+    """
+
+    def __init__(self, env: Environment, name: str = ""):
+        self.env = env
+        self.name = name
+        #: queued items, oldest first (only items no consumer has taken)
+        self.items: deque = deque()
+        self._getters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def put(self, item: Any) -> None:
+        """Enqueue ``item`` (wakes the oldest blocked getter, if any)."""
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        """An event firing with the next item (immediately if one is
+        queued, else when a producer puts one)."""
+        ev = self.env.event(name=f"{self.name or 'store'}.get")
+        if self.items:
+            ev.succeed(self.items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def remove(self, item: Any) -> bool:
+        """Remove a specific queued item (for handoff/stealing).
+        Returns False if the item is no longer queued."""
+        try:
+            self.items.remove(item)
+            return True
+        except ValueError:
+            return False
+
+
 class Resource:
     """A counted resource (e.g. a link slot or a CPU) with FIFO queueing.
 

@@ -44,6 +44,11 @@ Loop selection happens in :meth:`run`; if a native call installs hooks
 *mid-run* (the only way hooks can appear while the fast loop owns the
 thread), the fast loop syncs ``frame.pc``, flushes its accounting and
 retreats, and :meth:`run` re-enters execution through the legacy loop.
+The cluster scheduler's preemption ``quantum`` is the one control that
+does *not* force the legacy loop: the fast loop polls it at call,
+return, native, and loop back-edge safepoints (where ``frame.pc`` can
+be synced cheaply) and returns ``"preempted"``, so time-sliced serving
+keeps fast dispatch.
 ``frame.pc`` always holds an *original* bytecode index (fused
 superinstructions live in a parallel stream — see
 :mod:`repro.preprocess.fuse`), so VMTI, capture/restore, exception
@@ -247,12 +252,25 @@ class Machine:
 
     def run(self, thread: ThreadState,
             stop: Optional[Callable[[ThreadState], bool]] = None,
-            max_instrs: Optional[int] = None) -> str:
-        """Execute ``thread`` until it finishes, ``stop`` returns True, or
-        ``max_instrs`` run.  Returns ``"finished"`` / ``"stopped"`` /
-        ``"limit"``."""
-        executed = 0
+            max_instrs: Optional[int] = None,
+            quantum: Optional[int] = None) -> str:
+        """Execute ``thread`` until it finishes, ``stop`` returns True,
+        ``max_instrs`` run, or a scheduler ``quantum`` expires.  Returns
+        ``"finished"`` / ``"stopped"`` / ``"limit"`` / ``"preempted"``.
+
+        ``quantum`` is the cluster scheduler's preemption budget, in
+        executed instructions.  Unlike ``stop``/``max_instrs`` it does
+        NOT force the legacy loop: the fast loop polls it at its
+        safepoints (call, return, native, and loop back-edge sites), so
+        preemption can overshoot by at most one loop body / a leaf
+        method's straight-line tail, never lands mid-instruction, and
+        is exactly reproducible.  A preempted thread resumes with
+        another ``run`` call; ``frame.pc`` is synced and accounting
+        flushed."""
+        if quantum is not None and quantum < 1:
+            raise VMError(f"bad scheduler quantum {quantum}")
         op_cost = self.cost.unit_op_cost() * self._speed
+        start_count = self.instr_count
         prev_thread = getattr(self, "current_thread", None)
         self.current_thread = thread
         try:
@@ -262,24 +280,27 @@ class Machine:
                     and self.on_breakpoint is None
                     and self.on_write is None):
                 self._bp_guard = None
-                status = self._run_fast(thread, op_cost)
+                status = self._run_fast(thread, op_cost, quantum)
                 if status is not None:
                     return status
                 # A native installed hooks mid-run: the fast loop synced
                 # frame.pc and flushed accounting — continue under the
                 # hook-aware loop.
-            return self._run_loop(thread, stop, max_instrs, op_cost, executed)
+            return self._run_loop(thread, stop, max_instrs, op_cost,
+                                  self.instr_count - start_count, quantum)
         finally:
             self.current_thread = prev_thread
 
     # -- the fast loop -----------------------------------------------------------
 
-    def _run_fast(self, thread: ThreadState, op_cost: float) -> Optional[str]:
+    def _run_fast(self, thread: ThreadState, op_cost: float,
+                  quantum: Optional[int] = None) -> Optional[str]:
         """Zero-overhead interpretation of ``thread``.
 
         Preconditions (enforced by :meth:`run`): no breakpoints, no
         breakpoint callback, no write hook, no ``stop`` predicate, no
-        instruction limit.  Returns ``"finished"``, or ``None`` if a
+        instruction limit.  Returns ``"finished"``, ``"preempted"``
+        (scheduler ``quantum`` expired at a safepoint), or ``None`` if a
         native call armed hooks and the loop retreated (``frame.pc``
         synced, accounting flushed) for :meth:`run` to continue on the
         legacy loop.
@@ -296,6 +317,12 @@ class Machine:
         miss = _MISSING
         w_acc = 0.0
         n_acc = 0
+        # Scheduler-preemption safepoint polling: the budget is turned
+        # into an absolute executed-instruction watermark so the check
+        # stays valid across accounting flushes (instr_count absorbs
+        # n_acc at safepoints).
+        q = quantum
+        q_limit = self.instr_count + q if q is not None else 0
         # dense opcode ids as locals (LOAD_FAST beats LOAD_GLOBAL)
         I_LOAD = _I_LOAD; I_CONST = _I_CONST; I_STORE = _I_STORE
         I_JMP = _I_JMP; I_JZ = _I_JZ; I_JNZ = _I_JNZ
@@ -543,6 +570,16 @@ class Machine:
                         elif oid == I_JZ:
                             pc = pc + 1 if tr(pop()) else ins[1]
                         elif oid == I_JMP:
+                            # Backward jumps are loop back-edges (the
+                            # codegen compiles every loop top-tested
+                            # with a JMP to the condition, and JMP is
+                            # never fused), so polling here bounds
+                            # quantum overshoot to one loop body even
+                            # in call-free loops.
+                            if q is not None and ins[1] <= pc \
+                                    and self.instr_count + n_acc >= q_limit:
+                                frame.pc = pc
+                                return "preempted"
                             pc = ins[1]
                         elif oid == I_JNZ:
                             pc = ins[1] if tr(pop()) else pc + 1
@@ -590,6 +627,13 @@ class Machine:
                                     f"index {idx} length {len(data)}")
                             pc += 1
                         elif oid == I_INVOKESTATIC:
+                            if q is not None and \
+                                    self.instr_count + n_acc >= q_limit:
+                                # Safepoint poll: yield to the scheduler
+                                # before the call executes (resume
+                                # re-dispatches this instruction).
+                                frame.pc = pc
+                                return "preempted"
                             cell = ins[5]
                             c = cell[0]
                             if c is None:
@@ -627,6 +671,10 @@ class Machine:
                             if stream is None:
                                 stream = self.decoded(code2)
                         elif oid == I_RETV:
+                            if q is not None and \
+                                    self.instr_count + n_acc >= q_limit:
+                                frame.pc = pc
+                                return "preempted"
                             value = pop()
                             frames.pop()
                             if frames:
@@ -648,6 +696,10 @@ class Machine:
                                 n_acc += 1
                                 break
                         elif oid == I_RET:
+                            if q is not None and \
+                                    self.instr_count + n_acc >= q_limit:
+                                frame.pc = pc
+                                return "preempted"
                             frames.pop()
                             if frames:
                                 frame = frames[-1]
@@ -668,6 +720,10 @@ class Machine:
                                 n_acc += 1
                                 break
                         elif oid == I_INVOKEVIRT:
+                            if q is not None and \
+                                    self.instr_count + n_acc >= q_limit:
+                                frame.pc = pc
+                                return "preempted"
                             nargs = ins[2]
                             if nargs:
                                 args = stack[-nargs:]
@@ -705,6 +761,10 @@ class Machine:
                             if stream is None:
                                 stream = self.decoded(code2)
                         elif oid == I_NATIVE:
+                            if q is not None and \
+                                    self.instr_count + n_acc >= q_limit:
+                                frame.pc = pc
+                                return "preempted"
                             nargs = ins[2]
                             if nargs:
                                 args = stack[-nargs:]
@@ -785,7 +845,8 @@ class Machine:
     def _run_loop(self, thread: ThreadState,
                   stop: Optional[Callable[[ThreadState], bool]],
                   max_instrs: Optional[int],
-                  op_cost: float, executed: int) -> str:
+                  op_cost: float, executed: int,
+                  quantum: Optional[int] = None) -> str:
         weight = self.cost.op_weights.get
         while thread.frames:
             if thread.pending_exception is not None:
@@ -798,6 +859,8 @@ class Machine:
                 return "stopped"
             if max_instrs is not None and executed >= max_instrs:
                 return "limit"
+            if quantum is not None and executed >= quantum:
+                return "preempted"
             frame = thread.frames[-1]
             pc = frame.pc
             if self.breakpoints:

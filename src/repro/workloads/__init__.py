@@ -1,6 +1,11 @@
-"""Guest benchmark programs and the workload registry."""
+"""Guest benchmark programs, the workload registry, and the serving
+request mixes."""
 
 from repro.workloads import programs
+from repro.workloads.mixes import (MIXES, SERVE_PROGRAMS, RequestMix,
+                                   RequestSpec, ServeProgram,
+                                   expected_request_result, serve_classpath,
+                                   serve_compiled)
 from repro.workloads.registry import (WORKLOADS, Workload, baseline_run,
                                       calibrated_instr_seconds, clock_units,
                                       compiled, expected_result,
@@ -10,4 +15,6 @@ __all__ = [
     "programs", "WORKLOADS", "Workload", "baseline_run",
     "calibrated_instr_seconds", "clock_units", "compiled",
     "expected_result", "instr_seconds_for",
+    "MIXES", "SERVE_PROGRAMS", "RequestMix", "RequestSpec", "ServeProgram",
+    "expected_request_result", "serve_classpath", "serve_compiled",
 ]

@@ -1,0 +1,154 @@
+"""Request-mix scenarios for the elastic serving layer.
+
+A *serve program* is a guest program small enough that one request is a
+few thousand to a few tens of thousands of instructions — web-request
+scale rather than batch scale — and **reentrant** (no mutable statics),
+because the scheduler time-slices many requests on one node's machine.
+A *request mix* is a weighted catalogue of (program, args) pairs from
+which a seeded load generator draws a deterministic request stream.
+
+FFT and TSP from the paper registry are deliberately absent: they keep
+their working state in static fields, so two interleaved requests of
+the same program would corrupt each other.  That is a real property of
+the guest code, not a scheduler limitation; the single-tenant
+experiment harnesses still run them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.bytecode.code import ClassFile
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.vm.machine import Machine
+from repro.workloads import programs
+
+
+@dataclass(frozen=True)
+class ServeProgram:
+    """One servable guest program: source + entry point."""
+
+    name: str
+    source: str
+    main: Tuple[str, str]
+
+
+SERVE_PROGRAMS: Dict[str, ServeProgram] = {
+    "Fib": ServeProgram("Fib", programs.FIB, ("Fib", "main")),
+    "NQ": ServeProgram("NQ", programs.NQUEENS, ("NQ", "main")),
+    "MM": ServeProgram("MM", programs.MATMUL, ("MM", "main")),
+    "Primes": ServeProgram("Primes", programs.PRIMES, ("Primes", "main")),
+    "QS": ServeProgram("QS", programs.QSORT, ("QS", "main")),
+}
+
+
+@lru_cache(maxsize=None)
+def serve_compiled(name: str) -> Dict[str, ClassFile]:
+    """Compile + preprocess a serve program on the faulting build (the
+    build migration needs: MSPs, fault handlers, restoration prologues)."""
+    return preprocess_program(compile_source(SERVE_PROGRAMS[name].source),
+                              "faulting")
+
+
+def serve_classpath(names: Iterable[str]) -> Dict[str, ClassFile]:
+    """The merged classpath serving every program in ``names``.
+
+    Program class names are disjoint by construction; the compiler's
+    builtin classes (Throwable etc.) collide by name with identical
+    definitions, so last-merge-wins is safe.
+    """
+    merged: Dict[str, ClassFile] = {}
+    for name in names:
+        merged.update(serve_compiled(name))
+    return merged
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """One admissible request: which program, with which arguments."""
+
+    program: str
+    args: Tuple[Any, ...]
+
+    @property
+    def main(self) -> Tuple[str, str]:
+        return SERVE_PROGRAMS[self.program].main
+
+    def label(self) -> str:
+        return f"{self.program}{self.args}"
+
+
+@lru_cache(maxsize=None)
+def expected_request_result(spec: RequestSpec) -> Any:
+    """Correctness oracle: the request's result on a standalone
+    legacy-dispatch machine (independent of the serving layer *and* of
+    the fast interpreter loop)."""
+    m = Machine(serve_compiled(spec.program), dispatch="legacy")
+    return m.call(spec.main[0], spec.main[1], list(spec.args))
+
+
+@dataclass(frozen=True)
+class RequestMix:
+    """A weighted request catalogue with a deterministic draw."""
+
+    name: str
+    choices: Tuple[Tuple[RequestSpec, float], ...]
+    description: str = ""
+
+    def programs(self) -> List[str]:
+        return sorted({spec.program for spec, _w in self.choices})
+
+    def draw(self, n: int, seed: int = 0) -> List[RequestSpec]:
+        """``n`` requests drawn by weight.  String-seeded ``Random`` is
+        hashed with SHA-512, so the stream is stable across processes
+        and interpreter versions (pytest-randomly cannot perturb it)."""
+        rng = random.Random(f"mix:{self.name}:{seed}")
+        specs = [spec for spec, _w in self.choices]
+        weights = [w for _spec, w in self.choices]
+        return rng.choices(specs, weights=weights, k=n)
+
+
+def _mix(name: str, description: str,
+         *choices: Tuple[str, Tuple[Any, ...], float]) -> RequestMix:
+    return RequestMix(name, tuple(
+        (RequestSpec(prog, args), w) for prog, args, w in choices),
+        description)
+
+
+#: the serving scenarios the benchmarks and tests draw from
+MIXES: Dict[str, RequestMix] = {
+    # Embarrassingly parallel: similar-sized, CPU-bound, independent
+    # requests — the near-linear-scaling acceptance scenario.
+    "parallel": _mix(
+        "parallel",
+        "uniform CPU-bound requests; throughput should scale ~linearly",
+        ("Fib", (14,), 1.0),
+        ("NQ", (5,), 1.0),
+        ("Primes", (300,), 1.0),
+        ("MM", (9,), 1.0),
+    ),
+    # Mixed sizes: light lookups interleaved with heavier compute.
+    "mixed": _mix(
+        "mixed",
+        "varied request sizes; scheduler fairness and handoff matter",
+        ("NQ", (5,), 3.0),
+        ("Primes", (400,), 3.0),
+        ("Fib", (14,), 2.0),
+        ("QS", (220,), 2.0),
+        ("MM", (10,), 1.0),
+    ),
+    # Hotspot: mostly light traffic plus a tail of heavy requests that
+    # pile onto whichever node admitted them — the SOD-offload scenario.
+    "hotspot": _mix(
+        "hotspot",
+        "light traffic with a heavy tail; offload rescues stragglers",
+        ("NQ", (5,), 5.0),
+        ("Primes", (300,), 4.0),
+        ("Fib", (17,), 1.0),
+        ("QS", (400,), 1.0),
+    ),
+}

@@ -397,3 +397,107 @@ class Micro {
   }
 }
 """
+
+# -- reentrant serving programs -------------------------------------------------
+#
+# The elastic serving layer time-slices MANY guest threads on one node's
+# machine, so concurrently served programs must be *reentrant*: all
+# state in locals and freshly allocated heap objects, no mutable
+# statics.  Fib and NQ above already qualify; FFT and TSP do not (their
+# static arrays/bounds would be shared across requests).  The three
+# programs below round out the request mixes: nested-loop compute with
+# helper calls (MM), a predicate-per-iteration loop (Primes), and deep
+# recursion over a local array (QS) whose stacks give stack-on-demand
+# offload real segments to ship.
+
+MATMUL = """
+class MM {
+  static int dot(int[] x, int[] y, int n, int row, int col) {
+    int s = 0;
+    for (int k = 0; k < n; k = k + 1) {
+      s = s + x[row * n + k] * y[k * n + col];
+    }
+    return s;
+  }
+  static int mul(int n) {
+    int[] x = new int[n * n];
+    int[] y = new int[n * n];
+    for (int i = 0; i < n * n; i = i + 1) {
+      x[i] = i % 7 + 1;
+      y[i] = i % 5 + 2;
+    }
+    int sum = 0;
+    for (int r = 0; r < n; r = r + 1) {
+      for (int c = 0; c < n; c = c + 1) {
+        sum = (sum + MM.dot(x, y, n, r, c)) % 1000003;
+      }
+    }
+    return sum;
+  }
+  static int main(int n) {
+    return MM.mul(n);
+  }
+}
+"""
+
+PRIMES = """
+class Primes {
+  static bool isPrime(int n) {
+    if (n < 2) { return false; }
+    for (int d = 2; d * d <= n; d = d + 1) {
+      if (n % d == 0) { return false; }
+    }
+    return true;
+  }
+  static int count(int lo, int hi) {
+    int c = 0;
+    for (int i = lo; i < hi; i = i + 1) {
+      if (Primes.isPrime(i)) { c = c + 1; }
+    }
+    return c;
+  }
+  static int main(int hi) {
+    return Primes.count(2, hi);
+  }
+}
+"""
+
+QSORT = """
+class QS {
+  static void sort(int[] xs, int lo, int hi) {
+    if (lo >= hi) { return; }
+    int p = xs[(lo + hi) / 2];
+    int i = lo;
+    int j = hi;
+    while (i <= j) {
+      while (xs[i] < p) { i = i + 1; }
+      while (xs[j] > p) { j = j - 1; }
+      if (i <= j) {
+        int t = xs[i]; xs[i] = xs[j]; xs[j] = t;
+        i = i + 1; j = j - 1;
+      }
+    }
+    QS.sort(xs, lo, j);
+    QS.sort(xs, i, hi);
+  }
+  static int fill(int[] xs, int n) {
+    int seed = 12345;
+    for (int i = 0; i < n; i = i + 1) {
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) { seed = -seed; }
+      xs[i] = seed % 1000;
+    }
+    return seed;
+  }
+  static int main(int n) {
+    int[] xs = new int[n];
+    int ignored = QS.fill(xs, n);
+    QS.sort(xs, 0, n - 1);
+    int check = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      check = (check * 31 + xs[i]) % 1000003;
+    }
+    return check;
+  }
+}
+"""

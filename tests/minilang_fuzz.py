@@ -1,0 +1,379 @@
+"""Grammar-based MiniLang program fuzzer.
+
+Generates random-but-valid MiniLang programs (bounded loops, DAG calls,
+bounded recursion, arrays, objects, statics, try/catch, guest-exception
+sites) and differentially checks the fast pre-decoded/fused/inline-
+cached interpreter against the legacy string-dispatched loop on
+stdout / result / uncaught-exception / instr_count / clock.
+
+Seeding: every stream derives from ``random.Random(f"...:{seed}")``
+(string seeds hash with SHA-512), so runs are reproducible across
+processes and immune to pytest-randomly's global-state shuffling.
+
+On divergence the failing program is *shrunk*: removable statements are
+deleted one at a time while the divergence persists, and the minimized
+source + seed are reported.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.vm import Machine
+from repro.vm.machine import UncaughtGuestException
+
+#: value clamp applied to loop-carried assignments so generated loops
+#: cannot grow bigints without bound (repeated squaring would otherwise
+#: produce numbers with 2**iterations digits)
+CLAMP = 100003
+
+EXC_TYPES = ("ArithmeticException", "IndexOutOfBoundsException",
+             "NullPointerException", "Throwable")
+
+BINOPS = ("+", "-", "*", "/", "%")
+
+
+# -- program representation (shrinkable) ---------------------------------------
+
+
+@dataclass
+class Slot:
+    """One statement slot in a method body; ``removable`` slots are
+    candidates for deletion during shrinking."""
+
+    text: str
+    removable: bool = True
+
+
+@dataclass
+class FuzzProgram:
+    """A generated program: fixed prelude classes + method bodies."""
+
+    seed: int
+    main_args: Tuple[int, int]
+    methods: List[Tuple[str, str, List[Slot]]] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = ["class Box { int v; Box next; }",
+                 "class S { static int acc; }",
+                 "class G {"]
+        for _name, header, slots in self.methods:
+            parts.append(f"  {header} {{")
+            for slot in slots:
+                for line in slot.text.splitlines():
+                    parts.append(f"    {line}")
+            parts.append("  }")
+        parts.append("}")
+        return "\n".join(parts)
+
+    def removable_sites(self) -> List[Tuple[int, int]]:
+        sites = []
+        for mi, (_n, _h, slots) in enumerate(self.methods):
+            for si, slot in enumerate(slots):
+                if slot.removable:
+                    sites.append((mi, si))
+        return sites
+
+    def without(self, site: Tuple[int, int]) -> "FuzzProgram":
+        mi, si = site
+        methods = [(n, h, list(slots)) for n, h, slots in self.methods]
+        del methods[mi][2][si]
+        return FuzzProgram(self.seed, self.main_args, methods)
+
+
+# -- generation ----------------------------------------------------------------
+
+
+class _Ctx:
+    """Per-method scope tracking: what names an expression may use."""
+
+    def __init__(self, rng: random.Random, callable_methods: List[str]):
+        self.rng = rng
+        self.ints: List[str] = ["a", "b"]
+        self.arrays: List[Tuple[str, int]] = []  # (name, length)
+        self.boxes: List[str] = []        # initialized Box vars
+        self.null_boxes: List[str] = []   # vars that may hold null
+        #: names that may be read but never assigned (live loop
+        #: variables: writing one could make its loop non-terminating)
+        self.no_write: set = set()
+        self.callable = callable_methods
+        self.counter = 0
+
+    def writable_ints(self) -> List[str]:
+        return [v for v in self.ints if v not in self.no_write]
+
+    def fresh(self, prefix: str) -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+
+def _expr(ctx: _Ctx, depth: int) -> str:
+    rng = ctx.rng
+    roll = rng.random()
+    if depth <= 0 or roll < 0.30:
+        return str(rng.randint(-20, 99))
+    if roll < 0.55:
+        return rng.choice(ctx.ints)
+    if roll < 0.62:
+        return "S.acc"
+    if roll < 0.70 and ctx.arrays:
+        name, length = rng.choice(ctx.arrays)
+        # mostly in bounds, sometimes out (guest IndexOutOfBounds site)
+        if rng.random() < 0.85:
+            idx = str(rng.randint(0, max(0, length - 1)))
+        else:
+            idx = _expr(ctx, 0)
+        return f"{name}[{idx}]"
+    if roll < 0.76 and ctx.boxes:
+        return f"{rng.choice(ctx.boxes)}.v"
+    if roll < 0.80 and ctx.null_boxes:
+        return f"{rng.choice(ctx.null_boxes)}.v"  # NPE site
+    if roll < 0.86 and ctx.callable:
+        callee = rng.choice(ctx.callable)
+        return (f"G.{callee}({_expr(ctx, depth - 1)}, "
+                f"{_expr(ctx, depth - 1)})")
+    if roll < 0.89:
+        return f"(-{_expr(ctx, depth - 1)})"
+    op = rng.choice(BINOPS)
+    return f"({_expr(ctx, depth - 1)} {op} {_expr(ctx, depth - 1)})"
+
+
+def _cond(ctx: _Ctx) -> str:
+    rng = ctx.rng
+    op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
+    c = f"{_expr(ctx, 1)} {op} {_expr(ctx, 1)}"
+    if rng.random() < 0.2:
+        glue = rng.choice(("&&", "||"))
+        c = f"{c} {glue} {_expr(ctx, 1)} {rng.choice(('<', '>'))} " \
+            f"{_expr(ctx, 1)}"
+    return c
+
+
+def _simple_stmt(ctx: _Ctx, clamp: bool) -> str:
+    """A statement legal inside a nested block: assignment to an
+    existing name or a print — never a declaration (keeps inner blocks
+    scope-safe under shrinking)."""
+    rng = ctx.rng
+    roll = rng.random()
+    if roll < 0.15:
+        return f'Sys.print("v=" + {_expr(ctx, 1)});'
+    if roll < 0.30:
+        return f"S.acc = (S.acc + {_expr(ctx, 1)}) % {CLAMP};"
+    if roll < 0.45 and ctx.arrays:
+        name, length = rng.choice(ctx.arrays)
+        idx = rng.randint(0, max(0, length - 1))
+        return f"{name}[{idx}] = {_expr(ctx, 1)};"
+    if roll < 0.55 and ctx.boxes:
+        return f"{rng.choice(ctx.boxes)}.v = {_expr(ctx, 1)};"
+    writable = ctx.writable_ints()
+    if not writable:
+        return f'Sys.print("w=" + {_expr(ctx, 1)});'
+    var = rng.choice(writable)
+    rhs = _expr(ctx, 2)
+    if clamp:
+        return f"{var} = ({rhs}) % {CLAMP};"
+    return f"{var} = {rhs};"
+
+
+def _stmt(ctx: _Ctx) -> str:
+    rng = ctx.rng
+    roll = rng.random()
+    if roll < 0.22:
+        var = ctx.fresh("v")
+        text = f"int {var} = {_expr(ctx, 2)};"
+        ctx.ints.append(var)
+        return text
+    if roll < 0.34:
+        return _simple_stmt(ctx, clamp=False)
+    if roll < 0.42:
+        var = ctx.fresh("xs")
+        length = rng.randint(1, 6)
+        ctx.arrays.append((var, length))
+        return f"int[] {var} = new int[{length}];"
+    if roll < 0.50:
+        var = ctx.fresh("bx")
+        if rng.random() < 0.8:
+            ctx.boxes.append(var)
+            return (f"Box {var} = new Box();\n"
+                    f"{var}.v = {_expr(ctx, 1)};")
+        ctx.null_boxes.append(var)
+        return f"Box {var} = null;"
+    if roll < 0.62:
+        return (f"if ({_cond(ctx)}) {{\n"
+                f"  {_simple_stmt(ctx, clamp=False)}\n"
+                f"}} else {{\n"
+                f"  {_simple_stmt(ctx, clamp=False)}\n"
+                f"}}")
+    if roll < 0.78:
+        i = ctx.fresh("i")
+        bound = rng.randint(2, 8)
+        ctx.ints.append(i)
+        ctx.no_write.add(i)
+        body = [_simple_stmt(ctx, clamp=True)
+                for _ in range(rng.randint(1, 2))]
+        ctx.ints.remove(i)
+        ctx.no_write.discard(i)
+        inner = "\n".join(f"  {line}" for line in body)
+        return (f"for (int {i} = 0; {i} < {bound}; {i} = {i} + 1) {{\n"
+                f"{inner}\n}}")
+    if roll < 0.92:
+        exc = rng.choice(EXC_TYPES)
+        handler_var = ctx.fresh("e")
+        risky = _simple_stmt(ctx, clamp=False)
+        recover = _simple_stmt(ctx, clamp=False)
+        return (f"try {{\n  {risky}\n}} catch ({exc} {handler_var}) {{\n"
+                f"  {recover}\n}}")
+    return f'Sys.print("t=" + {_expr(ctx, 2)});'
+
+
+def generate(seed: int) -> FuzzProgram:
+    """A random valid program, deterministically derived from ``seed``."""
+    rng = random.Random(f"minilang-fuzz:{seed}")
+    prog = FuzzProgram(seed=seed,
+                       main_args=(rng.randint(-3, 9), rng.randint(-3, 9)))
+    names: List[str] = []
+
+    # Occasionally: a bounded-recursion helper (depth for migrations).
+    if rng.random() < 0.4:
+        name = "rec"
+        prog.methods.append((name, f"static int {name}(int a, int b)", [
+            Slot("if (a <= 0) { return b; }", removable=False),
+            Slot(f"return G.{name}(a - 1, (b + a) % {CLAMP});",
+                 removable=False),
+        ]))
+        names.append(name)
+
+    # Helper methods forming a call DAG (m_i may call only m_j, j < i).
+    for k in range(rng.randint(1, 3)):
+        name = f"m{k}"
+        ctx = _Ctx(rng, list(names))
+        slots = [Slot(_stmt(ctx)) for _ in range(rng.randint(2, 6))]
+        slots.append(Slot(f"return {_expr(ctx, 2)};", removable=False))
+        prog.methods.append((name, f"static int {name}(int a, int b)",
+                             slots))
+        names.append(name)
+
+    # main: some local work, then calls into the DAG.
+    ctx = _Ctx(rng, list(names))
+    slots = [Slot(_stmt(ctx)) for _ in range(rng.randint(1, 4))]
+    ret_terms = [f"G.{n}({_expr(ctx, 1)}, {_expr(ctx, 1)})"
+                 for n in rng.sample(names, rng.randint(1, len(names)))]
+    if rng.random() < 0.5:
+        slots.append(Slot(f'Sys.print("acc=" + S.acc);'))
+    slots.append(Slot("return " + " + ".join(ret_terms) + ";",
+                      removable=False))
+    prog.methods.append(("main", "static int main(int a, int b)", slots))
+    return prog
+
+
+# -- differential checking -----------------------------------------------------
+
+#: dispatch configurations checked against the legacy oracle
+MODES = [("fast", dict(dispatch="fast", fuse=True)),
+         ("fast-nofuse", dict(dispatch="fast", fuse=False))]
+
+
+def _observe(classes, args, **kw) -> Tuple[Any, ...]:
+    m = Machine(classes, **kw)
+    try:
+        result = m.call("G", "main", list(args))
+        err = None
+    except UncaughtGuestException as exc:
+        result = None
+        err = (exc.exc.class_name, exc.exc.fields.get("msg"))
+    return result, err, tuple(m.stdout), m.instr_count, m.clock
+
+
+#: instruction budget per generated program (rare compositions — e.g. a
+#: large-argument recursion inside a loop — can reach millions of
+#: instructions; they are valid but too slow to differential-run)
+MAX_INSTRS = 1_500_000
+
+SKIPPED = "skipped"
+
+
+def divergence(source: str, args: Tuple[int, int],
+               build: str = "original") -> Optional[str]:
+    """None if every fast mode matches the legacy oracle, ``SKIPPED``
+    if the program exceeds the instruction budget, else a
+    human-readable description of the first mismatch."""
+    try:
+        classes = preprocess_program(compile_source(source), build)
+    except CompileError as exc:
+        return f"generator produced invalid program: {exc}"
+    # One legacy run doubles as budget screen and reference oracle.
+    screen = Machine(classes, dispatch="legacy")
+    thread = screen.spawn("G", "main", list(args))
+    if screen.run(thread, max_instrs=MAX_INSTRS) == "limit":
+        return SKIPPED
+    err = None
+    if thread.uncaught is not None:
+        err = (thread.uncaught.class_name, thread.uncaught.fields.get("msg"))
+    ref = (thread.result, err, tuple(screen.stdout), screen.instr_count,
+           screen.clock)
+    for label, kw in MODES:
+        got = _observe(classes, args, **kw)
+        for what, a, b in zip(("result", "uncaught", "stdout",
+                               "instr_count", "clock"), ref, got):
+            if what == "clock":
+                ok = math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-12)
+            else:
+                ok = a == b
+            if not ok:
+                return f"[{label}/{build}] {what}: legacy={a!r} {label}={b!r}"
+    return None
+
+
+def _compiles(source: str) -> bool:
+    try:
+        compile_source(source)
+        return True
+    except CompileError:
+        return False
+
+
+def shrink(prog: FuzzProgram, build: str = "original") -> FuzzProgram:
+    """Greedy statement deletion while the divergence persists."""
+    improved = True
+    while improved:
+        improved = False
+        for site in prog.removable_sites():
+            cand = prog.without(site)
+            src = cand.render()
+            if not _compiles(src):
+                continue
+            if divergence(src, prog.main_args, build) not in (None, SKIPPED):
+                prog = cand
+                improved = True
+                break
+    return prog
+
+
+def run_fuzz(base_seed: int, count: int,
+             faulting_every: int = 5) -> Optional[str]:
+    """Fuzz ``count`` programs; every ``faulting_every``-th one is also
+    checked on the preprocessed (flattened + handler-injected) build.
+    Returns None, or a failure report with the minimized program."""
+    for i in range(count):
+        seed = base_seed + i
+        prog = generate(seed)
+        source = prog.render()
+        builds = ["original"]
+        if i % faulting_every == 0:
+            builds.append("faulting")
+        for build in builds:
+            diff = divergence(source, prog.main_args, build)
+            if diff == SKIPPED:
+                break  # over budget: still a generated program, move on
+            if diff is not None:
+                small = shrink(prog, build)
+                return (f"fast/legacy divergence at seed={seed} "
+                        f"args={prog.main_args} build={build}:\n{diff}\n"
+                        f"--- minimized program ---\n{small.render()}\n")
+    return None

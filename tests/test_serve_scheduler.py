@@ -1,0 +1,280 @@
+"""Elastic serving layer: quantum preemption, placement, handoff, SOD
+offload, batched capture, and deterministic replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import serve_cluster
+from repro.errors import VMError
+from repro.migration.sodee import SODEngine
+from repro.serve import (ClockPressurePolicy, ClusterScheduler,
+                         FrontDoorPlacement, LoadGenerator, QueueDepthPolicy,
+                         Request, WeightedRoundRobinPlacement, serve_mix)
+from repro.vm import Machine
+from repro.workloads.mixes import (MIXES, RequestSpec,
+                                   expected_request_result, serve_classpath,
+                                   serve_compiled)
+
+# -- VM quantum preemption -----------------------------------------------------
+
+
+@pytest.mark.parametrize("dispatch", ["fast", "legacy"])
+def test_quantum_preemption_preserves_semantics(dispatch):
+    """Slicing a run into quanta must not change result, instruction
+    count, or virtual clock — on either interpreter loop."""
+    oracle = Machine(serve_compiled("Fib"))
+    expected = oracle.call("Fib", "main", [15])
+
+    m = Machine(serve_compiled("Fib"), dispatch=dispatch)
+    t = m.spawn("Fib", "main", [15])
+    statuses = []
+    while not t.finished:
+        statuses.append(m.run(t, quantum=700))
+    assert statuses[-1] == "finished"
+    assert set(statuses[:-1]) == {"preempted"}
+    assert len(statuses) > 5  # actually sliced
+    assert t.result == expected
+    assert m.instr_count == oracle.instr_count
+    assert m.clock == pytest.approx(oracle.clock, rel=1e-12)
+
+
+def test_quantum_interleaves_threads_fairly():
+    """Two threads round-robined on one machine both finish correctly
+    and neither runs to completion in one slice."""
+    classes = serve_compiled("NQ")
+    expected = Machine(classes).call("NQ", "main", [5])
+    m = Machine(classes)
+    ta = m.spawn("NQ", "main", [5], thread_name="a")
+    tb = m.spawn("NQ", "main", [5], thread_name="b")
+    slices = {"a": 0, "b": 0}
+    while not (ta.finished and tb.finished):
+        for name, th in (("a", ta), ("b", tb)):
+            if not th.finished:
+                m.run(th, quantum=1000)
+                slices[name] += 1
+    assert ta.result == tb.result == expected
+    assert slices["a"] > 3 and slices["b"] > 3
+
+
+def test_quantum_preempts_call_free_loop():
+    """A loop with no calls must still preempt (back-edge safepoint):
+    otherwise one such request monopolizes its node for the loop's
+    whole duration and an infinite loop would hang the scheduler."""
+    from repro.lang import compile_source
+    from repro.preprocess import preprocess_program
+    src = """class L { static int main(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) { s = s + i; }
+      return s;
+    } }"""
+    classes = preprocess_program(compile_source(src), "original")
+    oracle = Machine(classes)
+    expected = oracle.call("L", "main", [5000])
+    m = Machine(classes)
+    t = m.spawn("L", "main", [5000])
+    preemptions = 0
+    while not t.finished:
+        if m.run(t, quantum=1000) == "preempted":
+            preemptions += 1
+            # overshoot is bounded: at most ~one loop body past budget
+            assert m.instr_count <= (preemptions + 1) * 1000 + 50
+    assert preemptions > 3
+    assert t.result == expected
+    assert m.instr_count == oracle.instr_count
+    assert m.clock == pytest.approx(oracle.clock, rel=1e-12)
+
+
+def test_quantum_validation():
+    m = Machine(serve_compiled("Fib"))
+    t = m.spawn("Fib", "main", [5])
+    with pytest.raises(VMError):
+        m.run(t, quantum=0)
+
+
+def test_preemption_lands_on_original_bci():
+    """A preempted frame's pc is an original bytecode index (fused
+    streams are parallel), so capture/VMTI see a consistent thread."""
+    m = Machine(serve_compiled("QS"))
+    t = m.spawn("QS", "main", [80])
+    status = m.run(t, quantum=500)
+    assert status == "preempted"
+    top = t.frames[-1]
+    assert 0 <= top.pc < len(top.code.instrs)
+
+
+# -- placement -----------------------------------------------------------------
+
+
+def _mk_sched(n_nodes=3, cpu_weights=None, **kw):
+    cluster = serve_cluster(n_nodes, cpu_weights=cpu_weights)
+    classes = serve_classpath(["Fib", "NQ"])
+    return ClusterScheduler(cluster, classes, **kw)
+
+
+def test_weighted_round_robin_respects_capacity():
+    sched = _mk_sched(n_nodes=3, cpu_weights=[2.0, 1.0, 1.0],
+                      placement=WeightedRoundRobinPlacement())
+    spec = RequestSpec("Fib", (5,))
+    places = [sched.placement.place(sched, None) for _ in range(8)]
+    assert places.count("node0") == 4  # double weight, double share
+    assert places.count("node1") == 2 and places.count("node2") == 2
+
+
+def test_front_door_placement_targets_front():
+    sched = _mk_sched(placement=FrontDoorPlacement())
+    assert sched.placement.place(sched, None) == "node0"
+
+
+# -- end-to-end serving --------------------------------------------------------
+
+
+def test_single_node_serves_all_correctly():
+    rep = serve_mix("mixed", n_nodes=1, n_requests=10, seed=2)
+    assert rep.served == rep.submitted == 10
+    assert rep.correct == 10
+    assert rep.failed == 0 and rep.unserved == 0
+    assert rep.stats["sod_offloads"] == 0  # nowhere to go
+    assert rep.makespan > 0 and rep.throughput > 0
+
+
+def test_multi_node_serving_is_correct_and_offloads():
+    rep = serve_mix("parallel", n_nodes=4, n_requests=32, seed=7)
+    assert rep.served == rep.correct == 32
+    assert rep.stats["sod_offloads"] > 0
+    assert rep.stats["completions"] == rep.stats["sod_offloads"]
+    # work actually spread: every node served something
+    assert all(row["served"] > 0 for row in rep.per_node.values())
+
+
+def test_front_door_handoff_spreads_load():
+    rep = serve_mix("hotspot", n_nodes=4, n_requests=24, seed=3,
+                    placement="front-door",
+                    offload=QueueDepthPolicy(min_depth=3, mig_frames=2))
+    assert rep.served == rep.correct == 24
+    assert rep.stats["handoffs"] > 0
+    assert rep.stats["sod_offloads"] > 0
+    served_away = sum(row["served"] for node, row in rep.per_node.items()
+                      if node != "node0")
+    assert served_away > 0
+
+
+def test_clock_pressure_policy_offloads():
+    rep = serve_mix("mixed", n_nodes=3, n_requests=18, seed=5,
+                    placement="front-door", offload="clock-pressure")
+    assert rep.served == rep.correct == 18
+    assert rep.stats["handoffs"] + rep.stats["sod_offloads"] > 0
+
+
+def test_no_offload_policy_keeps_work_in_place():
+    rep = serve_mix("parallel", n_nodes=2, n_requests=8, seed=1,
+                    placement="front-door", offload="none")
+    assert rep.served == rep.correct == 8
+    assert rep.stats["sod_offloads"] == 0 and rep.stats["handoffs"] == 0
+    assert rep.per_node["node0"]["served"] == 8
+
+
+def test_heterogeneous_cluster_prefers_fast_nodes():
+    rep = serve_mix("parallel", n_nodes=2, n_requests=12, seed=9,
+                    cpu_weights=[3.0, 1.0])
+    assert rep.served == rep.correct == 12
+    assert rep.per_node["node0"]["served"] \
+        > rep.per_node["node1"]["served"]
+
+
+def test_serving_replays_bit_identically():
+    a = serve_mix("hotspot", n_nodes=3, n_requests=15, seed=13,
+                  placement="front-door")
+    b = serve_mix("hotspot", n_nodes=3, n_requests=15, seed=13,
+                  placement="front-door")
+    assert json.dumps(a.to_dict(), sort_keys=True) \
+        == json.dumps(b.to_dict(), sort_keys=True)
+
+
+def test_interarrival_stream_is_open_loop():
+    """With a large interarrival gap, requests are served as they land
+    (latency stays near one request's compute, nothing queues)."""
+    rep = serve_mix("parallel", n_nodes=1, n_requests=5, seed=4,
+                    interarrival=0.5)
+    assert rep.served == rep.correct == 5
+    assert rep.makespan > 4 * 0.5  # stream stayed open that long
+    assert rep.latency_max < 0.5  # each served before the next arrived
+
+
+# -- batched multi-thread capture ---------------------------------------------
+
+
+def test_migrate_many_matches_singles_and_amortizes_transfer():
+    """A 3-thread batch produces the same worker results as three
+    independent runs, while paying the fixed transfer setup once."""
+    classes = serve_classpath(["Fib"])
+    expected = expected_request_result(RequestSpec("Fib", (12,)))
+
+    def prepared_engine():
+        eng = SODEngine(serve_cluster(2), dict(classes))
+        home = eng.host("node0")
+        threads = []
+        for i in range(3):
+            t = eng.spawn(home, "Fib", "main", [12])
+            eng.run(home, t, stop=lambda th: th.depth() >= 5)
+            threads.append(t)
+        return eng, home, threads
+
+    eng, home, threads = prepared_engine()
+    worker, results = eng.migrate_many(home, threads, "node1", nframes=2)
+    assert len(results) == 3
+    for (wt, rec), t in zip(results, threads):
+        eng.run(worker, wt)
+        eng.complete_segment(worker, wt, home, t, rec.nframes)
+        eng.run(home, t)
+        assert t.result == expected
+
+    # vs three single migrations from an identically prepared engine
+    eng2, home2, threads2 = prepared_engine()
+    singles = [eng2.migrate(home2, t, "node1", 2) for t in threads2]
+    batch_transfer = sum(rec.transfer_time for _wt, rec in results)
+    single_transfer = sum(rec.transfer_time for _w, _wt, rec in singles)
+    assert batch_transfer < single_transfer  # fixed setup amortized
+
+
+def test_migrate_many_empty_batch_rejected():
+    from repro.errors import MigrationError
+    eng = SODEngine(serve_cluster(2), dict(serve_classpath(["Fib"])))
+    home = eng.host("node0")
+    with pytest.raises(MigrationError):
+        eng.migrate_many(home, [], "node1")
+
+
+# -- load generator ------------------------------------------------------------
+
+
+def test_load_generator_stream_is_seed_stable():
+    mix = MIXES["mixed"]
+    gen = LoadGenerator(mix, 20, seed=42)
+    assert [s.label() for s in gen.specs()] \
+        == [s.label() for s in LoadGenerator(mix, 20, seed=42).specs()]
+    other = LoadGenerator(mix, 20, seed=43).specs()
+    assert gen.specs() != other  # seed actually matters
+
+
+def test_scheduler_is_one_shot():
+    """The node processes exit with the stream; reuse must fail loudly
+    instead of queueing requests nobody will ever serve."""
+    from repro.errors import ClusterError
+    mix = MIXES["parallel"]
+    sched = ClusterScheduler(serve_cluster(2),
+                             serve_classpath(mix.programs()))
+    rep = sched.serve(LoadGenerator(mix, 4, seed=1))
+    assert rep.served == 4
+    with pytest.raises(ClusterError, match="one-shot"):
+        sched.serve(LoadGenerator(mix, 4, seed=2))
+
+
+def test_load_generator_validation():
+    mix = MIXES["parallel"]
+    with pytest.raises(ValueError):
+        LoadGenerator(mix, 0)
+    with pytest.raises(ValueError):
+        LoadGenerator(mix, 5, interarrival=-1.0)

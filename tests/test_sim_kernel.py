@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.sim import Environment, Resource
+from repro.sim import Environment, Resource, Store
 
 
 def test_timeout_advances_clock():
@@ -231,3 +231,59 @@ def test_resource_many_waiters_fifo_stress():
     assert order == list(range(n))
     assert env.now == pytest.approx(n * 0.001)
     assert not res._waiters and res.in_use == 0  # fully drained
+
+
+# -- Store (FIFO item queue) ---------------------------------------------------
+
+def test_store_put_before_get_preserves_fifo():
+    env = Environment()
+    store = Store(env)
+    for i in range(4):
+        store.put(i)
+    assert len(store) == 4
+    got = []
+
+    def consumer():
+        while True:
+            item = yield store.get()
+            if item is None:
+                break
+            got.append(item)
+
+    store.put(None)
+    env.process(consumer())
+    env.run()
+    assert got == [0, 1, 2, 3]
+
+
+def test_store_blocked_getters_wake_fifo():
+    env = Environment()
+    store = Store(env)
+    served = []
+
+    def consumer(name):
+        item = yield store.get()
+        served.append((name, item, env.now))
+
+    def producer():
+        yield env.timeout(1.0)
+        store.put("x")
+        yield env.timeout(1.0)
+        store.put("y")
+
+    env.process(consumer("a"))
+    env.process(consumer("b"))
+    env.process(producer())
+    env.run()
+    # oldest getter gets the first item, at the producer's time
+    assert served == [("a", "x", 1.0), ("b", "y", 2.0)]
+
+
+def test_store_remove_steals_only_queued_items():
+    env = Environment()
+    store = Store(env)
+    store.put("keep")
+    store.put("steal")
+    assert store.remove("steal")
+    assert not store.remove("steal")  # already gone
+    assert store.get().value == "keep"

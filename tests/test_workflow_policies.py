@@ -7,7 +7,8 @@ from repro.errors import MigrationError
 from repro.lang import compile_source
 from repro.migration import SODEngine
 from repro.migration.policies import (BandwidthAwarePolicy, LocalityPolicy,
-                                      SpeculativeCloudPolicy, after_instrs,
+                                      SpeculativeCloudPolicy, after_clock,
+                                      after_instrs,
                                       any_of, on_depth, on_method_entry,
                                       rewind_to_line_start)
 from repro.migration.prefetch import (HistoryPrefetch, NoPrefetch,
@@ -154,6 +155,12 @@ def test_trigger_combinators(flow_classes):
     t3 = m.spawn("W", "main", [5])
     m.run(t3, stop=any_of(on_depth(99), after_instrs(m, 10)))
     assert not t3.finished
+    t4 = m.spawn("W", "main", [5])
+    budget = m.cost.unit_op_cost() * 20
+    clock0 = m.clock
+    status = m.run(t4, stop=after_clock(m, budget))
+    assert status == "stopped" and m.clock - clock0 >= budget
+    assert not t4.finished
 
 
 def test_rewind_to_line_start(flow_classes):
