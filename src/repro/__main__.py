@@ -97,9 +97,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"unknown mix {args.mix!r}; known: {sorted(MIXES)}",
               file=sys.stderr)
         return 2
+    from repro.serve import DEFAULT_STALENESS
+    staleness = (DEFAULT_STALENESS if args.staleness is None
+                 else args.staleness)
     rep = serve_mix(args.mix, n_nodes=args.nodes, n_requests=args.requests,
                     seed=args.seed, quantum=args.quantum,
-                    placement=args.placement, offload=args.offload)
+                    interarrival=args.interarrival,
+                    placement=args.placement, offload=args.offload,
+                    rack_size=args.rack_size, staleness=staleness)
     if args.json:
         print(_json.dumps(rep.to_dict(), indent=2))
         return 0 if rep.correct == rep.served == rep.submitted else 1
@@ -114,9 +119,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"sod_offloads={s['sod_offloads']} "
           f"(batched {s['batched_threads']}) "
           f"completions={s['completions']}")
-    for node, row in rep.per_node.items():
-        print(f"  {node}: served={row['served']:<3d} "
-              f"busy={row['busy_s']:.4f}s w={row['cpu_weight']:g}")
+    per_dec = s["decision_ops"] / s["decisions"] if s["decisions"] else 0.0
+    print(f"decisions={s['decisions']} "
+          f"(index ops/decision={per_dec:.1f}) "
+          f"gossip_rounds={s['gossip_rounds']} "
+          f"victim_vetoes={s['victim_vetoes']}")
+    if args.nodes <= 16:
+        for node, row in rep.per_node.items():
+            print(f"  {node}: served={row['served']:<3d} "
+                  f"busy={row['busy_s']:.4f}s w={row['cpu_weight']:g}")
+    else:
+        served = [row["served"] for row in rep.per_node.values()]
+        print(f"  per-node served: min={min(served)} max={max(served)} "
+              f"(use --json for the full breakdown)")
     return 0 if rep.correct == rep.served == rep.submitted else 1
 
 
@@ -167,6 +182,13 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--requests", type=int, default=32)
     p.add_argument("--seed", type=int, default=7)
     p.add_argument("--quantum", type=int, default=2500)
+    p.add_argument("--interarrival", type=float, default=0.0,
+                   help="virtual seconds between admissions (0 = burst)")
+    p.add_argument("--rack-size", type=int, default=4,
+                   help="nodes per rack in the serve topology")
+    p.add_argument("--staleness", type=float, default=None,
+                   help="gossip digest staleness bound, virtual seconds "
+                        "(0 = always fresh)")
     p.add_argument("--placement", default="round-robin",
                    choices=["round-robin", "front-door"])
     p.add_argument("--offload", default="queue-depth",

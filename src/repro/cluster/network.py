@@ -117,6 +117,20 @@ class Network:
         finally:
             res.release()
 
+    def occupy_proc(self, src: str, dst: str, seconds: float) -> Iterator[Event]:
+        """Hold the directed (src, dst) link for ``seconds`` of
+        *already-accounted* transfer time: the caller computed (and
+        recorded) the byte-level cost elsewhere — e.g. a bulk SOD
+        offload message priced by the migration engine — and this
+        serializes its occupancy so concurrent transfers queue FIFO
+        instead of overlapping for free.  No bytes are re-recorded."""
+        res = self._resource(src, dst)
+        yield res.request()
+        try:
+            yield self.env.timeout(seconds)
+        finally:
+            res.release()
+
     def total_bytes(self) -> int:
         """All bytes moved over every link so far."""
         return sum(self.bytes_moved.values())

@@ -23,19 +23,30 @@ from repro.units import gb, gbps, kbps, mb, ms, us
 
 @dataclass
 class Cluster:
-    """A set of nodes + the network + the shared file system."""
+    """A set of nodes + the network + the shared file system.
+
+    Nodes are grouped into named *racks* (``add_node(..., rack=...)``,
+    default one flat rack).  The rack structure is what the serving
+    layer's load indexes aggregate over: a node always has fresh load
+    knowledge of its own rack (one switch hop away) and consults a
+    bounded-staleness summary for the rest of the cluster, so offload
+    decisions stay O(log n) in cluster size.
+    """
 
     env: Environment
     network: Network
     fs: FileSystem
     nodes: Dict[str, Node] = field(default_factory=dict)
+    #: node name -> rack id
+    node_rack: Dict[str, str] = field(default_factory=dict)
 
-    def add_node(self, spec: NodeSpec) -> Node:
-        """Create and register a node."""
+    def add_node(self, spec: NodeSpec, rack: str = "rack000") -> Node:
+        """Create and register a node in ``rack``."""
         if spec.name in self.nodes:
             raise ClusterError(f"duplicate node {spec.name}")
         n = Node(spec)
         self.nodes[spec.name] = n
+        self.node_rack[spec.name] = rack
         return n
 
     def node(self, name: str) -> Node:
@@ -48,9 +59,35 @@ class Cluster:
     def names(self) -> List[str]:
         return list(self.nodes)
 
+    def rack_of(self, name: str) -> str:
+        """The rack a node belongs to."""
+        try:
+            return self.node_rack[name]
+        except KeyError:
+            raise ClusterError(f"no such node: {name}") from None
+
+    def racks(self) -> Dict[str, List[str]]:
+        """Rack id -> member node names, in registration order."""
+        out: Dict[str, List[str]] = {}
+        for name, rack in self.node_rack.items():
+            out.setdefault(rack, []).append(name)
+        return out
+
+    def rack_capacity(self, rack: str) -> float:
+        """Aggregate serving capacity (summed ``cpu_weight``) of a rack —
+        the static half of the per-rack load aggregates."""
+        total = 0.0
+        for name, r in self.node_rack.items():
+            if r == rack:
+                total += self.nodes[name].spec.cpu_weight
+        return total
+
     def latency(self, a: str, b: str) -> float:
-        """One-way link latency between two nodes (topology-aware
-        placement uses it to prefer nearby offload targets)."""
+        """One-way link latency between two nodes.  A topology query
+        for experiments and custom policies; the serving scheduler's
+        locality preference is rack-based (same-rack targets win load
+        ties via :mod:`repro.serve.loadindex`), with link latencies
+        charged where they belong — on the transfers themselves."""
         return self.network.link(a, b).latency
 
 
@@ -89,13 +126,16 @@ def serve_cluster(n_nodes: int = 4,
     if cpu_weights is not None and len(cpu_weights) != n_nodes:
         raise ClusterError(
             f"expected {n_nodes} cpu weights, got {len(cpu_weights)}")
+    if rack_size < 1:
+        raise ClusterError(f"rack size must be >= 1, got {rack_size}")
     cluster = _base(LinkSpec(bandwidth=gbps(1), latency=us(80)))
     for i in range(n_nodes):
         w = cpu_weights[i] if cpu_weights is not None else 1.0
         if w <= 0:
             raise ClusterError(f"node{i}: cpu weight must be > 0, got {w}")
         cluster.add_node(NodeSpec(name=f"node{i}", ram_bytes=ram_bytes,
-                                  speed_factor=1.0 / w, cpu_weight=w))
+                                  speed_factor=1.0 / w, cpu_weight=w),
+                         rack=f"rack{i // rack_size:03d}")
     slow = LinkSpec(bandwidth=gbps(1), latency=cross_rack_latency)
     for i in range(n_nodes):
         for j in range(i + 1, n_nodes):

@@ -155,6 +155,24 @@ class For(Stmt):
 
 
 @dataclass
+class SwitchCase:
+    """One arm of a switch: integer labels (empty for ``default``) and
+    the statements that follow them.  Execution falls through to the
+    next arm unless the body breaks, as in Java."""
+
+    labels: List[int] = field(default_factory=list)
+    body: List[Stmt] = field(default_factory=list)
+    is_default: bool = False
+    line: int = 0
+
+
+@dataclass
+class Switch(Stmt):
+    subject: Expr = None  # type: ignore[assignment]
+    cases: List[SwitchCase] = field(default_factory=list)
+
+
+@dataclass
 class Return(Stmt):
     value: Optional[Expr] = None
 

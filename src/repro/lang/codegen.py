@@ -159,9 +159,11 @@ class _MethodEmitter:
             self.emit(op.THROW)
         elif isinstance(s, A.TryCatch):
             self._gen_try(s)
+        elif isinstance(s, A.Switch):
+            self._gen_switch(s)
         elif isinstance(s, A.Break):
             if not self._break_patches:
-                raise CompileError("break outside loop", s.line)
+                raise CompileError("break outside loop or switch", s.line)
             self._break_patches[-1].append(self.emit(op.JMP, -1))
         elif isinstance(s, A.Continue):
             if not self._continue_patches:
@@ -277,6 +279,35 @@ class _MethodEmitter:
         self.gen_block(s.handler)
         self.patch(jend, self.here())
         self.exc_table.append(ExcEntry(start, end, handler, s.exc_class))
+
+    def _gen_switch(self, s: A.Switch) -> None:
+        """``switch`` compiles to one LSWITCH: the table maps each case
+        label to its arm's first bci, the default operand to the
+        ``default`` arm (or past the end).  Arms fall through in source
+        order, Java-style; ``break`` jumps past the end (the switch
+        pushes a break frame but no continue frame, so ``continue``
+        still targets an enclosing loop)."""
+        self.gen_expr(s.subject)
+        table: dict = {}
+        lsw = self.emit(op.LSWITCH, table, -1)
+        self._break_patches.append([])
+        default_bci = None
+        for case in s.cases:
+            bci = self.here()
+            self.mark_line(case.line)
+            if case.is_default:
+                default_bci = bci
+            for label in case.labels:
+                table[label] = bci
+            for st in case.body:
+                self.gen_stmt(st)
+        end = self.here()
+        # Patch the default operand in place (patch() only rewrites the
+        # jump-target slot ``a``, which for LSWITCH holds the table).
+        self.instrs[lsw] = Instr(op.LSWITCH, table,
+                                 end if default_bci is None else default_bci)
+        for b in self._break_patches.pop():
+            self.patch(b, end)
 
     # -- expressions -------------------------------------------------------------
 

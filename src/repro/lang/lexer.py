@@ -18,11 +18,12 @@ KEYWORDS = frozenset({
     "class", "extends", "static", "void", "int", "float", "bool", "str",
     "if", "else", "while", "for", "return", "new", "null", "true", "false",
     "this", "try", "catch", "throw", "break", "continue",
+    "switch", "case", "default",
 })
 
 #: multi-char operators, longest first
 _OPS2 = ("==", "!=", "<=", ">=", "&&", "||")
-_OPS1 = "+-*/%<>=!.,;()[]{}"
+_OPS1 = "+-*/%<>=!.,;:()[]{}"
 
 
 @dataclass(frozen=True)

@@ -15,8 +15,10 @@ Grammar (informal)::
                | 'for' '(' simple? ';' expr? ';' simple? ')' block
                | 'return' expr? ';' | 'throw' expr ';'
                | 'try' block 'catch' '(' IDENT IDENT ')' block
+               | 'switch' '(' expr ')' '{' case* '}'
                | 'break' ';' | 'continue' ';'
                | expr ';'
+    case      := ('case' ['-'] INT | 'default') ':' stmt*
     expr      := precedence-climbing over || && == != < <= > >= + - * / %
                  with unary ! -, postfix '.' IDENT, '.' IDENT '(...)',
                  '[expr]', and primaries: literals, 'new', '(', this,
@@ -208,6 +210,8 @@ class Parser:
                 handler = self.parse_block()
                 return A.TryCatch(line=t.line, body=body, exc_class=exc_class,
                                   exc_var=exc_var, handler=handler)
+            if t.text == "switch":
+                return self._parse_switch()
             if t.text == "break":
                 self.next()
                 self.expect(";")
@@ -226,6 +230,47 @@ class Parser:
             return A.VarDecl(line=t.line, type_name=type_name, name=name,
                              init=init)
         return self._parse_simple_then(";", t)
+
+    def _parse_switch(self) -> A.Switch:
+        start = self.expect("kw", "switch")
+        self.expect("(")
+        subject = self.parse_expr()
+        self.expect(")")
+        self.expect("{")
+        cases: List[A.SwitchCase] = []
+        seen_labels: set = set()
+        seen_default = False
+        while not self.accept("}"):
+            t = self.peek()
+            if self._kw("case"):
+                neg = self.accept("-") is not None
+                lit = self.expect("int")
+                label = -int(lit.text) if neg else int(lit.text)
+                if label in seen_labels:
+                    raise CompileError(f"duplicate case label {label}",
+                                       t.line, t.col)
+                seen_labels.add(label)
+                self.expect(":")
+                case = A.SwitchCase(labels=[label], line=t.line)
+            elif self._kw("default"):
+                if seen_default:
+                    raise CompileError("duplicate default label",
+                                       t.line, t.col)
+                seen_default = True
+                self.expect(":")
+                case = A.SwitchCase(is_default=True, line=t.line)
+            else:
+                raise CompileError(
+                    f"expected 'case' or 'default', got {t.text!r}",
+                    t.line, t.col)
+            while True:
+                nxt = self.peek()
+                if nxt.kind == "}" or (nxt.kind == "kw"
+                                       and nxt.text in ("case", "default")):
+                    break
+                case.body.append(self.parse_stmt())
+            cases.append(case)
+        return A.Switch(line=start.line, subject=subject, cases=cases)
 
     def _parse_simple(self) -> A.Stmt:
         """An assignment or expression statement without the terminator

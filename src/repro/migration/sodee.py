@@ -148,9 +148,44 @@ class SODEngine:
             return cf
 
         worker.machine.loader.missing_class_hook = missing
+        worker.machine.loader.load_listener = (
+            lambda vmclass: self._sync_loaded_statics(worker, home, vmclass))
         if attach_objman:
             worker.attach_object_manager()
         return worker, spawn
+
+    def _sync_loaded_statics(self, worker: Host, home: Host,
+                             vmclass) -> None:
+        """Class state travels with on-demand code: when a worker links
+        a class fetched from its home, the home's *current* static
+        values ride along (captured-segment classes already ship theirs
+        with the capture; this closes the gap for classes the segment
+        merely references — e.g. a static counter in a helper class the
+        captured frames read but never own).  Without it the worker
+        links paper defaults and silently computes on stale state.
+
+        Object-valued statics become remote refs, which need the fault
+        natives: on a worker without an object manager (a node serving
+        only handed-off, statics-free requests) they keep their
+        defaults — such programs never touch them."""
+        from repro.migration.state import decode_value, encode_value
+        from repro.vm.values import LOC_STATIC
+        if not vmclass.statics:
+            return
+        if not home.machine.loader.is_loaded(vmclass.name):
+            return  # home never linked it: defaults are authoritative
+        home_cls = home.machine.loader.load(vmclass.name)
+        nbytes = 0
+        for fname in list(vmclass.statics):
+            enc, b = encode_value(home_cls.statics[fname], home.node_name)
+            dec = decode_value(enc, (LOC_STATIC, vmclass.name, fname))
+            if isinstance(dec, RemoteRef) and worker.objman is None:
+                continue
+            vmclass.statics[fname] = dec
+            nbytes += b
+        if nbytes:
+            worker.machine.charge_raw(self.transfer_time(
+                home.node_name, worker.node_name, nbytes))
 
     def worker_host(self, node_name: str, home: Host,
                     attach_objman: bool = True) -> Host:

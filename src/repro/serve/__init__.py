@@ -7,11 +7,15 @@ node, and the SOD machinery ships the top frames of hot threads to
 underloaded nodes mid-run.
 
 * :mod:`repro.serve.loadgen` — requests and the seeded load generator.
+* :mod:`repro.serve.loadindex` — the incremental O(log n) load indexes
+  (event-driven counters, per-rack heaps, gossip digest, work profile).
 * :mod:`repro.serve.policies` — admission placement and offload policies.
 * :mod:`repro.serve.scheduler` — the cluster scheduler itself.
 """
 
 from repro.serve.loadgen import LoadGenerator, Request
+from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile,
+                                   naive_pick, recompute_load)
 from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
                                   OffloadPolicy, Placement, QueueDepthPolicy,
                                   WeightedRoundRobinPlacement)
@@ -19,6 +23,8 @@ from repro.serve.scheduler import ClusterScheduler, ServeReport, serve_mix
 
 __all__ = [
     "LoadGenerator", "Request",
+    "LoadIndex", "WorkProfile", "DEFAULT_STALENESS",
+    "naive_pick", "recompute_load",
     "Placement", "FrontDoorPlacement", "WeightedRoundRobinPlacement",
     "OffloadPolicy", "QueueDepthPolicy", "ClockPressurePolicy",
     "ClusterScheduler", "ServeReport", "serve_mix",

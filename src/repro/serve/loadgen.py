@@ -44,6 +44,11 @@ class Request:
     hops: int = 0
     #: quanta this request has consumed
     quanta: int = 0
+    #: guest instructions executed on this request's behalf so far
+    #: (segments credit their instructions back to the parent on
+    #: completion, so the count spans remote work too) — feeds the
+    #: online per-program work profile used for victim selection
+    instrs: int = 0
     #: times this request's top frames were offloaded via SOD
     sod_offloads: int = 0
     #: for segments: the request whose frames these are, and how many

@@ -7,15 +7,18 @@ descriptor crosses the wire) or *SOD-offloading* the top frames of a
 running thread (the paper's stack-on-demand migration, executed through
 the engine's capture/transfer/restore machinery).
 
-All decisions read only scheduler state that is a deterministic
-function of the run so far (queue depths, machine clocks, topology), so
-scheduler runs replay exactly.
+All load questions are answered by the scheduler's incremental
+:class:`repro.serve.loadindex.LoadIndex` — O(1) per-node load reads and
+O(log n) target picks — never by scanning the cluster.  Decisions read
+only state that is a deterministic function of the run so far (counters,
+machine clocks, topology, virtual time), so scheduler runs replay
+exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 # -- load accounting -----------------------------------------------------------
 
@@ -25,32 +28,12 @@ def weighted_load(sched, node: str, extra: int = 0) -> float:
     capacity: the queue, the running slot, deliveries already in flight
     toward the node (so simultaneous offload decisions don't dogpile
     one idle target), and ``extra`` — work the caller knows about but
-    has already popped from the queue (the request in hand)."""
-    busy = 1 if sched.running.get(node) is not None else 0
-    in_flight = sched.pending.get(node, 0)
-    return (len(sched.stores[node]) + busy + in_flight + extra) \
-        / sched.cluster.node(node).spec.cpu_weight
+    has already popped from the queue (the request in hand).
 
-
-def pick_underloaded(sched, src: str, src_load: float,
-                     min_gap: float) -> Optional[str]:
-    """The best offload target seen from ``src``: the least-loaded node,
-    ties broken by link latency from ``src`` (topology-aware: same-rack
-    nodes win over cross-rack ones) and then by name.  Returns None
-    unless the target is at least ``min_gap`` weighted threads below
-    ``src``."""
-    best: Optional[str] = None
-    best_key = None
-    for node in sched.node_names:
-        if node == src:
-            continue
-        key = (weighted_load(sched, node),
-               sched.cluster.latency(src, node), node)
-        if best_key is None or key < best_key:
-            best, best_key = node, key
-    if best is None or src_load - best_key[0] < min_gap:
-        return None
-    return best
+    O(1): reads the event-driven counter; the from-scratch definition
+    it must always agree with is
+    :func:`repro.serve.loadindex.recompute_load` (property-tested)."""
+    return sched.load_index.load(node, extra)
 
 
 # -- admission placement -------------------------------------------------------
@@ -78,25 +61,92 @@ class FrontDoorPlacement(Placement):
 class WeightedRoundRobinPlacement(Placement):
     """Smooth weighted round-robin over node capacities (the classic
     nginx algorithm): each round every node gains its weight, the
-    richest node wins the request and pays the total back."""
+    richest node wins the request and pays the total back.
+
+    Node weights are fixed for a scheduler's lifetime, and with
+    integerized weights the algorithm is periodic (over one period of
+    ``sum(weights)`` picks every node wins exactly its weight's worth
+    and the credits return to zero) — so the cycle is precomputed once
+    and each admission is an O(1) cursor step.  Sweeping every node's
+    credit per request would be an O(n) hot-path scan at cluster
+    scale, exactly what this PR removes elsewhere."""
+
+    #: longest precomputed pick cycle; weight ratios whose exact period
+    #: would exceed it are rounded to a 255-level approximation instead
+    MAX_CYCLE = 4096
 
     def __init__(self):
-        self._credit = {}
+        self._sched_ref: Optional[int] = None
+        self._key: Optional[tuple] = None
+        self._cycle: list = []
+        self._pos = 0
 
     def place(self, sched, req) -> str:
-        names = sched.node_names
-        if set(self._credit) != set(names):
-            # fresh scheduler (or a reused instance on a different
-            # cluster): start the credit cycle over
-            self._credit = {n: 0.0 for n in names}
-        total = 0.0
-        for n in names:
-            w = sched.cluster.node(n).spec.cpu_weight
-            self._credit[n] += w
-            total += w
-        best = max(names, key=lambda n: self._credit[n])
-        self._credit[best] -= total
-        return best
+        # A scheduler's cluster and weights are immutable for its
+        # lifetime, so the common case is an identity check; the full
+        # (names, weights) key is only rebuilt when this placement
+        # instance moves to a different scheduler.
+        if id(sched) != self._sched_ref:
+            names = sched.node_names
+            weights = tuple(sched.cluster.node(n).spec.cpu_weight
+                            for n in names)
+            key = (tuple(names), weights)
+            if self._key != key:
+                self._build_cycle(names, weights)
+                self._key = key
+            self._sched_ref = id(sched)
+        node = self._cycle[self._pos]
+        self._pos = (self._pos + 1) % len(self._cycle)
+        return node
+
+    def _build_cycle(self, names, weights) -> None:
+        from fractions import Fraction
+        from math import gcd
+        self._pos = 0
+        # Integerize weight *ratios* (relative to the lightest node, so
+        # a tiny absolute weight keeps its tiny share instead of being
+        # floored to parity with the rest).
+        lightest = min(weights)
+        ratios = [w / lightest for w in weights]
+        fracs = [Fraction(r).limit_denominator(64) for r in ratios]
+        denom = 1
+        for f in fracs:
+            denom = denom * f.denominator // gcd(denom, f.denominator)
+        ints = [max(1, int(f * denom)) for f in fracs]
+        common = 0
+        for w in ints:
+            common = gcd(common, w)
+        ints = [w // common for w in ints]
+        if sum(ints) > self.MAX_CYCLE:
+            # Extreme ratios: approximate on a shrinking scale until
+            # the period actually fits the cap (at scale 1 every node
+            # rounds to weight >= 1, so the period bottoms out at n —
+            # node counts beyond MAX_CYCLE are not a supported regime).
+            top = max(ratios)
+            scale = 255.0
+            while True:
+                ints = [max(1, round(r * scale / top)) for r in ratios]
+                common = 0
+                for w in ints:
+                    common = gcd(common, w)
+                ints = [w // common for w in ints]
+                total = sum(ints)
+                if total <= self.MAX_CYCLE or scale <= 1.0:
+                    break
+                scale = max(1.0, scale * self.MAX_CYCLE / (total * 1.05))
+        total = sum(ints)
+        credit = {n: 0 for n in names}
+        cycle = []
+        for _ in range(total):
+            best = None
+            best_c = 0
+            for n, w in zip(names, ints):
+                c = credit[n] = credit[n] + w
+                if best is None or c > best_c:
+                    best, best_c = n, c
+            credit[best] -= total
+            cycle.append(best)
+        self._cycle = cycle
 
 
 # -- offload policies ----------------------------------------------------------
@@ -119,6 +169,13 @@ class OffloadPolicy:
             (see :meth:`repro.migration.sodee.SODEngine.migrate_many`).
         depth_threshold: weighted runnable count at which a node is hot.
         min_gap: how many weighted threads lighter a target must be.
+        min_remaining_quanta: a running thread is only worth shipping if
+            its *estimated remaining work* (learned online, see
+            :class:`repro.serve.loadindex.WorkProfile`) is at least this
+            many scheduler quanta — a deep-but-nearly-done thread
+            finishes at home sooner than its capture+transfer+restore
+            would take.  Programs with no profile yet are always
+            eligible (fall back to the depth rule).
     """
 
     min_depth: int = 4
@@ -127,12 +184,25 @@ class OffloadPolicy:
     batch_limit: int = 3
     depth_threshold: float = 2.0
     min_gap: float = 2.0
+    min_remaining_quanta: float = 1.0
 
     def handoff_target(self, sched, node: str) -> Optional[str]:
         load = weighted_load(sched, node, extra=1)
         if load < self.depth_threshold:
             return None
-        return pick_underloaded(sched, node, load, self.min_gap)
+        return sched.pick_underloaded(node, load, self.min_gap)
+
+    def victim_ok(self, sched, req) -> bool:
+        """Shared victim filter: only started, deep-enough requests
+        whose estimated remaining work justifies the migration."""
+        if req.kind != "request" or req.depth < self.min_depth:
+            return False
+        remaining = sched.profile.remaining(req)
+        if (remaining is not None
+                and remaining < self.min_remaining_quanta * sched.quantum):
+            sched.stats["victim_vetoes"] += 1
+            return False
+        return True
 
     def offload_target(self, sched, node: str, req) -> Optional[str]:
         return None
@@ -145,31 +215,33 @@ class QueueDepthPolicy(OffloadPolicy):
     ``min_gap`` weighted threads lighter."""
 
     def offload_target(self, sched, node: str, req) -> Optional[str]:
-        if req.kind != "request" or req.depth < self.min_depth:
+        if not self.victim_ok(sched, req):
             return None
         load = weighted_load(sched, node, extra=1)
         if load < self.depth_threshold:
             return None
-        return pick_underloaded(sched, node, load, self.min_gap)
+        return sched.pick_underloaded(node, load, self.min_gap)
 
 
 @dataclass
 class ClockPressurePolicy(OffloadPolicy):
-    """Clock-pressure trigger: a node is hot when its accumulated busy
-    time runs ``pressure_ratio`` times ahead of the cluster mean (its
-    backlog is time, not queue slots — catches few-but-heavy threads
-    that a queue-depth trigger misses).  Handoff stays depth-based
-    (inherited): pre-start requests carry no clock yet."""
+    """Clock-pressure trigger: a node is hot when its accumulated guest
+    CPU time runs ``pressure_ratio`` times ahead of the cluster mean
+    (its backlog is time, not queue slots — catches few-but-heavy
+    threads that a queue-depth trigger misses).  The per-node and
+    cluster-total CPU counters are event-driven (bumped once per
+    quantum), so the pressure check is O(1), not a cluster scan.
+    Handoff stays depth-based (inherited): pre-start requests carry no
+    clock yet."""
 
     pressure_ratio: float = 1.5
     min_gap: float = 1.0
 
     def offload_target(self, sched, node: str, req) -> Optional[str]:
-        if req.kind != "request" or req.depth < self.min_depth:
+        if not self.victim_ok(sched, req):
             return None
-        busies = [sched.busy_time(n) for n in sched.node_names]
-        mean = sum(busies) / len(busies)
-        if mean <= 0 or sched.busy_time(node) < self.pressure_ratio * mean:
+        mean = sched.cpu_total / len(sched.node_names)
+        if mean <= 0 or sched.cpu_used[node] < self.pressure_ratio * mean:
             return None
         load = weighted_load(sched, node, extra=1)
-        return pick_underloaded(sched, node, load, self.min_gap)
+        return sched.pick_underloaded(node, load, self.min_gap)

@@ -17,6 +17,16 @@ away.  Two mechanisms provide the elasticity:
   the parent's residual stack at home.  Hot batches ship as one bulk
   message (:meth:`repro.migration.sodee.SODEngine.migrate_many`).
 
+Scale-out design (dozens of nodes, thousands of requests): every load
+question is answered by an incrementally-maintained
+:class:`repro.serve.loadindex.LoadIndex` — event-driven per-node
+counters, per-rack lazy-deletion heaps, and a bounded-staleness
+cross-rack gossip digest — so placement/handoff/offload decisions are
+O(log n) in cluster size instead of all-node scans.  Offload victims
+are ranked by *estimated remaining work* (an online per-program
+profile), and all deliveries ride the network's link resources, so an
+offload storm queues on the wire instead of transferring for free.
+
 Everything runs under the discrete-event kernel with deterministic
 tie-breaking, so a serving run is a pure function of (cluster, mix,
 seed, knobs) and replays bit-identically in CI.
@@ -25,13 +35,15 @@ seed, knobs) and replays bit-identically in CI.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Union
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.cluster.topology import Cluster, serve_cluster
 from repro.errors import ClusterError, MigrationError
 from repro.migration.segments import max_migratable
 from repro.migration.sodee import Host, SODEngine
 from repro.serve.loadgen import LoadGenerator, Request
+from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile)
 from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
                                   OffloadPolicy, Placement, QueueDepthPolicy,
                                   WeightedRoundRobinPlacement)
@@ -51,6 +63,11 @@ DESCRIPTOR_BYTES = 192
 
 #: sentinel shutting down a node process
 _STOP = object()
+
+#: queued threads one offload decision may examine when gathering batch
+#: victims: keeps the decision cost independent of queue depth (a
+#: thousand-deep backlog must not make every offload an O(queue) walk)
+VICTIM_SCAN_WINDOW = 64
 
 
 @dataclass
@@ -100,11 +117,13 @@ class ClusterScheduler:
                  quantum: int = 2500,
                  placement: Optional[Placement] = None,
                  offload: Optional[OffloadPolicy] = None,
-                 front: Optional[str] = None):
+                 front: Optional[str] = None,
+                 staleness: float = DEFAULT_STALENESS):
         if not cluster.nodes:
             raise ClusterError("cannot schedule on an empty cluster")
         self.cluster = cluster
         self.env = cluster.env
+        self.network = cluster.network
         self.node_names: List[str] = list(cluster.names())
         self.front = front or self.node_names[0]
         if self.front not in cluster.nodes:
@@ -125,12 +144,27 @@ class ClusterScheduler:
         #: load so simultaneous offload decisions don't dogpile one
         #: idle target before any delivery lands
         self.pending: Dict[str, int] = {n: 0 for n in self.node_names}
+        #: the incremental load index answering every load question the
+        #: policies ask; all mutations of stores/running/pending go
+        #: through :meth:`_bump` to keep it exact
+        self.load_index = LoadIndex(cluster, staleness=staleness)
+        #: online per-program instructions-per-request profile
+        self.profile = WorkProfile()
+        #: event-driven guest-CPU counters (per node + cluster total),
+        #: bumped once per quantum — the clock-pressure policy's O(1)
+        #: alternative to summing machine clocks across the cluster
+        self.cpu_used: Dict[str, float] = {n: 0.0 for n in self.node_names}
+        self.cpu_total: float = 0.0
+        #: host wall-clock seconds spent inside pick_underloaded (not
+        #: part of the simulation: profiling data for the scale bench)
+        self.decision_seconds: float = 0.0
         self.requests: List[Request] = []
         self.finished: List[Request] = []
         self.stats: Dict[str, int] = {
             "quanta": 0, "handoffs": 0, "sod_offloads": 0,
             "batched_threads": 0, "offload_aborts": 0, "completions": 0,
-            "failed": 0,
+            "failed": 0, "decisions": 0, "decision_ops": 0,
+            "victim_vetoes": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
@@ -162,6 +196,26 @@ class ClusterScheduler:
         self.env.run()
         return self.report()
 
+    # -- the load index ----------------------------------------------------
+
+    def _bump(self, node: str, delta: int) -> None:
+        """Apply a runnable-count change to the incremental index."""
+        self.load_index.add(node, delta)
+
+    def pick_underloaded(self, src: str, src_load: float,
+                         min_gap: float) -> Optional[str]:
+        """Policy entry point for target picking: an O(log n) index
+        query, with the decision count / heap-op cost / host wall time
+        accounted for the scale benchmark."""
+        idx = self.load_index
+        ops0 = idx.ops
+        t0 = perf_counter()
+        target = idx.pick_underloaded(self.env.now, src, src_load, min_gap)
+        self.decision_seconds += perf_counter() - t0
+        self.stats["decisions"] += 1
+        self.stats["decision_ops"] += idx.ops - ops0
+        return target
+
     # -- scheduling core ---------------------------------------------------
 
     def _node_proc(self, name: str):
@@ -174,26 +228,28 @@ class ClusterScheduler:
             req = yield store.get()
             if req is _STOP:
                 break
+            self._bump(name, -1)  # left the queue; in hand now
             if (policy is not None and req.kind == "request"
                     and req.thread is None and req.hops < policy.max_hops):
                 target = policy.handoff_target(self, name)
                 if target is not None:
                     req.hops += 1
                     self.stats["handoffs"] += 1
-                    self._dispatch_delivery(
-                        req, target,
-                        self.engine.transfer_time(name, target,
-                                                  DESCRIPTOR_BYTES))
+                    self._dispatch_handoff(req, name, target)
                     continue
             self.running[name] = req
+            self._bump(name, +1)
             req.state = "running"
             dt, status = self._run_quantum(name, req)
             self.stats["quanta"] += 1
+            self.cpu_used[name] += dt
+            self.cpu_total += dt
             if dt > 0:
                 # Hold the busy slot across the quantum's virtual span
                 # so other nodes' load probes see this CPU occupied.
                 yield env.timeout(dt)
             self.running[name] = None
+            self._bump(name, -1)
             if status == "finished":
                 done_dt = self._on_finished(name, req)
                 if done_dt > 0:
@@ -212,6 +268,7 @@ class ClusterScheduler:
         seconds consumed, run status)."""
         machine = self._host(node).machine
         t0 = machine.clock
+        i0 = machine.instr_count
         if req.thread is None:
             req.started_at = self.env.now
             req.host_node = node
@@ -220,22 +277,55 @@ class ClusterScheduler:
                                        thread_name=req.label())
         req.quanta += 1
         status = machine.run(req.thread, quantum=self.quantum)
+        req.instrs += machine.instr_count - i0
         return machine.clock - t0, status
 
-    def _dispatch_delivery(self, req: Request, node: str,
-                           delay: float) -> None:
-        """Start a delivery toward ``node``, counted as pending load
-        immediately (before the wire time elapses)."""
-        self.pending[node] += 1
-        self.env.process(self._deliver_proc(req, node, delay))
+    # -- deliveries (contention-aware: they ride the link resources) -------
 
-    def _deliver_proc(self, req: Request, node: str, delay: float):
-        """Request/segment in flight: becomes runnable after the wire
-        time (the source node keeps serving meanwhile)."""
-        yield self.env.timeout(delay)
-        self.pending[node] -= 1
-        req.host_node = node if req.thread is None else req.host_node
-        self._enqueue(req, node)
+    def _dispatch_handoff(self, req: Request, src: str, target: str) -> None:
+        """Start a descriptor handoff toward ``target``, counted as
+        pending load immediately (before the wire time elapses)."""
+        self.pending[target] += 1
+        self._bump(target, +1)
+        self.env.process(self._handoff_proc(req, src, target),
+                         name=f"handoff:{req.rid}")
+
+    def _handoff_proc(self, req: Request, src: str, target: str):
+        """Request descriptor in flight: rides the (src, target) link —
+        queueing FIFO behind any transfer already on the wire — and
+        becomes runnable when delivered (the source keeps serving)."""
+        yield from self.network.transfer_proc(src, target, DESCRIPTOR_BYTES)
+        self.pending[target] -= 1
+        self._bump(target, -1)
+        self._enqueue(req, target)
+
+    def _dispatch_bulk(self, src: str, target: str,
+                       segs: List[Tuple[Request, float]],
+                       bulk_wire: float) -> None:
+        """Start one bulk segment message toward ``target``; every
+        segment counts as pending load immediately."""
+        self.pending[target] += len(segs)
+        for _ in segs:
+            self._bump(target, +1)
+        self.env.process(self._bulk_proc(src, target, segs, bulk_wire),
+                         name=f"bulk:{src}->{target}")
+
+    def _bulk_proc(self, src: str, target: str,
+                   segs: List[Tuple[Request, float]], bulk_wire: float):
+        """One bulk offload message in flight: occupies the (src,
+        target) link for its wire time — an offload storm serializes on
+        the link instead of transferring for free — then the worker
+        restores segments sequentially (each ``restored_at`` offset is
+        the cumulative restore time after the message lands)."""
+        yield from self.network.occupy_proc(src, target, bulk_wire)
+        done = 0.0
+        for seg, restored_at in segs:
+            if restored_at > done:
+                yield self.env.timeout(restored_at - done)
+                done = restored_at
+            self.pending[target] -= 1
+            self._bump(target, -1)
+            self._enqueue(seg, target)
 
     # -- completion --------------------------------------------------------
 
@@ -249,6 +339,8 @@ class ClusterScheduler:
         else:
             req.state = "done"
             req.result = t.result
+            if req.spec is not None:
+                self.profile.observe(req.spec.program, req.instrs)
             self.finished.append(req)
             self._maybe_stop()
         return 0.0
@@ -257,6 +349,7 @@ class ClusterScheduler:
         """A migrated segment finished on ``node``: write results back
         to the parent's home and requeue the residual stack there."""
         parent = seg.parent
+        parent.instrs += seg.instrs  # remote work done on parent's behalf
         if seg.thread.uncaught is not None:
             self.engine.abandon_segment(self._host(node), seg.thread)
             parent.finished_at = self.env.now
@@ -288,20 +381,43 @@ class ClusterScheduler:
     def _sod_offload(self, node: str, req: Request, target: str) -> float:
         """Capture the hot thread's top frames (plus any batchable
         queued hot threads) and ship them to ``target``.  Returns the
-        source node's capture time; transfer + restore ride a delivery
-        process so the source keeps serving."""
+        source node's capture time; transfer + restore ride a bulk
+        delivery process so the source keeps serving.
+
+        Batch victims are the queued started threads with the *most
+        estimated remaining work* (unprofiled programs rank first:
+        nothing suggests they are nearly done, and their depth already
+        qualified them) — shipping a nearly-done thread buys less
+        compute than its capture + wire + restore cost."""
         policy = self.offload
         home = self._host(node)
         machine = home.machine
         store = self.stores[node]
+        candidates = []
+        examined = 0
+        for cand in store.items:
+            if examined >= VICTIM_SCAN_WINDOW:
+                break  # bounded scan: deep queues must not make one
+                # offload decision O(queue length)
+            examined += 1
+            if cand.thread is None:
+                continue  # pre-start descriptors travel by handoff
+            if policy.victim_ok(self, cand):
+                candidates.append(cand)
+        if len(candidates) > policy.batch_limit - 1:
+            inf = float("inf")
+
+            def rank(c: Request):
+                r = self.profile.remaining(c)
+                return (-(inf if r is None else r), c.rid)
+
+            candidates.sort(key=rank)
+            candidates = candidates[:policy.batch_limit - 1]
         batch = [req]
-        for cand in list(store.items):
-            if len(batch) >= policy.batch_limit:
-                break
-            if (cand.kind == "request" and cand.thread is not None
-                    and cand.depth >= policy.min_depth):
-                store.remove(cand)
-                batch.append(cand)
+        for cand in candidates:
+            store.remove(cand)
+            self._bump(node, -1)
+            batch.append(cand)
         nframes = max(1, min(
             policy.mig_frames,
             min(max_migratable(r.thread) for r in batch),
@@ -322,11 +438,15 @@ class ClusterScheduler:
             # Not capturable right now (finished during the MSP run,
             # pinned frame, ...): put everything back.
             self.stats["offload_aborts"] += 1
+            requeue = []
             for r in batch:
                 if r.thread.finished:
                     self._on_finished(node, r)
                 else:
-                    self._enqueue(r, node)
+                    r.state = "queued"
+                    requeue.append(r)
+                    self._bump(node, +1)
+            store.put_many(requeue)
             return machine.clock - t0
         capture_dt = machine.clock - t0
         # Delivery timing: the whole bulk message must land before any
@@ -336,6 +456,7 @@ class ClusterScheduler:
         # restores 1..k.
         bulk_wire = sum(rec.transfer_time for _r, _wt, rec in pairs)
         restored = 0.0
+        segs: List[Tuple[Request, float]] = []
         for r, wt, rec in pairs:
             r.state = "remote"
             r.sod_offloads += 1
@@ -344,7 +465,8 @@ class ClusterScheduler:
             seg = Request(rid=self._take_rid(), kind="segment", parent=r,
                           arrival=self.env.now, thread=wt,
                           host_node=target, nframes=nframes)
-            self._dispatch_delivery(seg, target, bulk_wire + restored)
+            segs.append((seg, restored))
+        self._dispatch_bulk(node, target, segs, bulk_wire)
         return capture_dt
 
     # -- plumbing ----------------------------------------------------------
@@ -358,6 +480,7 @@ class ClusterScheduler:
         req.state = "queued"
         if req.thread is None:
             req.host_node = node
+        self._bump(node, +1)
         self.stores[node].put(req)
 
     def _host(self, node: str) -> Host:
@@ -391,6 +514,8 @@ class ClusterScheduler:
                 "busy_s": self.busy_time(n),
                 "cpu_weight": self.cluster.node(n).spec.cpu_weight,
             }
+        stats = dict(self.stats)
+        stats["gossip_rounds"] = self.load_index.gossip_rounds
         def pct(p: float) -> float:
             return lat[int(p * (len(lat) - 1))] if lat else 0.0
         return ServeReport(
@@ -402,7 +527,7 @@ class ClusterScheduler:
             latency_mean=sum(lat) / len(lat) if lat else 0.0,
             latency_p50=pct(0.50), latency_p95=pct(0.95),
             latency_max=lat[-1] if lat else 0.0,
-            per_node=per_node, stats=dict(self.stats),
+            per_node=per_node, stats=stats,
             quantum=self.quantum)
 
 
@@ -426,19 +551,23 @@ def serve_mix(mix: str = "parallel", n_nodes: int = 4,
               placement: Union[str, Placement] = "round-robin",
               offload: Union[str, OffloadPolicy, None] = "queue-depth",
               cpu_weights: Optional[List[float]] = None,
-              cost: Optional[CostModel] = None) -> ServeReport:
+              cost: Optional[CostModel] = None,
+              rack_size: int = 4,
+              staleness: float = DEFAULT_STALENESS) -> ServeReport:
     """Serve ``n_requests`` drawn from a named mix on a fresh
     ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
     same arguments, same report."""
     mixobj = MIXES[mix]
-    cluster = serve_cluster(n_nodes, cpu_weights=cpu_weights)
+    cluster = serve_cluster(n_nodes, cpu_weights=cpu_weights,
+                            rack_size=rack_size)
     if isinstance(placement, str):
         placement = _PLACEMENTS[placement]()
     if isinstance(offload, str):
         offload = _OFFLOADS[offload]()
     sched = ClusterScheduler(cluster, serve_classpath(mixobj.programs()),
                              cost=cost, quantum=quantum,
-                             placement=placement, offload=offload)
+                             placement=placement, offload=offload,
+                             staleness=staleness)
     load = LoadGenerator(mixobj, n_requests, seed=seed,
                          interarrival=interarrival)
     rep = sched.serve(load)

@@ -14,6 +14,16 @@ dependency-free kernel in the style of SimPy:
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (a monotonically increasing sequence number breaks ties), so runs
 are bit-reproducible.
+
+The kernel is the serving layer's hot path: at thousands of concurrent
+guest threads every quantum costs one ``Store.get`` and one ``timeout``
+round-trip, so this module is written for constant factors —
+``__slots__`` everywhere, a single-callback fast slot on events (the
+overwhelmingly common case), lambda-free timeout scheduling, and a
+*trampolined* process resume: a process whose yielded event is already
+triggered (a run queue with work waiting) continues in a loop instead
+of recursing, so a node draining a thousand-deep queue cannot overflow
+the Python stack.
 """
 
 from __future__ import annotations
@@ -34,11 +44,15 @@ class Event:
     then fires: every waiting callback/process receives the value.
     """
 
-    __slots__ = ("env", "_callbacks", "triggered", "value", "name")
+    __slots__ = ("env", "_cb", "_cbs", "triggered", "value", "name")
 
     def __init__(self, env: "Environment", name: str = ""):
         self.env = env
-        self._callbacks: list[Callable[["Event"], None]] = []
+        # Nearly every event has exactly one waiter (the process that
+        # yielded it): a dedicated slot avoids allocating a list per
+        # event; ``_cbs`` overflows only for fan-out events (all_of).
+        self._cb: Optional[Callable[["Event"], None]] = None
+        self._cbs: Optional[list[Callable[["Event"], None]]] = None
         self.triggered = False
         self.value: Any = None
         self.name = name
@@ -48,8 +62,12 @@ class Event:
         already fired, ``fn`` runs at the current simulated time."""
         if self.triggered:
             fn(self)
+        elif self._cb is None:
+            self._cb = fn
+        elif self._cbs is None:
+            self._cbs = [fn]
         else:
-            self._callbacks.append(fn)
+            self._cbs.append(fn)
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event *now* with ``value``."""
@@ -57,9 +75,13 @@ class Event:
             raise SimulationError(f"event {self.name!r} triggered twice")
         self.triggered = True
         self.value = value
-        for fn in self._callbacks:
-            fn(self)
-        self._callbacks.clear()
+        cb, cbs = self._cb, self._cbs
+        self._cb = self._cbs = None
+        if cb is not None:
+            cb(self)
+        if cbs is not None:
+            for fn in cbs:
+                fn(self)
         return self
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -80,17 +102,26 @@ class Process(Event):
         env._schedule(env.now, self._resume, None)
 
     def _resume(self, fired: Optional[Event]) -> None:
-        try:
-            value = fired.value if fired is not None else None
-            target = self.gen.send(value)
-        except StopIteration as stop:
-            self.succeed(stop.value)
-            return
-        if not isinstance(target, Event):
-            raise SimulationError(
-                f"process {self.name!r} yielded {target!r}, expected an Event"
-            )
-        target.add_callback(self._resume)
+        # Trampoline: while the yielded event has already fired (a run
+        # queue with items waiting, a zero-delay handoff), keep feeding
+        # the generator here instead of recursing through add_callback —
+        # a node draining an arbitrarily deep queue uses O(1) stack and
+        # observes exactly the same synchronous ordering.
+        send = self.gen.send
+        while True:
+            try:
+                target = send(fired.value if fired is not None else None)
+            except StopIteration as stop:
+                self.succeed(stop.value)
+                return
+            if not isinstance(target, Event):
+                raise SimulationError(
+                    f"process {self.name!r} yielded {target!r}, "
+                    f"expected an Event")
+            if not target.triggered:
+                target.add_callback(self._resume)
+                return
+            fired = target
 
 
 class Environment:
@@ -113,8 +144,10 @@ class Environment:
         """An event firing ``delay`` seconds from now, carrying ``value``."""
         if delay < 0:
             raise SimulationError(f"negative timeout {delay}")
-        ev = Event(self, name=name or f"timeout({delay:g})")
-        self._schedule(self.now + delay, lambda _arg: ev.succeed(value), None)
+        ev = Event(self, name=name)
+        # The bound succeed is the scheduled callable directly: no
+        # closure allocation per timeout (the kernel's hottest path).
+        self._schedule(self.now + delay, ev.succeed, value)
         return ev
 
     def event(self, name: str = "") -> Event:
@@ -171,12 +204,19 @@ class Environment:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the queue drains (or the clock passes ``until``).
         Returns the final simulated time."""
-        while self._queue:
-            at, _seq, fn, arg = self._queue[0]
-            if until is not None and at > until:
+        queue = self._queue
+        pop = heapq.heappop
+        if until is None:
+            while queue:
+                at, _seq, fn, arg = pop(queue)
+                self.now = at
+                fn(arg)
+            return self.now
+        while queue:
+            if queue[0][0] > until:
                 self.now = until
                 return self.now
-            heapq.heappop(self._queue)
+            at, _seq, fn, arg = pop(queue)
             self.now = at
             fn(arg)
         return self.now
@@ -205,6 +245,8 @@ class Store:
     request handoff) via :meth:`remove`.
     """
 
+    __slots__ = ("env", "name", "items", "_getters")
+
     def __init__(self, env: Environment, name: str = ""):
         self.env = env
         self.name = name
@@ -221,6 +263,21 @@ class Store:
             self._getters.popleft().succeed(item)
         else:
             self.items.append(item)
+
+    def put_many(self, items: Iterable[Any]) -> None:
+        """Enqueue a batch in order: blocked getters are woken one per
+        item (oldest getter, oldest item) and the remainder is extended
+        onto the queue in a single pass — one batched run-queue wakeup
+        instead of k separate ``put`` bookkeeping rounds."""
+        getters = self._getters
+        it = iter(items)
+        for item in it:
+            if getters:
+                getters.popleft().succeed(item)
+            else:
+                self.items.append(item)
+                self.items.extend(it)
+                return
 
     def get(self) -> Event:
         """An event firing with the next item (immediately if one is
@@ -248,6 +305,8 @@ class Resource:
     ``request()`` returns an event that fires when a unit is granted;
     ``release()`` hands the unit to the next waiter.
     """
+
+    __slots__ = ("env", "capacity", "in_use", "_waiters")
 
     def __init__(self, env: Environment, capacity: int = 1):
         if capacity < 1:

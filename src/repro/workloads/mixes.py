@@ -141,6 +141,17 @@ MIXES: Dict[str, RequestMix] = {
         ("QS", (220,), 2.0),
         ("MM", (10,), 1.0),
     ),
+    # Scale: light, uniform, CPU-bound requests (~8-11k instructions
+    # each) sized so thousands of them sweep across dozens of nodes in
+    # tractable host time — the O(log n) scheduling benchmark scenario.
+    "scale": _mix(
+        "scale",
+        "thousands of light requests; scheduler decision cost dominates",
+        ("Fib", (11,), 1.0),
+        ("NQ", (4,), 1.0),
+        ("Primes", (60,), 1.0),
+        ("Primes", (80,), 1.0),
+    ),
     # Hotspot: mostly light traffic plus a tail of heavy requests that
     # pile onto whichever node admitted them — the SOD-offload scenario.
     "hotspot": _mix(

@@ -1,10 +1,19 @@
 """Grammar-based MiniLang program fuzzer.
 
 Generates random-but-valid MiniLang programs (bounded loops, DAG calls,
-bounded recursion, arrays, objects, statics, try/catch, guest-exception
-sites) and differentially checks the fast pre-decoded/fused/inline-
-cached interpreter against the legacy string-dispatched loop on
+bounded recursion, arrays, objects, virtual-dispatch hierarchies,
+switch/LSWITCH, statics, try/catch, guest-exception sites) and
+differentially checks the fast pre-decoded/fused/inline-cached
+interpreter against the legacy string-dispatched loop on
 stdout / result / uncaught-exception / instr_count / clock.
+
+Beyond dispatch, :func:`run_migration_fuzz` drives the *migration*
+path: each program is re-run on the faulting build, frozen at a
+seeded-random instruction count (any capture point the VM can reach,
+not just a handpicked trigger method), its top frames SOD-migrated to
+a second node, executed remotely, completed home, and the final
+result / uncaught class / interleaved stdout compared against the
+straight-line oracle.
 
 Seeding: every stream derives from ``random.Random(f"...:{seed}")``
 (string seeds hash with SHA-512), so runs are reproducible across
@@ -22,7 +31,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.errors import CompileError
+from repro.errors import CompileError, MigrationError
 from repro.lang import compile_source
 from repro.preprocess import preprocess_program
 from repro.vm import Machine
@@ -62,6 +71,19 @@ class FuzzProgram:
     def render(self) -> str:
         parts = ["class Box { int v; Box next; }",
                  "class S { static int acc; }",
+                 # a three-deep virtual-dispatch hierarchy: V/VA/VB all
+                 # override f, VB also overrides g (which calls f
+                 # virtually through this), so receiver-class inline
+                 # caches see monomorphic, bimorphic, and megamorphic
+                 # sites depending on what the program news up
+                 f"class V {{ int tag; "
+                 f"int f(int a, int b) {{ return (a + b + tag) % {CLAMP}; }} "
+                 f"int g(int a) {{ return this.f(a, tag) + 1; }} }}",
+                 f"class VA extends V {{ "
+                 f"int f(int a, int b) {{ return (a * 2 - b + tag) % {CLAMP}; }} }}",
+                 f"class VB extends VA {{ "
+                 f"int f(int a, int b) {{ return (b - a + 7 * tag) % {CLAMP}; }} "
+                 f"int g(int a) {{ return this.f(a, a) - tag; }} }}",
                  "class G {"]
         for _name, header, slots in self.methods:
             parts.append(f"  {header} {{")
@@ -99,6 +121,7 @@ class _Ctx:
         self.arrays: List[Tuple[str, int]] = []  # (name, length)
         self.boxes: List[str] = []        # initialized Box vars
         self.null_boxes: List[str] = []   # vars that may hold null
+        self.vobjs: List[str] = []        # initialized V-typed vars
         #: names that may be read but never assigned (live loop
         #: variables: writing one could make its loop non-terminating)
         self.no_write: set = set()
@@ -116,13 +139,13 @@ class _Ctx:
 def _expr(ctx: _Ctx, depth: int) -> str:
     rng = ctx.rng
     roll = rng.random()
-    if depth <= 0 or roll < 0.30:
+    if depth <= 0 or roll < 0.28:
         return str(rng.randint(-20, 99))
-    if roll < 0.55:
+    if roll < 0.50:
         return rng.choice(ctx.ints)
-    if roll < 0.62:
+    if roll < 0.56:
         return "S.acc"
-    if roll < 0.70 and ctx.arrays:
+    if roll < 0.63 and ctx.arrays:
         name, length = rng.choice(ctx.arrays)
         # mostly in bounds, sometimes out (guest IndexOutOfBounds site)
         if rng.random() < 0.85:
@@ -130,10 +153,20 @@ def _expr(ctx: _Ctx, depth: int) -> str:
         else:
             idx = _expr(ctx, 0)
         return f"{name}[{idx}]"
-    if roll < 0.76 and ctx.boxes:
+    if roll < 0.68 and ctx.boxes:
         return f"{rng.choice(ctx.boxes)}.v"
-    if roll < 0.80 and ctx.null_boxes:
+    if roll < 0.71 and ctx.null_boxes:
         return f"{rng.choice(ctx.null_boxes)}.v"  # NPE site
+    if roll < 0.77 and ctx.vobjs:
+        # virtual dispatch through the V hierarchy (receiver class is
+        # whatever the variable was last assigned)
+        recv = rng.choice(ctx.vobjs)
+        if rng.random() < 0.7:
+            return (f"{recv}.f({_expr(ctx, depth - 1)}, "
+                    f"{_expr(ctx, depth - 1)})")
+        return f"{recv}.g({_expr(ctx, depth - 1)})"
+    if roll < 0.80 and ctx.vobjs:
+        return f"{rng.choice(ctx.vobjs)}.tag"
     if roll < 0.86 and ctx.callable:
         callee = rng.choice(ctx.callable)
         return (f"G.{callee}({_expr(ctx, depth - 1)}, "
@@ -169,8 +202,10 @@ def _simple_stmt(ctx: _Ctx, clamp: bool) -> str:
         name, length = rng.choice(ctx.arrays)
         idx = rng.randint(0, max(0, length - 1))
         return f"{name}[{idx}] = {_expr(ctx, 1)};"
-    if roll < 0.55 and ctx.boxes:
+    if roll < 0.52 and ctx.boxes:
         return f"{rng.choice(ctx.boxes)}.v = {_expr(ctx, 1)};"
+    if roll < 0.58 and ctx.vobjs:
+        return f"{rng.choice(ctx.vobjs)}.tag = {_expr(ctx, 1)};"
     writable = ctx.writable_ints()
     if not writable:
         return f'Sys.print("w=" + {_expr(ctx, 1)});'
@@ -181,22 +216,40 @@ def _simple_stmt(ctx: _Ctx, clamp: bool) -> str:
     return f"{var} = {rhs};"
 
 
+def _switch_stmt(ctx: _Ctx) -> str:
+    """A switch over a small expression: 1-3 integer case arms (possibly
+    falling through — no break 40% of the time), usually a default."""
+    rng = ctx.rng
+    labels = rng.sample(range(-2, 8), rng.randint(1, 3))
+    arms: List[str] = []
+    for label in labels:
+        body = [_simple_stmt(ctx, clamp=False)]
+        if rng.random() < 0.6:
+            body.append("break;")
+        arms.append(f"case {label}:\n"
+                    + "\n".join(f"  {line}" for line in body))
+    if rng.random() < 0.7:
+        arms.append(f"default:\n  {_simple_stmt(ctx, clamp=False)}")
+    inner = "\n".join(arms)
+    return f"switch ({_expr(ctx, 1)}) {{\n{inner}\n}}"
+
+
 def _stmt(ctx: _Ctx) -> str:
     rng = ctx.rng
     roll = rng.random()
-    if roll < 0.22:
+    if roll < 0.20:
         var = ctx.fresh("v")
         text = f"int {var} = {_expr(ctx, 2)};"
         ctx.ints.append(var)
         return text
-    if roll < 0.34:
+    if roll < 0.31:
         return _simple_stmt(ctx, clamp=False)
-    if roll < 0.42:
+    if roll < 0.38:
         var = ctx.fresh("xs")
         length = rng.randint(1, 6)
         ctx.arrays.append((var, length))
         return f"int[] {var} = new int[{length}];"
-    if roll < 0.50:
+    if roll < 0.45:
         var = ctx.fresh("bx")
         if rng.random() < 0.8:
             ctx.boxes.append(var)
@@ -204,13 +257,21 @@ def _stmt(ctx: _Ctx) -> str:
                     f"{var}.v = {_expr(ctx, 1)};")
         ctx.null_boxes.append(var)
         return f"Box {var} = null;"
+    if roll < 0.52:
+        var = ctx.fresh("vo")
+        cls = rng.choice(("V", "VA", "VB"))
+        ctx.vobjs.append(var)
+        return (f"V {var} = new {cls}();\n"
+                f"{var}.tag = {_expr(ctx, 1)};")
     if roll < 0.62:
         return (f"if ({_cond(ctx)}) {{\n"
                 f"  {_simple_stmt(ctx, clamp=False)}\n"
                 f"}} else {{\n"
                 f"  {_simple_stmt(ctx, clamp=False)}\n"
                 f"}}")
-    if roll < 0.78:
+    if roll < 0.70:
+        return _switch_stmt(ctx)
+    if roll < 0.82:
         i = ctx.fresh("i")
         bound = rng.randint(2, 8)
         ctx.ints.append(i)
@@ -338,8 +399,16 @@ def _compiles(source: str) -> bool:
         return False
 
 
-def shrink(prog: FuzzProgram, build: str = "original") -> FuzzProgram:
-    """Greedy statement deletion while the divergence persists."""
+def shrink(prog: FuzzProgram, build: str = "original",
+           check=None) -> FuzzProgram:
+    """Greedy statement deletion while the divergence persists.
+
+    ``check(source, args)`` defaults to the dispatch differential; the
+    migration fuzzer passes its own oracle so failures shrink against
+    the same capture schedule."""
+    if check is None:
+        def check(source, args):
+            return divergence(source, args, build)
     improved = True
     while improved:
         improved = False
@@ -348,11 +417,137 @@ def shrink(prog: FuzzProgram, build: str = "original") -> FuzzProgram:
             src = cand.render()
             if not _compiles(src):
                 continue
-            if divergence(src, prog.main_args, build) not in (None, SKIPPED):
+            if check(src, prog.main_args) not in (None, SKIPPED):
                 prog = cand
                 improved = True
                 break
     return prog
+
+
+# -- migration-path fuzzing ----------------------------------------------------
+
+#: instruction budget for the migration oracle run (the migrated replay
+#: roughly doubles the work, so the screen is tighter than dispatch's)
+MIG_MAX_INSTRS = 400_000
+
+
+def migration_divergence(source: str, args: Tuple[int, int],
+                         seed: int) -> Optional[str]:
+    """Differentially check the SOD migration path at a seeded-random
+    capture point.
+
+    The program runs once straight-line (legacy dispatch) as the
+    oracle, then again under the engine: frozen after a random number
+    of instructions, its top frames captured and migrated to a second
+    node, executed there, completed home, and the residual stack run
+    to the end.  Returns None on agreement of result / uncaught class /
+    interleaved stdout, ``SKIPPED`` when the random point is not
+    capturable (too shallow, segment died remotely, over budget), else
+    a description of the mismatch.
+
+    instr_count/clock are deliberately *not* compared: migration
+    charges capture/transfer/restore costs by design.
+    """
+    import random as _random
+
+    from repro.cluster import gige_cluster
+    from repro.migration import SODEngine
+    from repro.migration.segments import max_migratable
+
+    try:
+        classes = preprocess_program(compile_source(source), "faulting")
+    except CompileError as exc:
+        return f"generator produced invalid program: {exc}"
+
+    oracle = Machine(classes, dispatch="legacy")
+    thread = oracle.spawn("G", "main", list(args))
+    if oracle.run(thread, max_instrs=MIG_MAX_INSTRS) == "limit":
+        return SKIPPED
+    ref_err = None
+    if thread.uncaught is not None:
+        ref_err = (thread.uncaught.class_name,
+                   thread.uncaught.fields.get("msg"))
+    ref = (thread.result, ref_err, tuple(oracle.stdout))
+    total = oracle.instr_count
+    if total < 20:
+        return SKIPPED  # nothing meaningful to freeze mid-run
+
+    rng = _random.Random(f"minilang-mig:{seed}")
+    cut = rng.randint(10, total - 1)
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "G", "main", list(args))
+    eng.run(home, t, max_instrs=cut)
+    if t.finished:
+        # A guest exception ended the run before the cut: nothing to
+        # migrate, but the replay itself must still match the oracle.
+        err = None
+        if t.uncaught is not None:
+            err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+        got = (t.result, err, tuple(home.machine.stdout))
+        if got != ref:
+            return f"[mig/pre-capture] legacy={ref!r} engine={got!r}"
+        return None
+
+    nmax = min(max_migratable(t), t.depth() - 1)
+    if nmax < 1:
+        return SKIPPED  # frozen too shallow to ship anything
+    nframes = rng.randint(1, nmax)
+    try:
+        worker, wt, _rec = eng.migrate(home, t, "node1", nframes)
+    except MigrationError:
+        return SKIPPED  # not capturable at this point (pinned frame...)
+    # Prints during the run-to-MSP inside migrate() happened at home
+    # before the segment left: snapshot *after* capture.
+    pre = len(home.machine.stdout)
+    eng.run(worker, wt)
+    if wt.uncaught is not None:
+        # The exception escaped the migrated segment; residual frames
+        # at home may hold the matching handler, which single-segment
+        # completion does not model — release the worker state and
+        # treat the point as not comparable.
+        eng.abandon_segment(worker, wt)
+        return SKIPPED
+    eng.complete_segment(worker, wt, home, t, nframes)
+    eng.run(home, t)
+    err = None
+    if t.uncaught is not None:
+        err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+    stdout = (tuple(home.machine.stdout[:pre])
+              + tuple(worker.machine.stdout)
+              + tuple(home.machine.stdout[pre:]))
+    got = (t.result, err, stdout)
+    for what, a, b in zip(("result", "uncaught", "stdout"), ref, got):
+        if a != b:
+            return (f"[mig cut={cut} nframes={nframes}] {what}: "
+                    f"legacy={a!r} migrated={b!r}")
+    return None
+
+
+def run_migration_fuzz(base_seed: int, count: int) -> Optional[str]:
+    """Fuzz the migration path over ``count`` generated programs, each
+    captured at a seeded-random point.  Returns None, or a failure
+    report with the minimized program."""
+    checked = 0
+    for i in range(count):
+        seed = base_seed + i
+        prog = generate(seed)
+        source = prog.render()
+        diff = migration_divergence(source, prog.main_args, seed)
+        if diff == SKIPPED:
+            continue
+        checked += 1
+        if diff is not None:
+            small = shrink(
+                prog,
+                check=lambda s, a: migration_divergence(s, a, seed))
+            return (f"migration divergence at seed={seed} "
+                    f"args={prog.main_args}:\n{diff}\n"
+                    f"--- minimized program ---\n{small.render()}\n")
+    if checked == 0:
+        return (f"migration fuzz checked 0/{count} programs "
+                f"(every capture point skipped) — generator drift?")
+    return None
 
 
 def run_fuzz(base_seed: int, count: int,

@@ -222,3 +222,121 @@ def test_migrated_exception_handling_still_works():
     assert wt.uncaught is not None
     with pytest.raises(MigrationError):
         eng.complete_segment(worker, wt, home, t, 1)
+
+
+# -- switch / LSWITCH --------------------------------------------------------
+
+def test_switch_dispatches_and_defaults():
+    src = """class T { static int f(int k) {
+      int r = 0;
+      switch (k) {
+        case 0: r = 10; break;
+        case 1:
+        case 2: r = 20 + k; break;
+        case -3: r = 99; break;
+        default: r = -1;
+      }
+      return r;
+    } }"""
+    for k, want in [(0, 10), (1, 21), (2, 22), (-3, 99), (5, -1), (-9, -1)]:
+        assert run(src, args=[k]) == want
+
+
+def test_switch_falls_through_without_break():
+    src = """class T { static int f(int k) {
+      int r = 0;
+      switch (k) { case 1: r = r + 1; case 2: r = r + 2; default: r = r + 4; }
+      return r;
+    } }"""
+    assert run(src, args=[1]) == 7   # 1+2+4: falls through both arms
+    assert run(src, args=[2]) == 6   # 2+4
+    assert run(src, args=[9]) == 4   # default only
+
+
+def test_switch_without_default_skips_past_end():
+    src = """class T { static int f(int k) {
+      int r = 5;
+      switch (k) { case 1: r = 50; }
+      switch (k) { }
+      return r;
+    } }"""
+    assert run(src, args=[1]) == 50
+    assert run(src, args=[2]) == 5
+
+
+def test_switch_emits_lswitch_and_matches_legacy_dispatch():
+    from repro.bytecode import opcodes as op
+    src = """class T { static int f(int k) {
+      int r = 0;
+      switch (k % 4) { case 0: r = 1; break; case 1: r = 2; break;
+                       case 2: r = 3; break; default: r = 4; }
+      return r * k;
+    } }"""
+    classes = preprocess_program(compile_source(src), "original")
+    instrs = classes["T"].methods["f"].instrs
+    assert any(i.op == op.LSWITCH for i in instrs)
+    for build in ("original", "faulting"):
+        built = preprocess_program(compile_source(src), build)
+        for k in range(-4, 9):
+            fast = Machine(built, dispatch="fast")
+            legacy = Machine(built, dispatch="legacy")
+            assert fast.call("T", "f", [k]) == legacy.call("T", "f", [k])
+            assert fast.instr_count == legacy.instr_count
+
+
+def test_switch_break_and_continue_in_loop():
+    src = """class T { static int f(int n) {
+      int s = 0;
+      for (int i = 0; i < n; i = i + 1) {
+        switch (i) { case 2: continue; case 3: break; default: s = s + i; }
+        s = s + 100;
+      }
+      return s;
+    } }"""
+    # i=2 skips the +100; i=3 breaks the switch only (still +100)
+    expected = sum(i for i in range(6) if i not in (2, 3)) + 100 * 5
+    assert run(src, args=[6]) == expected
+
+
+def test_switch_duplicate_labels_rejected():
+    from repro.errors import CompileError
+    with pytest.raises(CompileError, match="duplicate case"):
+        compile_source("""class T { static int f(int k) {
+          switch (k) { case 1: return 1; case 1: return 2; }
+          return 0; } }""")
+    with pytest.raises(CompileError, match="duplicate default"):
+        compile_source("""class T { static int f(int k) {
+          switch (k) { default: return 1; default: return 2; }
+          return 0; } }""")
+
+
+def test_switch_arm_survives_sod_migration():
+    """Capture inside a switch arm (faulting build) and finish the
+    segment remotely: the restored LSWITCH-bearing method must resume
+    exactly where it left off."""
+    src = """class T {
+      static int work(int k) {
+        int s = 0;
+        switch (k % 3) {
+          case 0: s = T.spin(40) + 1; break;
+          case 1: s = T.spin(50) + 2; break;
+          default: s = T.spin(60) + 3;
+        }
+        return s;
+      }
+      static int spin(int n) {
+        int acc = 0;
+        for (int i = 0; i < n; i = i + 1) { acc = (acc + i * i) % 9973; }
+        return acc;
+      }
+      static int main(int k) { return T.work(k); }
+    }"""
+    classes = preprocess_program(compile_source(src), "faulting")
+    for k in (0, 1, 2):
+        ref = Machine(classes).call("T", "main", [k])
+        eng = SODEngine(gige_cluster(2), classes)
+        home = eng.host("node0")
+        t = eng.spawn(home, "T", "main", [k])
+        eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "spin")
+        result, _rec = eng.run_segment_remote(home, t, "node1", 2)
+        assert result == ref

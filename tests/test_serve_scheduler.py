@@ -278,3 +278,27 @@ def test_load_generator_validation():
         LoadGenerator(mix, 0)
     with pytest.raises(ValueError):
         LoadGenerator(mix, 5, interarrival=-1.0)
+
+
+def test_weighted_round_robin_honors_extreme_ratios():
+    """A near-zero-capacity node must get a near-zero share, not be
+    rounded up to parity (ratios are integerized relative to the
+    lightest node, not on an absolute denominator grid)."""
+    sched = _mk_sched(n_nodes=2, cpu_weights=[0.005, 1.0],
+                      placement=WeightedRoundRobinPlacement())
+    places = [sched.placement.place(sched, None) for _ in range(402)]
+    assert places.count("node0") == 2  # 1 in 201, got two full cycles
+
+
+def test_weighted_round_robin_rebuilds_on_reweighted_cluster():
+    """Reusing a placement instance on a same-named cluster with
+    different weights must not replay the stale cycle."""
+    placement = WeightedRoundRobinPlacement()
+    even = _mk_sched(n_nodes=2, cpu_weights=[1.0, 1.0],
+                     placement=placement)
+    assert [placement.place(even, None) for _ in range(4)] \
+        .count("node0") == 2
+    skewed = _mk_sched(n_nodes=2, cpu_weights=[3.0, 1.0],
+                       placement=placement)
+    places = [placement.place(skewed, None) for _ in range(8)]
+    assert places.count("node0") == 6  # 3:1, not the stale 1:1 cycle

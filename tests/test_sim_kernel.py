@@ -287,3 +287,54 @@ def test_store_remove_steals_only_queued_items():
     assert store.remove("steal")
     assert not store.remove("steal")  # already gone
     assert store.get().value == "keep"
+
+
+# -- scale hardening: trampolined resume + batched puts ----------------------
+
+
+def test_process_drains_deep_ready_queue_without_recursion():
+    """A consumer looping over an already-full store used to recurse
+    once per ready item (each yielded event fired synchronously inside
+    the previous resume): draining thousands of items must use O(1)
+    Python stack — a 64-node scheduler backlog is exactly this shape."""
+    env = Environment()
+    store = Store(env)
+    n = 5000  # comfortably past the default recursion limit
+    for i in range(n):
+        store.put(i)
+    got = []
+
+    def consumer():
+        for _ in range(n):
+            item = yield store.get()
+            got.append(item)
+
+    env.run_process(consumer())
+    assert got == list(range(n))
+
+
+def test_store_put_many_wakes_getters_in_order():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer(k):
+        item = yield store.get()
+        got.append((k, item))
+
+    for k in range(3):
+        env.process(consumer(k))
+    env.run()  # both consumers now blocked
+    store.put_many(["a", "b", "c", "d", "e"])
+    env.run()
+    # oldest getter gets the oldest item; the remainder queues
+    assert got == [(0, "a"), (1, "b"), (2, "c")]
+    assert list(store.items) == ["d", "e"]
+    assert len(store) == 2
+
+
+def test_store_put_many_into_empty_store_just_queues():
+    env = Environment()
+    store = Store(env)
+    store.put_many([1, 2, 3])
+    assert list(store.items) == [1, 2, 3]
