@@ -103,8 +103,15 @@ def test_scale_throughput_and_decision_cost(benchmark):
               f"ops/decision={dc['ops_per_decision']:6.2f} "
               f"sod={row['sched']['sod_offloads']} "
               f"handoffs={row['sched']['handoffs']} "
-              f"vetoes={row['sched']['victim_vetoes']}")
+              f"vetoes={row['sched']['victim_vetoes']} "
+              f"overshoot={row['sched']['max_quantum_overshoot']}")
     print(f"  -> {BENCH_JSON.name}")
+
+    # Preemption coverage: quantum overshoot stays bounded by a loop
+    # body / leaf tail, never a runaway (fairness would need finer
+    # safepoint polling if this grew toward the quantum itself).
+    for row in report["sweep"].values():
+        assert row["sched"]["max_quantum_overshoot"] < 2000
 
     # Every request is served and every result matches the standalone
     # legacy-dispatch oracle.

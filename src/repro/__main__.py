@@ -100,10 +100,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import DEFAULT_STALENESS
     staleness = (DEFAULT_STALENESS if args.staleness is None
                  else args.staleness)
+    offload = args.offload
+    if args.max_seg_hops and offload != "none":
+        from repro.serve import ClockPressurePolicy, QueueDepthPolicy
+        policy_cls = (ClockPressurePolicy if offload == "clock-pressure"
+                      else QueueDepthPolicy)
+        offload = policy_cls(max_seg_hops=args.max_seg_hops)
     rep = serve_mix(args.mix, n_nodes=args.nodes, n_requests=args.requests,
                     seed=args.seed, quantum=args.quantum,
                     interarrival=args.interarrival,
-                    placement=args.placement, offload=args.offload,
+                    placement=args.placement, offload=offload,
                     rack_size=args.rack_size, staleness=staleness)
     if args.json:
         print(_json.dumps(rep.to_dict(), indent=2))
@@ -117,8 +123,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     s = rep.stats
     print(f"quanta={s['quanta']} handoffs={s['handoffs']} "
           f"sod_offloads={s['sod_offloads']} "
-          f"(batched {s['batched_threads']}) "
+          f"(batched {s['batched_threads']}, "
+          f"chain hops {s['seg_rehops']}) "
           f"completions={s['completions']}")
+    print(f"transfer cache: {s['bytes_saved']} B kept off the wire, "
+          f"{s['reval_hits']} object revalidation hits; "
+          f"max quantum overshoot {s['max_quantum_overshoot']} instrs")
     per_dec = s["decision_ops"] / s["decisions"] if s["decisions"] else 0.0
     print(f"decisions={s['decisions']} "
           f"(index ops/decision={per_dec:.1f}) "
@@ -193,6 +203,9 @@ def main(argv: list[str] | None = None) -> int:
                    choices=["round-robin", "front-door"])
     p.add_argument("--offload", default="queue-depth",
                    choices=["queue-depth", "clock-pressure", "none"])
+    p.add_argument("--max-seg-hops", type=int, default=0,
+                   help="chain hops a migrated segment may take beyond "
+                        "its first offload (Fig. 1c; 0 = single-hop)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_serve)
 

@@ -65,6 +65,10 @@ class Network:
         self.bytes_moved: Dict[Tuple[str, str], int] = {}
         #: total messages sent, per (src, dst)
         self.messages: Dict[Tuple[str, str], int] = {}
+        #: bytes that would have crossed each link but were elided by a
+        #: transfer cache hit (delta captures, cached classes, object
+        #: revalidations) — the migration fast path's savings meter
+        self.bytes_saved: Dict[Tuple[str, str], int] = {}
 
     def set_link(self, a: str, b: str, spec: LinkSpec,
                  symmetric: bool = True) -> None:
@@ -131,6 +135,19 @@ class Network:
         finally:
             res.release()
 
+    def record_saved(self, src: str, dst: str, nbytes: int) -> None:
+        """Account bytes a transfer-cache hit kept off the (src, dst)
+        link (the payload was *not* moved; only the savings meter
+        advances)."""
+        if nbytes <= 0:
+            return
+        key = (src, dst)
+        self.bytes_saved[key] = self.bytes_saved.get(key, 0) + nbytes
+
     def total_bytes(self) -> int:
         """All bytes moved over every link so far."""
         return sum(self.bytes_moved.values())
+
+    def total_saved(self) -> int:
+        """All bytes elided by transfer-cache hits so far."""
+        return sum(self.bytes_saved.values())

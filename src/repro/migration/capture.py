@@ -19,7 +19,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import MigrationError
-from repro.migration.state import CapturedFrame, CapturedState, encode_value
+from repro.migration.state import (CACHED_TAG, CapturedFrame, CapturedState,
+                                   _enc_bytes, CACHED_MARKER_BYTES,
+                                   encode_value, fingerprint)
 from repro.vm.frames import ThreadState
 from repro.vm.machine import Machine
 from repro.vm.vmti import VMTI
@@ -46,9 +48,24 @@ def run_to_msp(machine: Machine, thread: ThreadState,
 def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
                     home_node: str,
                     return_to: Optional[str] = None,
-                    top_is_caller: bool = False) -> CapturedState:
+                    top_is_caller: bool = False,
+                    baseline=None,
+                    identity=None) -> CapturedState:
     """Capture the top ``nframes`` frames of ``thread`` (which must be
     suspended at an MSP) into a :class:`CapturedState`.
+
+    ``baseline`` (a :class:`repro.migration.sodee.TransferLedger`, or
+    anything with a ``statics`` fingerprint dict) turns this into a
+    *delta* capture: a static whose encoded value fingerprint matches
+    what the destination already holds is shipped as a
+    :data:`~repro.migration.state.CACHED_MARKER_BYTES`-sized
+    ``@cached`` marker instead of by value — the destination verifies
+    the digest against its current cell and keeps the (identical)
+    copy.  ``baseline=None`` is the from-scratch full capture, which
+    doubles as the delta property-test oracle.
+
+    ``identity`` maps ``id(obj) -> (home_oid, home_node)`` for fetched
+    copies on an intermediate hop (see :func:`encode_value`).
 
     Raises :class:`MigrationError` if the segment would include a pinned
     frame (paper section IV.D: frames holding socket connections are
@@ -84,7 +101,7 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
         table = vmti.get_local_variable_table(thread, depth)
         for slot, _name in table:
             value = vmti.get_local(thread, depth, slot)
-            enc, _bytes = encode_value(value, home_node)
+            enc, _bytes = encode_value(value, home_node, identity)
             locals_enc.append(enc)
         frames.append(CapturedFrame(
             class_name=code.class_name, method_name=code.name,
@@ -92,18 +109,40 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
         class_names.add(code.class_name)
 
     # Statics of the classes the segment references (superclass chains
-    # included): primitives by value, objects as descriptors.
+    # included): primitives by value, objects as descriptors.  Against a
+    # baseline ledger, values the destination already holds collapse to
+    # fingerprint markers (delta snapshot).
+    known = baseline.statics if baseline is not None else None
     statics: Dict[Tuple[str, str], object] = {}
+    cached = 0
+    saved = 0
     for cname in sorted(class_names):
         cls = machine.loader.load(cname)
         walk = cls
         while walk is not None:
             for fname in walk.statics:
                 value = vmti.get_static(walk.name, fname)
-                enc, _b = encode_value(value, home_node)
-                statics[(walk.name, fname)] = enc
+                enc, _b = encode_value(value, home_node, identity)
+                key = (walk.name, fname)
+                # Object-valued statics ship as 12-byte descriptors and
+                # re-arm the destination's fault path; a marker could
+                # pin a stale released copy in the cell — never
+                # delta-cache them.  And elide only when the marker is
+                # actually smaller than the value it replaces.
+                if known is not None and not (
+                        isinstance(enc, tuple) and enc
+                        and enc[0] == "@ref") \
+                        and _enc_bytes(enc) > CACHED_MARKER_BYTES:
+                    fp = fingerprint(enc)
+                    if known.get(key) == fp:
+                        statics[key] = (CACHED_TAG, fp)
+                        cached += 1
+                        saved += max(0, _enc_bytes(enc)
+                                     - CACHED_MARKER_BYTES)
+                        continue
+                statics[key] = enc
             walk = walk.superclass
     return CapturedState(
         frames=frames, statics=statics, class_names=sorted(class_names),
         home_node=home_node, return_to=return_to or home_node,
-        thread_name=thread.name)
+        thread_name=thread.name, cached_statics=cached, saved_bytes=saved)

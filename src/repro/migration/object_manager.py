@@ -23,9 +23,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from collections import OrderedDict
+
 from repro.errors import MigrationError
 from repro.migration.state import (GraphDecoder, GraphEncoder,
-                                   encode_object_shallow)
+                                   encode_object_shallow, fingerprint)
 from repro.vm.machine import Machine
 from repro.vm.objects import VMArray, VMClass, VMInstance
 from repro.vm.values import (LOC_ELEM, LOC_FIELD, LOC_LOCAL, LOC_STATIC,
@@ -40,6 +42,11 @@ class HomeObjectServer:
         self.node_name = node_name
         #: objects served, for experiment reporting
         self.requests = 0
+        #: when this node is also a worker (multi-hop chains), the
+        #: worker object manager's ``home_identity`` — served payloads
+        #: then forward nested *fetched copies* to their true home
+        #: instead of mislabeling them with this node's oid space
+        self.identity: Optional[Dict[int, Tuple[int, str]]] = None
 
     def fetch(self, oid: int) -> Tuple[Any, int]:
         """Serialize one home object (shallow).  Returns (payload, bytes).
@@ -47,10 +54,33 @@ class HomeObjectServer:
         is itself remote forwards the descriptor."""
         self.requests += 1
         obj = self.machine.heap.get(oid)
-        payload, nbytes = encode_object_shallow(obj, self.node_name)
+        payload, nbytes = encode_object_shallow(obj, self.node_name,
+                                                self.identity)
         # Home-side serialization cost happens while the requester waits;
         # charge it on the home machine's clock as well (it burns CPU).
         self.machine.charge(self.machine.cost.serialize_cost(nbytes))
+        return payload, nbytes
+
+    def fetch_if_changed(self, oid: int,
+                         fp: int) -> Tuple[Optional[Any], int]:
+        """Conditional fetch: serialize one home object and compare its
+        content fingerprint against ``fp`` (the digest of the payload
+        the requester already holds from an earlier fetch).  Returns
+        ``(None, nbytes)`` on a match — the requester's retained copy is
+        still current, so only a tiny validation reply crosses the wire
+        — or ``(payload, nbytes)`` when the object changed.
+
+        The home still pays the serialization CPU either way (it had to
+        encode the object to hash it); what a match saves is the wire
+        time and the requester-side deserialization — the dominant cost
+        for large objects on GigE/WAN links."""
+        self.requests += 1
+        obj = self.machine.heap.get(oid)
+        payload, nbytes = encode_object_shallow(obj, self.node_name,
+                                                self.identity)
+        self.machine.charge(self.machine.cost.serialize_cost(nbytes))
+        if fingerprint(payload) == fp:
+            return None, nbytes
         return payload, nbytes
 
     def apply_writeback(self, updates: Dict[int, Dict[str, Any]],
@@ -92,6 +122,10 @@ class FaultStats:
     prefetched: int = 0
     fetched_bytes: int = 0
     fetch_seconds: float = 0.0
+    #: conditional re-fetches of retained copies, and how many came
+    #: back "still current" (only a validation reply crossed the wire)
+    revalidations: int = 0
+    reval_hits: int = 0
 
 
 class WorkerObjectManager:
@@ -122,6 +156,25 @@ class WorkerObjectManager:
         #: serve scheduler re-offloads threads whose home state has
         #: moved on; serving them stale cached copies would fork state)
         self.fetched_by: Dict[Any, List[Tuple[int, str]]] = {}
+        #: clean copies demoted (not evicted) when their segment epoch
+        #: ended (their payload fingerprint stays in ``_payload_fp``).
+        #: A later segment's fault on the same key revalidates the copy
+        #: with a tiny conditional round trip instead of re-shipping the
+        #: payload.  LRU-bounded; unused unless the engine installs
+        #: ``reval_service``.
+        self.retained: "OrderedDict[Tuple[int, str], Any]" = OrderedDict()
+        self.retain_limit = 512
+        #: conditional-fetch transport installed by the engine:
+        #: (requester, ref, fp) -> (payload | None, nbytes, owner)
+        self.reval_service: Optional[
+            Callable[[str, RemoteRef, int],
+                     Tuple[Optional[Any], int, str]]] = None
+        #: home-key -> fingerprint of the payload as last received
+        self._payload_fp: Dict[Tuple[int, str], int] = {}
+        #: keys whose copies were written back since their fetch: their
+        #: stored fingerprint is stale and needs a re-encode at release
+        #: (clean copies keep the fetch-time digest — no re-encode)
+        self._flushed_keys: set = set()
         #: restored segment thread -> the home node its state came from
         self.thread_home: Dict[Any, str] = {}
         #: static-bearing classes each segment thread's state touches
@@ -184,6 +237,8 @@ class WorkerObjectManager:
             # a copy this thread is actively using.
             self._track_fetch(key)
             return hit
+        if self.reval_service is not None and key in self.retained:
+            return self._revalidate(ref, key)
         t0 = self.machine.clock
         payload, nbytes, owner = self.fetch_service(self.node_name, ref)
         self.machine.charge_raw(self.service_fixed)
@@ -193,6 +248,8 @@ class WorkerObjectManager:
         obj = self._decode(payload)
         self.cache[key] = obj
         self.home_identity[id(obj)] = (ref.home_oid, ref.home_node)
+        if self.reval_service is not None:
+            self._payload_fp[key] = fingerprint(payload)
         self._track_fetch(key)
         self.stats.faults += 1
         self.stats.fetched_bytes += nbytes
@@ -200,6 +257,49 @@ class WorkerObjectManager:
         extra = self.prefetcher.after_fetch(self, ref, obj)
         if extra:
             self._prefetch_batch(extra)
+        self.stats.fetch_seconds += self.machine.clock - t0
+        return obj
+
+    def _revalidate(self, ref: RemoteRef, key: Tuple[int, str]) -> Any:
+        """Fault on an object whose clean copy survives from an ended
+        segment epoch: ask the home whether the copy is still current
+        (one small conditional round trip).  A hit re-adopts the
+        retained copy — the payload never re-rides the wire; a miss
+        receives the fresh payload in the validation reply."""
+        obj = self.retained.pop(key)
+        fp = self._payload_fp.get(key, -1)
+        t0 = self.machine.clock
+        payload, nbytes, owner = self.reval_service(self.node_name, ref, fp)
+        self.machine.charge_raw(self.service_fixed)
+        self.stats.revalidations += 1
+        fresh = payload is not None
+        if not fresh:
+            # Still current: request + tiny validation reply only.  (No
+            # prefetcher hooks — neighbors are likely retained too, and
+            # batch-prefetching would re-ship copies revalidation exists
+            # to keep off the wire.)
+            self.machine.charge_raw(
+                self.rtt_service(self.node_name, owner, 72, 16))
+            self.stats.reval_hits += 1
+        else:
+            wire = self.machine.cost.wire_bytes(nbytes)
+            self.machine.charge_raw(
+                self.rtt_service(self.node_name, owner, 72, wire))
+            self.machine.charge(self.machine.cost.deserialize_cost(nbytes))
+            obj = self._decode(payload)
+            self._payload_fp[key] = fingerprint(payload)
+            self.stats.faults += 1
+            self.stats.fetched_bytes += nbytes
+        self.cache[key] = obj
+        self.home_identity[id(obj)] = key
+        self._track_fetch(key)
+        if fresh:
+            # A changed payload is a normal fault: keep the prefetcher's
+            # view of the access stream intact.
+            self.prefetcher.record(ref, obj)
+            extra = self.prefetcher.after_fetch(self, ref, obj)
+            if extra:
+                self._prefetch_batch(extra)
         self.stats.fetch_seconds += self.machine.clock - t0
         return obj
 
@@ -259,7 +359,14 @@ class WorkerObjectManager:
         segment of the same program must re-fetch rather than reuse the
         now-stale cache.  Copies shared with a still-running segment
         (it hit the cache on the same key) stay — evicting them would
-        also drop the identity its write-back needs."""
+        also drop the identity its write-back needs.
+
+        With ``reval_service`` installed, *clean* copies are demoted to
+        the retained cache instead of dropped: a later fault on the
+        same key revalidates them against the home (content-addressed)
+        rather than re-shipping the payload.  Dirty copies — writes the
+        worker never shipped home (an abandoned segment) — are always
+        dropped: their content has forked from the fingerprint."""
         keys = self.fetched_by.pop(thread, [])
         self.thread_home.pop(thread, None)
         self.thread_statics.pop(thread, None)
@@ -268,13 +375,40 @@ class WorkerObjectManager:
         still_used = set()
         for other in self.fetched_by.values():
             still_used.update(other)
-        for key in keys:
-            if key in still_used:
-                continue
+        evict = [k for k in keys if k not in still_used]
+        if self.reval_service is not None:
+            # Refresh *stale* fingerprints before identities are
+            # dropped: a written-back copy's content now matches the
+            # home, and the identity-aware re-encoding reproduces the
+            # home's payload (nested fetched copies forward to their
+            # home oids).  Copies never written back keep their
+            # fetch-time digest — no re-encode on the completion path.
+            for key in evict:
+                if key not in self._flushed_keys:
+                    continue
+                self._flushed_keys.discard(key)
+                obj = self.cache.get(key)
+                if obj is None or id(obj) in self.dirty:
+                    continue
+                payload, _n = encode_object_shallow(obj, key[1],
+                                                    self.home_identity)
+                self._payload_fp[key] = fingerprint(payload)
+        for key in evict:
             obj = self.cache.pop(key, None)
-            if obj is not None:
-                self.home_identity.pop(id(obj), None)
-                self.dirty.pop(id(obj), None)
+            if obj is None:
+                continue
+            self.home_identity.pop(id(obj), None)
+            was_dirty = self.dirty.pop(id(obj), None) is not None
+            if (self.reval_service is not None and not was_dirty
+                    and key in self._payload_fp):
+                self.retained[key] = obj
+                self.retained.move_to_end(key)
+                while len(self.retained) > self.retain_limit:
+                    old, _o = self.retained.popitem(last=False)
+                    self._payload_fp.pop(old, None)
+            else:
+                self.retained.pop(key, None)
+                self._payload_fp.pop(key, None)
 
     def _decode(self, payload: Any) -> Any:
         from repro.migration.state import decode_value
@@ -369,7 +503,8 @@ class WorkerObjectManager:
     # -- write-back ----------------------------------------------------------------
 
     def build_writeback(self, return_value: Any,
-                        home_node: Optional[str] = None
+                        home_node: Optional[str] = None,
+                        only_keys: Optional[set] = None
                         ) -> Tuple[Dict[str, Any], int]:
         """Assemble the completion message: return value + dirty objects
         + dirty statics.  Returns (message, modeled_bytes).
@@ -379,7 +514,13 @@ class WorkerObjectManager:
         (the elastic scheduler) must not ship another home's dirty
         objects — their oids mean nothing to this home's server and
         would be applied to unrelated objects.  ``None`` keeps the
-        single-tenant behavior (ship everything)."""
+        single-tenant behavior (ship everything).
+
+        ``only_keys`` (a set of ``(oid, node)`` identities) narrows the
+        object updates further — to one *thread's* working set.  A
+        multi-hop completion flushes the chain segment's own
+        intermediate-hop objects without sweeping up another running
+        segment's in-flight writes."""
         enc = GraphEncoder(self.node_name, self.home_identity, eager=False)
         updates: Dict[int, Dict[str, Any]] = {}
         elem_updates: Dict[int, List[Any]] = {}
@@ -390,6 +531,8 @@ class WorkerObjectManager:
             oid, node = ident
             if home_node is not None and node != home_node:
                 continue  # another segment's working set
+            if only_keys is not None and ident not in only_keys:
+                continue  # another thread's working set
             if isinstance(obj, VMInstance):
                 updates[oid] = {n: enc.encode(v) for n, v in obj.fields.items()}
             else:
@@ -418,20 +561,36 @@ class WorkerObjectManager:
         }
         return message, enc.nbytes + 64
 
-    def clear_dirty(self, home_node: Optional[str] = None) -> None:
+    def clear_dirty(self, home_node: Optional[str] = None,
+                    only_keys: Optional[set] = None) -> None:
         """Forget the dirty set after a successful write-back, so later
         flushes (multi-hop roaming) only ship fresh changes.  With
         ``home_node``, forget only what that write-back shipped: objects
         homed there plus locally created roots; another segment's dirty
-        objects stay tracked for its own completion."""
+        objects stay tracked for its own completion.  ``only_keys``
+        mirrors :meth:`build_writeback`'s thread-scoped narrowing."""
         if home_node is None:
+            for obj in self.dirty.values():
+                ident = self.home_identity.get(id(obj))
+                if ident is not None:
+                    self._flushed_keys.add(ident)
             self.dirty.clear()
             self.dirty_statics.clear()
             return
+
+        def shipped(obj) -> bool:
+            ident = self.home_identity.get(id(obj))
+            if ident is None:
+                return True  # local root: never tracked past a flush
+            if ident[1] != home_node:
+                return False
+            if only_keys is None or ident in only_keys:
+                self._flushed_keys.add(ident)
+                return True
+            return False
+
         self.dirty = {
-            key: obj for key, obj in self.dirty.items()
-            if (self.home_identity.get(id(obj)) or (0, home_node))[1]
-            != home_node
+            key: obj for key, obj in self.dirty.items() if not shipped(obj)
         }
         # drop exactly what the scoped write-back shipped
         self.dirty_statics = {

@@ -29,7 +29,9 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional
 
 from repro.errors import MigrationError
-from repro.migration.state import CapturedState, decode_value
+from repro.migration.state import (CapturedState, decode_value,
+                                   encode_value, fingerprint,
+                                   is_cached_marker)
 from repro.preprocess.restoration import RESTORE_EXCEPTION
 from repro.vm.frames import Frame, ThreadState
 from repro.vm.machine import Machine
@@ -49,12 +51,23 @@ class RestoreContext:
 
 
 class RestoreDriver:
-    """Rebuilds a captured segment on a worker machine."""
+    """Rebuilds a captured segment on a worker machine.
 
-    def __init__(self, machine: Machine, vmti: VMTI, state: CapturedState):
+    ``static_fallback(cname, fname) -> value`` services delta-capture
+    ``@cached`` markers whose fingerprint does *not* match the worker's
+    current cell (somebody forked the cell behind the ledger's back —
+    e.g. a local guest thread wrote a static between segment episodes):
+    the true value is fetched from the home instead of trusting the
+    marker.  Without a fallback a mismatched marker is left in place
+    (the pre-delta single-tenant contract)."""
+
+    def __init__(self, machine: Machine, vmti: VMTI, state: CapturedState,
+                 static_fallback: Optional[Callable[[str, str], Any]]
+                 = None):
         self.machine = machine
         self.vmti = vmti
         self.state = state
+        self.static_fallback = static_fallback
         self.ctx = RestoreContext(state=state)
         self._armed: List[tuple] = []
 
@@ -89,6 +102,16 @@ class RestoreDriver:
         for cname in self.state.class_names:
             self.machine.loader.load(cname)
         for (cname, fname), enc in self.state.statics.items():
+            if is_cached_marker(enc):
+                # Delta capture: this worker should already hold the
+                # fingerprinted value (shipped by an earlier capture or
+                # write-back).  Verify before trusting — a cell forked
+                # behind the ledger's back heals via the fallback fetch.
+                if not _marker_matches(self.machine, cname, fname, enc):
+                    if self.static_fallback is not None:
+                        self.vmti.set_static(
+                            cname, fname, self.static_fallback(cname, fname))
+                continue
             self.vmti.set_static(
                 cname, fname, decode_value(enc, (LOC_STATIC, cname, fname)))
 
@@ -158,7 +181,19 @@ class RestoreDriver:
         return thread
 
 
-def java_level_restore(machine: Machine, state: CapturedState) -> ThreadState:
+def _marker_matches(machine: Machine, cname: str, fname: str,
+                    marker: tuple) -> bool:
+    """Does the worker's current static cell still hold the value the
+    ``@cached`` marker fingerprints?  Markers only ever cover
+    primitive/string statics, whose encoding is node-independent, so
+    re-encoding the local cell reproduces the capture-side digest."""
+    cls = machine.loader.load(cname).find_static_home(fname)
+    enc, _b = encode_value(cls.statics[fname], "")
+    return fingerprint(enc) == marker[1]
+
+
+def java_level_restore(machine: Machine, state: CapturedState,
+                       static_fallback=None) -> ThreadState:
     """VMTI-less restore (JamVM-style device): rebuild frames directly at
     Java level via reflection.  Functionally identical result; the cost
     model charges the much slower per-frame reflective path
@@ -166,6 +201,13 @@ def java_level_restore(machine: Machine, state: CapturedState) -> ThreadState:
     for cname in state.class_names:
         machine.loader.load(cname)
     for (cname, fname), enc in state.statics.items():
+        if is_cached_marker(enc):
+            # device already holds this value — verify, heal on fork
+            if not _marker_matches(machine, cname, fname, enc) \
+                    and static_fallback is not None:
+                cls = machine.loader.load(cname).find_static_home(fname)
+                cls.statics[fname] = static_fallback(cname, fname)
+            continue
         cls = machine.loader.load(cname).find_static_home(fname)
         cls.statics[fname] = decode_value(enc, (LOC_STATIC, cname, fname))
     thread = ThreadState(state.thread_name)

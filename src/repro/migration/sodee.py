@@ -24,13 +24,97 @@ from repro.migration.capture import capture_segment, run_to_msp
 from repro.migration.object_manager import (HomeObjectServer,
                                             WorkerObjectManager)
 from repro.migration.restore import RestoreDriver, java_level_restore
-from repro.migration.state import CapturedState
+from repro.migration.state import (CapturedState, encode_value, fingerprint,
+                                   is_cached_marker)
 from repro.preprocess.sizes import class_size
 from repro.vm.costmodel import CostModel, SystemCosts, sodee_model
 from repro.vm.frames import ThreadState
 from repro.vm.machine import Machine
 from repro.vm.values import RemoteRef
 from repro.vm.vmti import VMTI
+
+
+#: wire size of a content-addressed class token (name + digest): what a
+#: repeat offload ships instead of the class file + its pre-decoded
+#: stream when the destination's classpath already holds them
+CLASS_TOKEN_BYTES = 24
+
+
+class TransferLedger:
+    """Per-(home, worker) shipment ledger: the content-addressed record
+    of what a worker already holds from one home.
+
+    * ``statics`` maps ``(class, field)`` to the fingerprint of the
+      encoded value last *synchronized* with the worker (shipped by a
+      capture, a class-load sync, a resync, or applied back home by a
+      completed segment's write-back) — a delta capture elides any
+      static whose current fingerprint matches.
+    * ``stamp`` records the shipment epoch each entry was last written
+      at, and ``epoch`` counts shipments — the observability handle the
+      delta property tests assert against (an unchanged static must not
+      be re-stamped by a re-offload).
+
+    Classes and their pre-decoded instruction streams need no ledger:
+    a worker's classpath *is* the truth (class files are immutable once
+    defined, and the worker machine's decoded-stream cache persists
+    across segment episodes), so repeat offloads ship a
+    :data:`CLASS_TOKEN_BYTES` digest token instead of the class.
+    Object payloads are revalidated content-addressed per fetch (see
+    :meth:`WorkerObjectManager.fetch` / ``fetch_if_changed``).
+    """
+
+    def __init__(self) -> None:
+        self.epoch = 0
+        self.statics: Dict[Tuple[str, str], int] = {}
+        self.stamp: Dict[Tuple[str, str], int] = {}
+
+    def record(self, key: Tuple[str, str], enc: Any) -> None:
+        """Note that the worker now holds ``enc`` for static ``key``
+        (object-valued descriptors are never ledgered — see capture)."""
+        if isinstance(enc, tuple) and enc and enc[0] == "@ref":
+            self.statics.pop(key, None)
+            self.stamp.pop(key, None)
+            return
+        self.statics[key] = fingerprint(enc)
+        self.stamp[key] = self.epoch
+
+    def invalidate(self, key: Tuple[str, str]) -> None:
+        self.statics.pop(key, None)
+        self.stamp.pop(key, None)
+
+
+class CaptureBaseline:
+    """Mutable ledger view staged during one (possibly batched) capture.
+
+    A migration can still be refused *after* capture (cross-home static
+    conflict, restore failure) — nothing shipped, so nothing may be
+    ledgered.  Captures read and update this overlay (so the second
+    capture of a batch can elide statics the first one just shipped);
+    :meth:`commit` folds the staged entries into the real ledger only
+    once the restore has succeeded.
+    """
+
+    def __init__(self, led: TransferLedger):
+        self.led = led
+        #: the fingerprint view capture_segment reads
+        self.statics: Dict[Tuple[str, str], int] = dict(led.statics)
+        self._fresh: List[Tuple[Tuple[str, str], Any]] = []
+
+    def stage(self, state: "CapturedState") -> None:
+        """Overlay one capture's fresh-shipped statics."""
+        for key, enc in state.statics.items():
+            if is_cached_marker(enc):
+                continue
+            self._fresh.append((key, enc))
+            if isinstance(enc, tuple) and enc and enc[0] == "@ref":
+                self.statics.pop(key, None)
+            else:
+                self.statics[key] = fingerprint(enc)
+
+    def commit(self) -> None:
+        self.led.epoch += 1
+        for key, enc in self._fresh:
+            self.led.record(key, enc)
 
 
 @dataclass
@@ -48,6 +132,12 @@ class MigrationRecord:
     state_bytes: int = 0
     class_bytes: int = 0
     worker_spawn_time: float = 0.0
+    #: transfer-cache outcome: did the class collapse to a digest token,
+    #: how many statics rode as @cached markers, and the payload bytes
+    #: the delta kept off the wire vs. a from-scratch capture
+    cached_class: bool = False
+    cached_statics: int = 0
+    saved_bytes: int = 0
 
     @property
     def latency(self) -> float:
@@ -82,6 +172,12 @@ class Host:
                 fetch_service=self.engine.fetch_remote,
                 rtt_service=self.engine.rtt)
             self.objman.service_fixed = self.engine.sys.fault_service_fixed
+            if self.engine.transfer_cache:
+                self.objman.reval_service = self.engine.fetch_remote_if_changed
+            # Serving fetches from this node must forward nested fetched
+            # copies to their true home (multi-hop chains fault through
+            # intermediate hops).
+            self.server.identity = self.objman.home_identity
             self.objman.install_natives()
         else:
             self.objman.arm()
@@ -97,12 +193,20 @@ class SODEngine:
     def __init__(self, cluster: Cluster, classes: Dict[str, ClassFile],
                  cost: Optional[CostModel] = None,
                  syscosts: Optional[SystemCosts] = None,
-                 prestart_workers: bool = True):
+                 prestart_workers: bool = True,
+                 transfer_cache: bool = True):
         self.cluster = cluster
         self.classes = classes
         self.cost = cost or sodee_model()
         self.sys = syscosts or SystemCosts()
         self.prestart_workers = prestart_workers
+        #: migration fast path: content-addressed per-(home, worker)
+        #: transfer caches — delta static captures, class digest tokens,
+        #: retained-object revalidation.  ``False`` restores the
+        #: ship-everything-every-time behavior (the delta property
+        #: tests' oracle configuration).
+        self.transfer_cache = transfer_cache
+        self._ledgers: Dict[Tuple[str, str], TransferLedger] = {}
         self.hosts: Dict[str, Host] = {}
         #: experiment timeline, seconds
         self.timeline = 0.0
@@ -168,13 +272,15 @@ class SODEngine:
         natives: on a worker without an object manager (a node serving
         only handed-off, statics-free requests) they keep their
         defaults — such programs never touch them."""
-        from repro.migration.state import decode_value, encode_value
+        from repro.migration.state import decode_value
         from repro.vm.values import LOC_STATIC
         if not vmclass.statics:
             return
         if not home.machine.loader.is_loaded(vmclass.name):
             return  # home never linked it: defaults are authoritative
         home_cls = home.machine.loader.load(vmclass.name)
+        led = (self.ledger(home.node_name, worker.node_name)
+               if self.transfer_cache else None)
         nbytes = 0
         for fname in list(vmclass.statics):
             enc, b = encode_value(home_cls.statics[fname], home.node_name)
@@ -183,6 +289,8 @@ class SODEngine:
                 continue
             vmclass.statics[fname] = dec
             nbytes += b
+            if led is not None:
+                led.record((vmclass.name, fname), enc)
         if nbytes:
             worker.machine.charge_raw(self.transfer_time(
                 home.node_name, worker.node_name, nbytes))
@@ -224,6 +332,29 @@ class SODEngine:
         payload, nbytes = owner.server.fetch(ref.home_oid)
         return payload, nbytes, ref.home_node
 
+    def fetch_remote_if_changed(self, requester: str, ref: RemoteRef,
+                                fp: int) -> Tuple[Optional[Any], int, str]:
+        """Conditional object-fetch service: ``None`` payload means the
+        requester's retained copy (fingerprint ``fp``) is still current
+        and only a validation reply crossed the wire — the saved payload
+        bytes are credited to the link's savings meter."""
+        owner = self.hosts.get(ref.home_node)
+        if owner is None:
+            raise MigrationError(f"no host on {ref.home_node} to serve fetch")
+        payload, nbytes = owner.server.fetch_if_changed(ref.home_oid, fp)
+        if payload is None:
+            self.cluster.network.record_saved(ref.home_node, requester,
+                                              max(0, nbytes - 16))
+        return payload, nbytes, ref.home_node
+
+    def ledger(self, home_node: str, worker_node: str) -> TransferLedger:
+        """The (home, worker) transfer ledger (created on first use)."""
+        key = (home_node, worker_node)
+        led = self._ledgers.get(key)
+        if led is None:
+            led = self._ledgers[key] = TransferLedger()
+        return led
+
     # -- program control ------------------------------------------------------------
 
     def spawn(self, host: Host, class_name: str, method: str,
@@ -241,6 +372,49 @@ class SODEngine:
         return status
 
     # -- SOD migration -----------------------------------------------------------------
+
+    def _class_ship_bytes(self, dst_node: str, name: str,
+                          cf: ClassFile) -> Tuple[int, bool]:
+        """Wire bytes for shipping class ``name`` to ``dst_node``: the
+        full class file (plus its pre-decoded stream riding along) on
+        first contact, or a content-addressed digest token when the
+        destination's classpath already holds it — the classpath *is*
+        the cache (class files are immutable once defined).  Returns
+        (bytes, cached)."""
+        full = class_size(cf)
+        if not self.transfer_cache:
+            return full, False
+        dst = self.hosts.get(dst_node)
+        if dst is not None and dst.machine.loader.has_classfile(name):
+            return CLASS_TOKEN_BYTES, True
+        return full, False
+
+    def _ship_class(self, rec: MigrationRecord, dst_node: str, name: str,
+                    cf: ClassFile) -> None:
+        """Price one class shipment into ``rec`` — full bytes or digest
+        token — and account the elided bytes."""
+        rec.class_bytes, rec.cached_class = self._class_ship_bytes(
+            dst_node, name, cf)
+        if rec.cached_class:
+            rec.saved_bytes += max(0, class_size(cf) - rec.class_bytes)
+
+    def _baseline(self, home_node: str,
+                  dst_node: str) -> Optional[CaptureBaseline]:
+        """Staged delta-capture view of the (home, worker) ledger, or
+        None with the transfer cache disabled."""
+        if not self.transfer_cache:
+            return None
+        return CaptureBaseline(self.ledger(home_node, dst_node))
+
+    def _commit_shipment(self, base: Optional[CaptureBaseline], src: str,
+                         dst_node: str, saved_bytes: int) -> None:
+        """A migration's restore succeeded: fold the staged delta into
+        the durable ledger and credit the elided bytes to the link's
+        savings meter."""
+        if base is not None:
+            base.commit()
+        if saved_bytes:
+            self.cluster.network.record_saved(src, dst_node, saved_bytes)
 
     @staticmethod
     def _static_classes(state: CapturedState) -> frozenset:
@@ -297,10 +471,13 @@ class SODEngine:
         run_to_msp(machine, thread)
         self.timeline += machine.clock - t0
 
-        # -- capture (C2 part 1) --
+        # -- capture (C2 part 1): a delta snapshot against the ledger of
+        # what this destination already holds from this home --
+        base = self._baseline(src_host.node_name, dst_node)
         t0 = machine.clock
         state = capture_segment(src_host.vmti, thread, nframes,
-                                home_node=src_host.node_name)
+                                home_node=src_host.node_name,
+                                baseline=base)
         machine.charge(self.sys.sod_capture_fixed)
         dst_spec = self.cluster.node(dst_node).spec
         if not dst_spec.has_vmti:
@@ -311,9 +488,13 @@ class SODEngine:
 
         # -- transfer (serialized sizes go on the wire) --
         rec.state_bytes = state.state_bytes()
+        rec.cached_statics = state.cached_statics
+        rec.saved_bytes = state.saved_bytes
+        if base is not None:
+            base.stage(state)
         top_class = state.frames[-1].class_name
         cf = machine.loader.classfile(top_class)
-        rec.class_bytes = class_size(cf)
+        self._ship_class(rec, dst_node, top_class, cf)
         state_wire = machine.cost.wire_bytes(rec.state_bytes)
         class_wire = machine.cost.wire_bytes(rec.class_bytes)
         if not dst_spec.has_vmti:
@@ -335,26 +516,29 @@ class SODEngine:
         worker.machine.loader._classpath.setdefault(top_class, cf)
         worker.attach_object_manager()
         self._check_cross_home_statics(worker, state, src_host.node_name)
-        t0 = worker.machine.clock
         if worker.vmti is not None:
-            worker.machine.charge(self.sys.sod_restore_fixed
-                                  + self.sys.sod_restore_per_frame * nframes)
-            driver = RestoreDriver(worker.machine, worker.vmti, state)
-            worker_thread = driver.restore(run_after=False)
+            worker_thread = self._restore_segment(worker, state, nframes,
+                                                  src_host, rec, base)
         else:
             # Reflection-based rebuild on the (slow) device CPU; no
             # VMTI/JNI machinery involved (paper section IV.D).
+            t0 = worker.machine.clock
             worker.machine.charge(
                 self.sys.java_restore_fixed
                 + self.sys.java_restore_per_frame * nframes)
             worker.machine.charge(worker.machine.cost.deserialize_cost(
                 rec.state_bytes))
-            worker_thread = java_level_restore(worker.machine, state)
-        if worker.objman is not None:
-            worker.objman.register_thread_home(
-                worker_thread, src_host.node_name,
-                self._static_classes(state))
-        rec.restore_time = worker.machine.clock - t0
+            worker_thread = java_level_restore(
+                worker.machine, state,
+                static_fallback=self._static_fallback(worker, src_host,
+                                                      base))
+            if worker.objman is not None:
+                worker.objman.register_thread_home(
+                    worker_thread, src_host.node_name,
+                    self._static_classes(state))
+            rec.restore_time = worker.machine.clock - t0
+        self._commit_shipment(base, src_host.node_name, dst_node,
+                              rec.saved_bytes)
 
         self.timeline += rec.latency
         self.migrations.append(rec)
@@ -391,7 +575,10 @@ class SODEngine:
             raise MigrationError(
                 "migrate_many targets VMTI-capable nodes only")
 
-        # -- capture every thread (each at its own MSP) --
+        # -- capture every thread (each at its own MSP), each a delta
+        # against the staged ledger view (the first capture in the batch
+        # ships a static fresh; its batchmates ride as @cached markers) --
+        base = self._baseline(src_host.node_name, dst_node)
         recs: List[MigrationRecord] = []
         states: List[CapturedState] = []
         for thread in threads:
@@ -400,16 +587,22 @@ class SODEngine:
             self.timeline += machine.clock - t0
             t0 = machine.clock
             state = capture_segment(src_host.vmti, thread, nframes,
-                                    home_node=src_host.node_name)
+                                    home_node=src_host.node_name,
+                                    baseline=base)
             machine.charge(self.sys.sod_capture_fixed)
             rec = MigrationRecord(src=src_host.node_name, dst=dst_node,
                                   nframes=nframes)
             rec.capture_time = machine.clock - t0
             rec.state_bytes = state.state_bytes()
+            rec.cached_statics = state.cached_statics
+            rec.saved_bytes = state.saved_bytes
+            if base is not None:
+                base.stage(state)
             states.append(state)
             recs.append(rec)
 
-        # -- one bulk transfer: single fixed setup, classes deduplicated --
+        # -- one bulk transfer: single fixed setup, classes deduplicated
+        # within the batch and digest-tokenized against the worker --
         class_files = {}
         for state in states:
             top_class = state.frames[-1].class_name
@@ -417,8 +610,11 @@ class SODEngine:
                 class_files[top_class] = machine.loader.classfile(top_class)
         state_wire = sum(machine.cost.wire_bytes(r.state_bytes)
                          for r in recs)
-        class_bytes = {name: class_size(cf)
-                       for name, cf in class_files.items()}
+        class_bytes = {}
+        class_cached = {}
+        for name, cf in class_files.items():
+            class_bytes[name], class_cached[name] = self._class_ship_bytes(
+                dst_node, name, cf)
         class_wire = sum(machine.cost.wire_bytes(b)
                          for b in class_bytes.values())
         bulk_state = (self.sys.sod_transfer_fixed
@@ -438,6 +634,11 @@ class SODEngine:
             if top_class not in charged:
                 charged.add(top_class)
                 rec.class_bytes = class_bytes[top_class]
+                rec.cached_class = class_cached[top_class]
+                if rec.cached_class:
+                    rec.saved_bytes += max(
+                        0, class_size(class_files[top_class])
+                        - rec.class_bytes)
             rec.state_transfer_time = bulk_state / n
             rec.class_transfer_time = bulk_class / n
             rec.transfer_time = rec.state_transfer_time \
@@ -455,20 +656,124 @@ class SODEngine:
         for rec, state in zip(recs, states):
             rec.worker_spawn_time = spawn
             spawn = 0.0  # charged once per batch
-            t0 = worker.machine.clock
-            worker.machine.charge(self.sys.sod_restore_fixed
-                                  + self.sys.sod_restore_per_frame * nframes)
-            driver = RestoreDriver(worker.machine, worker.vmti, state)
-            worker_thread = driver.restore(run_after=False)
-            if worker.objman is not None:
-                worker.objman.register_thread_home(
-                    worker_thread, src_host.node_name,
-                    self._static_classes(state))
-            rec.restore_time = worker.machine.clock - t0
+            worker_thread = self._restore_segment(worker, state, nframes,
+                                                  src_host, rec, base)
             self.timeline += rec.latency
             self.migrations.append(rec)
             out.append((worker_thread, rec))
+        self._commit_shipment(base, src_host.node_name, dst_node,
+                              sum(r.saved_bytes for r in recs))
         return worker, out
+
+    # -- multi-hop re-offload (Fig. 1c chains) -----------------------------------------
+
+    def rehop_segment(self, src_worker: Host, seg_thread: ThreadState,
+                      dst_node: str, home: Host
+                      ) -> Tuple[Host, ThreadState, MigrationRecord]:
+        """Move a previously-offloaded segment onward along a Fig. 1c
+        chain: capture *all* of ``seg_thread``'s frames on the current
+        hop and restore them on ``dst_node``, still anchored to
+        ``home`` — the segment's eventual completion returns its value
+        and write-back directly to the home node, never back through
+        the chain.
+
+        Before the segment leaves, its effects flush home (the home
+        heap is authoritative again, and the (home, dst) transfer
+        ledger prices the statics as a delta); fetched copies in its
+        frames are re-encoded as references to their *true* home via
+        the hop's identity map, so no proxy chains build up.  Objects
+        the hop itself created stay on its heap and serve on-demand
+        fetches from the next hop.
+
+        Returns (worker_host, worker_thread, record)."""
+        if src_worker.vmti is None:
+            raise MigrationError(
+                f"hop {src_worker.node_name} lacks VMTI; cannot capture")
+        if dst_node == src_worker.node_name:
+            raise MigrationError("re-offload to the same node")
+        machine = src_worker.machine
+        objman = src_worker.objman
+
+        # Freeze at a migration-safe point (may finish the thread, in
+        # which case the caller completes it normally).
+        t0 = machine.clock
+        run_to_msp(machine, seg_thread)
+        self.timeline += machine.clock - t0
+        nframes = len(seg_thread.frames)
+        rec = MigrationRecord(src=src_worker.node_name, dst=dst_node,
+                              nframes=nframes)
+
+        # Home heap becomes authoritative before the segment moves on —
+        # and so does every *earlier hop* whose objects this segment
+        # dirtied (the next hop re-faults them from their owners, so
+        # unflushed writes would silently vanish).  Object updates are
+        # scoped to THIS thread's working set: a same-home sibling
+        # segment's in-flight writes stay tracked for its own
+        # completion (statics keep the documented last-writer-wins
+        # release consistency, as at completion).
+        if objman is not None:
+            own = set(objman.fetched_by.get(seg_thread, []))
+            self.flush_segment_effects(src_worker, home,
+                                       scope_home=home.node_name,
+                                       only_keys=own)
+            self._flush_foreign_effects(src_worker, home.node_name,
+                                        seg_thread)
+
+        base = self._baseline(home.node_name, dst_node)
+        identity = objman.home_identity if objman is not None else None
+        t0 = machine.clock
+        state = capture_segment(src_worker.vmti, seg_thread, nframes,
+                                home_node=src_worker.node_name,
+                                return_to=home.node_name,
+                                baseline=base, identity=identity)
+        machine.charge(self.sys.sod_capture_fixed)
+        rec.capture_time = machine.clock - t0
+
+        rec.state_bytes = state.state_bytes()
+        rec.cached_statics = state.cached_statics
+        rec.saved_bytes = state.saved_bytes
+        if base is not None:
+            base.stage(state)
+        top_class = state.frames[-1].class_name
+        cf = machine.loader.classfile(top_class)
+        self._ship_class(rec, dst_node, top_class, cf)
+        rec.state_transfer_time = (
+            self.sys.sod_transfer_fixed
+            + self.transfer_time(src_worker.node_name, dst_node,
+                                 machine.cost.wire_bytes(rec.state_bytes)))
+        rec.class_transfer_time = self.transfer_time(
+            src_worker.node_name, dst_node,
+            machine.cost.wire_bytes(rec.class_bytes))
+        rec.transfer_time = rec.state_transfer_time + rec.class_transfer_time
+
+        # Restore at the next hop, class-fetching from the *home*.
+        worker, spawn = self._worker_host(dst_node, home)
+        rec.worker_spawn_time = spawn
+        if worker.vmti is None:
+            raise MigrationError("multi-hop targets VMTI-capable nodes only")
+        worker.machine.loader._classpath.setdefault(top_class, cf)
+        worker.attach_object_manager()
+        self._check_cross_home_statics(worker, state, home.node_name)
+        worker_thread = self._restore_segment(worker, state, nframes,
+                                              home, rec, base)
+        self._commit_shipment(base, src_worker.node_name, dst_node,
+                              rec.saved_bytes)
+
+        # The source hop's role is over: end its epoch and drop dead
+        # dirty-tracking so locally served requests regain fast dispatch
+        # (objects it created stay on its heap for on-demand fetches).
+        if objman is not None:
+            objman.release_thread(seg_thread)
+            objman.dirty = {
+                k: o for k, o in objman.dirty.items()
+                if objman.home_identity.get(id(o)) is not None}
+            if (not objman.thread_home and not objman.dirty
+                    and not objman.dirty_statics):
+                objman.disarm()
+
+        self.timeline += rec.latency
+        self.migrations.append(rec)
+        return worker, worker_thread, rec
 
     # -- segment completion ------------------------------------------------------------
 
@@ -502,11 +807,20 @@ class SODEngine:
         wire = self.transfer_time(worker.node_name, home.node_name,
                                   worker.machine.cost.wire_bytes(nbytes))
 
+        # Multi-hop chains: dirty copies owned by an *intermediate* hop
+        # (the segment faulted objects created on the node it re-offloaded
+        # from) must flush to that owner — their oids mean nothing to the
+        # completion home's server.
+        extra = self._flush_foreign_effects(worker, home.node_name,
+                                            worker_thread)
+
         t0 = home.machine.clock
         home.machine.charge(home.machine.cost.deserialize_cost(nbytes))
         value = home.server.apply_writeback(
             message["updates"], message["elem_updates"],
             message["static_updates"], message["graph"], message["return"])
+        self._refresh_static_ledger(home, worker.node_name,
+                                    message["static_updates"])
         if home.vmti is not None:
             for _ in range(nframes - 1):
                 home.vmti.pop_frame(home_thread)
@@ -534,7 +848,94 @@ class SODEngine:
 
         dt = wb_serialize + wire + apply_time
         self.timeline += dt
+        return dt + extra
+
+    def _static_fallback(self, worker: Host, home: Host,
+                         base: Optional[CaptureBaseline]):
+        """Self-heal service for mismatched delta markers: fetch the
+        static's true value from the home (one small round trip on the
+        worker's clock) and re-stamp the ledger — the worker physically
+        holds the value afterwards, whatever else the restore does."""
+        if base is None:
+            return None
+        led = base.led
+
+        def fetch(cname: str, fname: str) -> Any:
+            from repro.migration.state import decode_value
+            from repro.vm.values import LOC_STATIC
+            cls = home.machine.loader.load(cname).find_static_home(fname)
+            enc, b = encode_value(cls.statics[fname], home.node_name)
+            worker.machine.charge_raw(
+                self.rtt(worker.node_name, home.node_name, 64, b))
+            led.record((cname, fname), enc)
+            return decode_value(enc, (LOC_STATIC, cname, fname))
+
+        return fetch
+
+    def _restore_segment(self, worker: Host, state: CapturedState,
+                         nframes: int, home: Host,
+                         rec: MigrationRecord,
+                         base: Optional[CaptureBaseline]) -> ThreadState:
+        """Shared VMTI restore tail: cost charges, the breakpoint-dance
+        restore (with delta-marker fallback wired to ``home``), epoch
+        registration, and ``rec.restore_time``."""
+        t0 = worker.machine.clock
+        worker.machine.charge(self.sys.sod_restore_fixed
+                              + self.sys.sod_restore_per_frame * nframes)
+        driver = RestoreDriver(
+            worker.machine, worker.vmti, state,
+            static_fallback=self._static_fallback(worker, home, base))
+        worker_thread = driver.restore(run_after=False)
+        if worker.objman is not None:
+            worker.objman.register_thread_home(
+                worker_thread, home.node_name, self._static_classes(state))
+        rec.restore_time = worker.machine.clock - t0
+        return worker_thread
+
+    def _flush_foreign_effects(self, worker: Host, exclude: str,
+                               thread: ThreadState) -> float:
+        """Flush ``thread``'s dirty objects owned by homes *other than*
+        ``exclude`` back to their owners (multi-hop chains fault — and
+        may write — objects created on intermediate hops; those writes
+        must not be lost when the segment completes or moves on).
+
+        Scoped to the identities ``thread`` itself faulted: a sibling
+        segment's in-flight writes stay untouched — flushing them early
+        would publish partial state its own completion (or abandonment)
+        is supposed to govern."""
+        objman = worker.objman
+        if objman is None or not objman.dirty:
+            return 0.0
+        thread_keys = set(objman.fetched_by.get(thread, []))
+        if not thread_keys:
+            return 0.0
+        by_home: Dict[str, set] = {}
+        for o in objman.dirty.values():
+            ident = objman.home_identity.get(id(o))
+            if (ident is not None and ident[1] != exclude
+                    and ident in thread_keys):
+                by_home.setdefault(ident[1], set()).add(ident)
+        dt = 0.0
+        for other in sorted(by_home):
+            other_host = self.hosts.get(other)
+            if other_host is not None:
+                dt += self.flush_segment_effects(worker, other_host,
+                                                 scope_home=other,
+                                                 only_keys=by_home[other])
         return dt
+
+    def _refresh_static_ledger(self, home: Host, worker_node: str,
+                               static_updates: Dict) -> None:
+        """After a write-back lands, both sides agree on the written
+        statics: re-stamp the (home, worker) ledger with the home's
+        post-apply values so the next delta capture can elide them."""
+        if not self.transfer_cache or not static_updates:
+            return
+        led = self.ledger(home.node_name, worker_node)
+        for (cname, fname) in static_updates:
+            cls = home.machine.loader.load(cname).find_static_home(fname)
+            enc, _b = encode_value(cls.statics[fname], home.node_name)
+            led.record((cname, fname), enc)
 
     def abandon_segment(self, worker: Host,
                         worker_thread: ThreadState) -> None:
@@ -548,6 +949,17 @@ class SODEngine:
         if objman is None:
             return
         home = objman.thread_home.get(worker_thread)
+        if home is not None and self.transfer_cache:
+            # The dead segment's static writes never shipped home: the
+            # worker's cells have forked from the ledgered values, so a
+            # later delta capture must re-ship them in full.  Writes
+            # with no attribution are invalidated too — conservative,
+            # and a forked cell must never survive as a marker.
+            led = self._ledgers.get((home, worker.node_name))
+            if led is not None:
+                for key, (_cls, h) in objman.dirty_statics.items():
+                    if h == home or h is None:
+                        led.invalidate(key)
         objman.release_thread(worker_thread)
         if home is not None and home not in objman.thread_home.values():
             objman.dirty_statics = {
@@ -567,8 +979,10 @@ class SODEngine:
         values (release consistency at a hop boundary: a residual
         segment restored *before* an earlier segment finished must see
         that segment's static updates when control arrives)."""
-        from repro.migration.state import decode_value, encode_value
+        from repro.migration.state import decode_value
         from repro.vm.values import LOC_STATIC
+        led = (self.ledger(home.node_name, worker.node_name)
+               if self.transfer_cache else None)
         nbytes = 0
         for cls in worker.machine.loader.loaded_classes().values():
             if not cls.statics:
@@ -583,20 +997,30 @@ class SODEngine:
                 nbytes += b
                 cls.statics[fname] = decode_value(
                     enc, (LOC_STATIC, cls.name, fname))
+                if led is not None:
+                    led.record((cls.name, fname), enc)
         dt = self.transfer_time(home.node_name, worker.node_name,
                                 nbytes + 64)
         self.timeline += dt
         return dt
 
-    def flush_segment_effects(self, worker: Host, home: Host) -> float:
+    def flush_segment_effects(self, worker: Host, home: Host,
+                              scope_home: Optional[str] = None,
+                              only_keys: Optional[set] = None) -> float:
         """Write a worker's dirty objects/statics back to ``home`` without
         popping any frames (used by multi-hop flows before forwarding a
-        value onward, so the home heap is authoritative again)."""
+        value onward, so the home heap is authoritative again).
+
+        ``scope_home`` restricts the flush to state owned by that home
+        (a multi-tenant worker must not ship another home's oids);
+        ``only_keys`` narrows it further to one thread's working set;
+        ``None`` keeps the single-tenant flush-everything behavior."""
         objman = worker.objman
         if objman is None or (not objman.dirty and not objman.dirty_statics):
             return 0.0
         t0 = worker.machine.clock
-        message, nbytes = objman.build_writeback(None)
+        message, nbytes = objman.build_writeback(None, home_node=scope_home,
+                                                 only_keys=only_keys)
         worker.machine.charge(worker.machine.cost.serialize_cost(nbytes))
         dt = worker.machine.clock - t0
         dt += self.transfer_time(worker.node_name, home.node_name,
@@ -606,8 +1030,10 @@ class SODEngine:
         home.server.apply_writeback(
             message["updates"], message["elem_updates"],
             message["static_updates"], message["graph"], message["return"])
+        self._refresh_static_ledger(home, worker.node_name,
+                                    message["static_updates"])
         dt += home.machine.clock - t0
-        objman.clear_dirty()
+        objman.clear_dirty(scope_home, only_keys=only_keys)
         self.timeline += dt
         return dt
 

@@ -20,6 +20,7 @@ and the modeled byte size.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -32,18 +33,56 @@ from repro.vm.values import (LOC_ELEM, LOC_FIELD, LOC_LOCAL, LOC_STATIC,
 REF_DESC_BYTES = 12
 PRIM_BYTES = 8
 
+#: wire size of a delta-capture "unchanged" marker: the 4-byte content
+#: digest the receiver validates its cell against, plus framing (the
+#: (class, field) key rides the statics table's existing entry header)
+CACHED_MARKER_BYTES = 6
+
+#: marker tag for statics elided from a delta capture (the destination
+#: already holds the fingerprinted value — see repro.migration.sodee's
+#: TransferLedger)
+CACHED_TAG = "@cached"
+
+
+def fingerprint(enc: Any) -> int:
+    """Deterministic content hash of an *encoded* value or payload.
+
+    Drives the content-addressed transfer caches: two encodings are
+    "the same bytes on the wire" iff their fingerprints match.  CRC32
+    over the canonical repr is stable across processes (unlike
+    ``hash()``, which salts strings), cheap, and adequate for a
+    simulation — collisions would need adversarial guest programs.
+    """
+    return zlib.crc32(repr(enc).encode("utf-8", "backslashreplace"))
+
+
+def is_cached_marker(enc: Any) -> bool:
+    """True if ``enc`` is a delta-capture "destination already has this
+    value" marker rather than a real encoded value."""
+    return isinstance(enc, tuple) and len(enc) == 2 and enc[0] == CACHED_TAG
+
 
 # -- value encoding ------------------------------------------------------------
 
-def encode_value(v: Any, home_node: str) -> Tuple[Any, int]:
+def encode_value(v: Any, home_node: str,
+                 identity: Optional[Dict[int, Tuple[int, str]]] = None
+                 ) -> Tuple[Any, int]:
     """Encode one captured value (SOD-style: objects become descriptors).
 
     Returns (encoded, modeled_bytes).  A :class:`RemoteRef` captured at an
     intermediate hop is *forwarded* — it keeps pointing at the node that
     actually owns the object (this is what makes task roaming cheap: no
-    proxy chains build up).
+    proxy chains build up).  ``identity`` (``id(obj) -> (home_oid,
+    home_node)``, a worker object manager's fetch map) extends the same
+    forwarding to *fetched copies*: a multi-hop capture on a worker must
+    re-encode a locally-materialized copy as a reference to the object's
+    true home, not to the worker's private oid space.
     """
     if isinstance(v, (VMInstance, VMArray)):
+        if identity is not None:
+            ident = identity.get(id(v))
+            if ident is not None:
+                return ("@ref", ident[0], ident[1]), REF_DESC_BYTES
         return ("@ref", v.oid, home_node), REF_DESC_BYTES
     if isinstance(v, RemoteRef):
         return ("@ref", v.home_oid, v.home_node), REF_DESC_BYTES
@@ -87,6 +126,8 @@ class CapturedFrame:
 def _enc_bytes(enc: Any) -> int:
     if isinstance(enc, tuple) and enc and enc[0] == "@ref":
         return REF_DESC_BYTES
+    if is_cached_marker(enc):
+        return CACHED_MARKER_BYTES
     if isinstance(enc, str):
         return 4 + len(enc)
     return PRIM_BYTES
@@ -104,6 +145,10 @@ class CapturedState:
     home_node: str = ""
     return_to: str = ""
     thread_name: str = "main"
+    #: statics elided as ``@cached`` markers by a delta capture, and the
+    #: payload bytes that elision kept off the wire (vs. a full capture)
+    cached_statics: int = 0
+    saved_bytes: int = 0
 
     def nframes(self) -> int:
         return len(self.frames)
@@ -121,14 +166,19 @@ class CapturedState:
 
 # -- object payloads (fetch / write-back / eager copy) ---------------------------
 
-def encode_object_shallow(obj: Any, owner_node: str) -> Tuple[Any, int]:
+def encode_object_shallow(obj: Any, owner_node: str,
+                          identity: Optional[Dict[int, Tuple[int, str]]]
+                          = None) -> Tuple[Any, int]:
     """Encode one heap object for an on-demand fetch: primitive fields by
-    value, reference fields as descriptors (they will fault in turn)."""
+    value, reference fields as descriptors (they will fault in turn).
+    ``identity`` forwards fetched copies to their true home (see
+    :func:`encode_value`) — a worker re-encoding its own copy of a home
+    object uses it to reproduce the home's encoding bit-for-bit."""
     if isinstance(obj, VMInstance):
         fields: Dict[str, Any] = {}
         nbytes = OBJECT_HEADER_BYTES
         for name, v in obj.fields.items():
-            enc, b = encode_value(v, owner_node)
+            enc, b = encode_value(v, owner_node, identity)
             fields[name] = enc
             nbytes += b
         return ("I", obj.class_name, fields), nbytes
@@ -137,7 +187,7 @@ def encode_object_shallow(obj: Any, owner_node: str) -> Tuple[Any, int]:
         nbytes = OBJECT_HEADER_BYTES
         if obj.kind == "ref":
             for v in obj.data:
-                enc, b = encode_value(v, owner_node)
+                enc, b = encode_value(v, owner_node, identity)
                 elems.append(enc)
                 nbytes += b
         else:

@@ -21,8 +21,12 @@ class Request:
     ``kind`` is ``"request"`` for an admitted guest-program invocation
     and ``"segment"`` for the worker-side half of a SOD offload (the
     migrated top frames executing remotely on behalf of a parent
-    request).  Segments are scheduled like requests but are never
-    themselves offloaded and never counted as served.
+    request).  Segments are scheduled like requests and are never
+    counted as served; under a policy with ``max_seg_hops > 0`` a hot
+    worker may re-offload one along a Fig. 1c chain (each hop is a
+    fresh segment request for the same parent — ``hops`` counts the
+    chain length, reusing the pre-start handoff counter, which
+    segments never use).
     """
 
     rid: int

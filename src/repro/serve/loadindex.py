@@ -277,37 +277,161 @@ def naive_pick(index: LoadIndex, src: str, src_load: float,
     return cand[1]
 
 
+class StreamingQuantile:
+    """O(1)-space streaming quantile estimator (the P² algorithm,
+    Jain & Chlamtac 1985).
+
+    Five markers track the running ``p``-quantile without storing the
+    sample; below five observations the exact linearly-interpolated
+    quantile of the stored prefix is returned.  Fully deterministic —
+    the same observation sequence always yields the same estimate —
+    so scheduler runs replay bit-identically."""
+
+    __slots__ = ("p", "n", "q", "pos", "want", "_seed")
+
+    def __init__(self, p: float = 0.75):
+        self.p = p
+        self.n = 0
+        self._seed: List[float] = []
+        self.q: List[float] = []
+        self.pos: List[int] = []
+        self.want: List[float] = []
+
+    def observe(self, x: float) -> None:
+        self.n += 1
+        if self.q:
+            self._update(x)
+            return
+        self._seed.append(float(x))
+        if len(self._seed) < 5:
+            return
+        # Transition to marker mode: the five samples become markers.
+        self._seed.sort()
+        p = self.p
+        self.q = list(self._seed)
+        self.pos = [1, 2, 3, 4, 5]
+        self.want = [1.0, 1 + 2 * p, 1 + 4 * p, 3 + 2 * p, 5.0]
+        self._seed = []
+
+    def _update(self, x: float) -> None:
+        q, pos = self.q, self.pos
+        p = self.p
+        if x < q[0]:
+            q[0] = x
+            k = 0
+        elif x >= q[4]:
+            q[4] = max(q[4], x)
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= q[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        want = self.want
+        want[1] += p / 2
+        want[2] += p
+        want[3] += (1 + p) / 2
+        want[4] += 1
+        # Adjust interior markers toward their desired positions.
+        for i in (1, 2, 3):
+            d = want[i] - pos[i]
+            if (d >= 1 and pos[i + 1] - pos[i] > 1) or \
+                    (d <= -1 and pos[i - 1] - pos[i] < -1):
+                d = 1 if d > 0 else -1
+                cand = self._parabolic(i, d)
+                if q[i - 1] < cand < q[i + 1]:
+                    q[i] = cand
+                else:
+                    q[i] = q[i] + d * (q[i + d] - q[i]) / (pos[i + d]
+                                                          - pos[i])
+                pos[i] += d
+
+    def _parabolic(self, i: int, d: int) -> float:
+        q, n = self.q, self.pos
+        return q[i] + d / (n[i + 1] - n[i - 1]) * (
+            (n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+            + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+
+    def estimate(self) -> Optional[float]:
+        """Current quantile estimate (None before any observation)."""
+        if self.q:
+            return self.q[2]
+        if not self._seed:
+            return None
+        xs = sorted(self._seed)
+        if len(xs) == 1:
+            return xs[0]
+        r = self.p * (len(xs) - 1)
+        lo = int(r)
+        frac = r - lo
+        if lo + 1 >= len(xs):
+            return xs[-1]
+        return xs[lo] + frac * (xs[lo + 1] - xs[lo])
+
+
 class WorkProfile:
     """Online per-program cost profile for offload victim selection.
 
-    Tracks the running mean instructions-per-request of each program,
-    learned from completed requests (segment work is credited back to
-    the parent, so the mean covers the whole request even when parts
-    ran remotely).  ``remaining(req)`` estimates how much work a
-    running request still has; the offload policies use it to stop
-    shipping deep-but-nearly-done threads whose residual work is worth
-    less than the migration itself."""
+    Learns from completed requests (segment work is credited back to
+    the parent, so the profile covers the whole request even when parts
+    ran remotely).  Two statistics per program:
+
+    * the running **mean** instructions-per-request (reporting,
+      ablations);
+    * a streaming **P75** (:class:`StreamingQuantile`), which is what
+      ``remaining()`` budgets against.  On bimodal mixes — the same
+      program cheap for most arguments, expensive for a tail — the
+      mean sits uselessly between the modes and vetoes threads from
+      the expensive mode as "nearly done" when most of their work is
+      still ahead; the 75th percentile keeps the heavy mode
+      offloadable while still fencing off genuinely-finishing threads.
+
+    ``remaining(req)`` estimates how much work a running request (or a
+    migrated segment of one — work done on the parent's behalf counts)
+    still has; the offload policies use it to stop shipping
+    deep-but-nearly-done threads whose residual work is worth less
+    than the migration itself."""
+
+    #: quantile the remaining-work budget is measured against
+    QUANTILE = 0.75
 
     def __init__(self) -> None:
         self._mean: Dict[str, float] = {}
         self._count: Dict[str, int] = {}
+        self._quant: Dict[str, StreamingQuantile] = {}
 
     def observe(self, program: str, instrs: int) -> None:
-        """Fold one completed request's instruction count into the mean."""
+        """Fold one completed request's instruction count in."""
         c = self._count.get(program, 0) + 1
         m = self._mean.get(program, 0.0)
         self._count[program] = c
         self._mean[program] = m + (instrs - m) / c
+        sq = self._quant.get(program)
+        if sq is None:
+            sq = self._quant[program] = StreamingQuantile(self.QUANTILE)
+        sq.observe(instrs)
 
     def mean(self, program: str) -> Optional[float]:
         return self._mean.get(program)
 
+    def p75(self, program: str) -> Optional[float]:
+        sq = self._quant.get(program)
+        return sq.estimate() if sq is not None else None
+
     def remaining(self, req) -> Optional[float]:
-        """Estimated instructions left in ``req``; None when the program
-        has no profile yet (no request of it has completed)."""
-        if req.spec is None:
+        """Estimated instructions left in ``req``, measured against the
+        program's P75 cost; None when the program has no profile yet.
+        For a migrated segment, the work already done spans the
+        parent's pre-offload quanta plus the segment's own."""
+        spec = req.spec
+        done = req.instrs
+        if spec is None and req.parent is not None:
+            spec = req.parent.spec
+            done += req.parent.instrs
+        if spec is None:
             return None
-        m = self._mean.get(req.spec.program)
-        if m is None:
+        budget = self.p75(spec.program)
+        if budget is None:
             return None
-        return max(0.0, m - req.instrs)
+        return max(0.0, budget - done)

@@ -176,6 +176,12 @@ class OffloadPolicy:
             finishes at home sooner than its capture+transfer+restore
             would take.  Programs with no profile yet are always
             eligible (fall back to the depth rule).
+        max_seg_hops: chain hops a migrated *segment* may take beyond
+            its first offload (the paper's Fig. 1c): an overloaded
+            worker re-offloads a preempted segment onward, still
+            anchored to the home node (completion returns directly,
+            never back through the chain).  0 keeps the single-hop
+            scheduler.
     """
 
     min_depth: int = 4
@@ -185,6 +191,15 @@ class OffloadPolicy:
     depth_threshold: float = 2.0
     min_gap: float = 2.0
     min_remaining_quanta: float = 1.0
+    max_seg_hops: int = 0
+    #: a chain hop re-pays capture + wire + restore for work that was
+    #: already moved once, so it must clear a higher bar than a first
+    #: offload: the hop node this much hotter than ``depth_threshold``,
+    #: the target this much lighter than ``min_gap`` alone, and the
+    #: remaining work worth this many times the first-offload minimum
+    rehop_threshold_mult: float = 2.0
+    rehop_gap_extra: float = 2.0
+    rehop_remaining_mult: float = 2.0
 
     def handoff_target(self, sched, node: str) -> Optional[str]:
         load = weighted_load(sched, node, extra=1)
@@ -206,6 +221,35 @@ class OffloadPolicy:
 
     def offload_target(self, sched, node: str, req) -> Optional[str]:
         return None
+
+    def rehop_ok(self, sched, seg) -> bool:
+        """Is a preempted segment worth moving another hop?  Its chain
+        budget must allow it, and its estimated remaining work —
+        parent's pre-offload quanta plus the segment's own, counted
+        against the program's P75 — must justify re-paying
+        capture + transfer + restore (a stiffer bar than the first
+        offload's: ``rehop_remaining_mult``)."""
+        if seg.kind != "segment" or seg.hops >= self.max_seg_hops:
+            return False
+        remaining = sched.profile.remaining(seg)
+        if (remaining is not None
+                and remaining < self.rehop_remaining_mult
+                * self.min_remaining_quanta * sched.quantum):
+            sched.stats["victim_vetoes"] += 1
+            return False
+        return True
+
+    def rehop_target(self, sched, node: str, seg) -> Optional[str]:
+        """Where a Fig. 1c chain continues: the same gossip-digest pick
+        the other decisions ride (O(log n)); None when this hop is not
+        hot enough or no target light enough to clear the chain bar."""
+        if self.max_seg_hops <= 0 or not self.rehop_ok(sched, seg):
+            return None
+        load = weighted_load(sched, node, extra=1)
+        if load < self.rehop_threshold_mult * self.depth_threshold:
+            return None
+        return sched.pick_underloaded(
+            node, load, self.min_gap + self.rehop_gap_extra)
 
 
 @dataclass

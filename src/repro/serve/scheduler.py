@@ -164,7 +164,7 @@ class ClusterScheduler:
             "quanta": 0, "handoffs": 0, "sod_offloads": 0,
             "batched_threads": 0, "offload_aborts": 0, "completions": 0,
             "failed": 0, "decisions": 0, "decision_ops": 0,
-            "victim_vetoes": 0,
+            "victim_vetoes": 0, "seg_rehops": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
@@ -257,7 +257,20 @@ class ClusterScheduler:
             else:  # preempted at a safepoint
                 target = None
                 if policy is not None:
-                    target = policy.offload_target(self, name, req)
+                    if req.kind == "segment":
+                        # Fig. 1c chains: an overloaded worker may push
+                        # a preempted segment another hop — but never
+                        # "onward" to the home that will complete it
+                        # anyway (that is just the completion path).
+                        target = policy.rehop_target(self, name, req)
+                        if (target is not None
+                                and target != req.parent.host_node):
+                            yield env.timeout(
+                                self._seg_rehop(name, req, target))
+                            continue
+                        target = None
+                    else:
+                        target = policy.offload_target(self, name, req)
                 if target is not None:
                     yield env.timeout(self._sod_offload(name, req, target))
                 else:
@@ -436,18 +449,21 @@ class ClusterScheduler:
                 self.stats["batched_threads"] += len(batch)
         except MigrationError:
             # Not capturable right now (finished during the MSP run,
-            # pinned frame, ...): put everything back.
+            # pinned frame, ...): put everything back.  Completion
+            # durations (write-back wire + apply) stay on the node's
+            # virtual bill, like the main loop's done_dt.
             self.stats["offload_aborts"] += 1
+            done_dt = 0.0
             requeue = []
             for r in batch:
                 if r.thread.finished:
-                    self._on_finished(node, r)
+                    done_dt += self._on_finished(node, r)
                 else:
                     r.state = "queued"
                     requeue.append(r)
                     self._bump(node, +1)
             store.put_many(requeue)
-            return machine.clock - t0
+            return machine.clock - t0 + done_dt
         capture_dt = machine.clock - t0
         # Delivery timing: the whole bulk message must land before any
         # restore starts (per-record transfer_time is the bulk evenly
@@ -467,6 +483,52 @@ class ClusterScheduler:
                           host_node=target, nframes=nframes)
             segs.append((seg, restored))
         self._dispatch_bulk(node, target, segs, bulk_wire)
+        return capture_dt
+
+    def _seg_rehop(self, node: str, seg: Request, target: str) -> float:
+        """Move a preempted segment one hop further along a Fig. 1c
+        chain (engine :meth:`~repro.migration.sodee.SODEngine.
+        rehop_segment`): its effects flush to the home first, the whole
+        segment ships to ``target``, and a *new* segment request —
+        same parent, same residual frame count, accumulated work
+        carried over — rides a bulk delivery there.  Completion stays
+        anchored to the home node: when the chain's last hop finishes,
+        results return directly, not back through the chain.
+
+        Returns the source hop's capture time (the node keeps serving
+        while the transfer rides the link)."""
+        home_host = self._host(seg.parent.host_node)
+        src = self._host(node)
+        machine = src.machine
+        t0 = machine.clock
+        try:
+            worker, wt, rec = self.engine.rehop_segment(
+                src, seg.thread, target, home_host)
+        except MigrationError:
+            # Not capturable right now (finished during the MSP run,
+            # pinned frame, cross-home statics at the target...).
+            self.stats["offload_aborts"] += 1
+            done_dt = 0.0
+            if seg.thread.finished:
+                done_dt = self._on_finished(node, seg)
+            else:
+                seg.state = "queued"
+                self._bump(node, +1)
+                self.stores[node].put(seg)
+            return machine.clock - t0 + done_dt
+        capture_dt = machine.clock - t0
+        seg.state = "remote"  # this hop's request object is done
+        seg.parent.sod_offloads += 1
+        self.stats["seg_rehops"] += 1
+        self.stats["sod_offloads"] += 1
+        hop = Request(rid=self._take_rid(), kind="segment",
+                      parent=seg.parent, arrival=self.env.now, thread=wt,
+                      host_node=target, nframes=seg.nframes,
+                      hops=seg.hops + 1, instrs=seg.instrs)
+        self._dispatch_bulk(
+            node, target,
+            [(hop, rec.restore_time + rec.worker_spawn_time)],
+            rec.transfer_time)
         return capture_dt
 
     # -- plumbing ----------------------------------------------------------
@@ -516,6 +578,17 @@ class ClusterScheduler:
             }
         stats = dict(self.stats)
         stats["gossip_rounds"] = self.load_index.gossip_rounds
+        # Migration fast path: bytes the transfer caches kept off the
+        # wire, and object revalidation hits across all workers.
+        stats["bytes_saved"] = self.network.total_saved()
+        stats["reval_hits"] = sum(
+            h.objman.stats.reval_hits for h in self.engine.hosts.values()
+            if h.objman is not None)
+        # Preemption coverage: the worst quantum overshoot any node's VM
+        # saw (instructions past the budget before a safepoint fired).
+        stats["max_quantum_overshoot"] = max(
+            (h.machine.max_quantum_overshoot
+             for h in self.engine.hosts.values()), default=0)
         def pct(p: float) -> float:
             return lat[int(p * (len(lat) - 1))] if lat else 0.0
         return ServeReport(

@@ -51,6 +51,13 @@ class ClassLoader:
     def is_loaded(self, name: str) -> bool:
         return name in self._loaded
 
+    def has_classfile(self, name: str) -> bool:
+        """Whether ``name`` is already on this VM's classpath (defined
+        locally or fetched earlier) — the migration fast path's class
+        cache: class files are immutable once defined, so presence
+        means a sender can ship a digest token instead of the bytes."""
+        return name in self._classpath
+
     def loaded_classes(self) -> Dict[str, VMClass]:
         """Snapshot of linked classes (name -> VMClass)."""
         return dict(self._loaded)

@@ -136,6 +136,10 @@ class Machine:
         self.clock = 0.0
         #: executed instruction count
         self.instr_count = 0
+        #: worst scheduler-quantum overshoot seen (instructions executed
+        #: beyond the budget before a safepoint poll fired) — the
+        #: fairness-coverage meter for leaf-method straight-line tails
+        self.max_quantum_overshoot = 0
         #: guest console output lines
         self.stdout: List[str] = []
         #: breakpoints: (class_name, method_name, bci)
@@ -290,6 +294,10 @@ class Machine:
                                   self.instr_count - start_count, quantum)
         finally:
             self.current_thread = prev_thread
+            if quantum is not None:
+                over = (self.instr_count - start_count) - quantum
+                if over > self.max_quantum_overshoot:
+                    self.max_quantum_overshoot = over
 
     # -- the fast loop -----------------------------------------------------------
 

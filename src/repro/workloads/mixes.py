@@ -162,4 +162,18 @@ MIXES: Dict[str, RequestMix] = {
         ("Fib", (17,), 1.0),
         ("QS", (400,), 1.0),
     ),
+    # Offload-heavy: uniformly heavy, deep-stacked requests (~100-250k
+    # instructions, dozens of quanta each) — nearly every thread lives
+    # long enough to be worth shipping, so migration transfer cost is
+    # the dominant overhead.  The migration fast-path benchmark runs
+    # this through a single front door: elasticity comes entirely from
+    # SOD offloads (and, with max_seg_hops > 0, Fig. 1c chains).
+    "offload": _mix(
+        "offload",
+        "uniformly heavy deep requests; migration cost dominates",
+        ("Fib", (16,), 3.0),
+        ("QS", (400,), 2.0),
+        ("Primes", (600,), 2.0),
+        ("NQ", (6,), 1.0),
+    ),
 }

@@ -112,12 +112,17 @@ class FuzzProgram:
 # -- generation ----------------------------------------------------------------
 
 
+#: float clamp modulus: a non-integral constant so float identity is
+#: exercised (fmod keeps loop-carried floats bounded, away from inf/nan)
+FCLAMP = "829.25"
+
 class _Ctx:
     """Per-method scope tracking: what names an expression may use."""
 
     def __init__(self, rng: random.Random, callable_methods: List[str]):
         self.rng = rng
         self.ints: List[str] = ["a", "b"]
+        self.floats: List[str] = []       # declared float vars
         self.arrays: List[Tuple[str, int]] = []  # (name, length)
         self.boxes: List[str] = []        # initialized Box vars
         self.null_boxes: List[str] = []   # vars that may hold null
@@ -177,10 +182,46 @@ def _expr(ctx: _Ctx, depth: int) -> str:
     return f"({_expr(ctx, depth - 1)} {op} {_expr(ctx, depth - 1)})"
 
 
+def _fexpr(ctx: _Ctx, depth: int) -> str:
+    """A float-valued expression.  Division and modulo only ever see
+    non-zero *constant* right-hand sides (a float zero-divide is a host
+    error, not a guest exception), and every loop-carried assignment is
+    fmod-clamped, so values stay finite and the differential compares
+    exact float results across interpreters."""
+    rng = ctx.rng
+    roll = rng.random()
+    if depth <= 0 or roll < 0.30:
+        return f"{rng.randint(-12, 40)}.{rng.choice(('0', '25', '5', '75'))}"
+    if roll < 0.55 and ctx.floats:
+        return rng.choice(ctx.floats)
+    if roll < 0.65:
+        return rng.choice(ctx.ints)  # int operands promote in mixed ops
+    if roll < 0.75:
+        denom = f"{rng.randint(1, 9)}.{rng.choice(('5', '25'))}"
+        return f"({_fexpr(ctx, depth - 1)} / {denom})"
+    op = rng.choice(("+", "-", "*"))
+    return f"({_fexpr(ctx, depth - 1)} {op} {_fexpr(ctx, depth - 1)})"
+
+
+def _float_stmt(ctx: _Ctx) -> str:
+    """Declare a fresh float, or fold into an existing one (clamped)."""
+    rng = ctx.rng
+    if not ctx.floats or rng.random() < 0.5:
+        var = ctx.fresh("f")
+        text = f"float {var} = {_fexpr(ctx, 2)};"
+        ctx.floats.append(var)
+        return text
+    var = rng.choice(ctx.floats)
+    return f"{var} = ({_fexpr(ctx, 2)}) % {FCLAMP};"
+
+
 def _cond(ctx: _Ctx) -> str:
     rng = ctx.rng
     op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
-    c = f"{_expr(ctx, 1)} {op} {_expr(ctx, 1)}"
+    if ctx.floats and rng.random() < 0.15:
+        c = f"{rng.choice(ctx.floats)} {op} {_fexpr(ctx, 1)}"
+    else:
+        c = f"{_expr(ctx, 1)} {op} {_expr(ctx, 1)}"
     if rng.random() < 0.2:
         glue = rng.choice(("&&", "||"))
         c = f"{c} {glue} {_expr(ctx, 1)} {rng.choice(('<', '>'))} " \
@@ -263,13 +304,18 @@ def _stmt(ctx: _Ctx) -> str:
         ctx.vobjs.append(var)
         return (f"V {var} = new {cls}();\n"
                 f"{var}.tag = {_expr(ctx, 1)};")
-    if roll < 0.62:
+    if roll < 0.58:
+        text = _float_stmt(ctx)
+        if rng.random() < 0.3 and ctx.floats:
+            text += f'\nSys.print("fv=" + {rng.choice(ctx.floats)});'
+        return text
+    if roll < 0.66:
         return (f"if ({_cond(ctx)}) {{\n"
                 f"  {_simple_stmt(ctx, clamp=False)}\n"
                 f"}} else {{\n"
                 f"  {_simple_stmt(ctx, clamp=False)}\n"
                 f"}}")
-    if roll < 0.70:
+    if roll < 0.73:
         return _switch_stmt(ctx)
     if roll < 0.82:
         i = ctx.fresh("i")
@@ -521,6 +567,134 @@ def migration_divergence(source: str, args: Tuple[int, int],
         if a != b:
             return (f"[mig cut={cut} nframes={nframes}] {what}: "
                     f"legacy={a!r} migrated={b!r}")
+    return None
+
+
+def multihop_divergence(source: str, args: Tuple[int, int],
+                        seed: int) -> Optional[str]:
+    """Differentially check a Fig. 1c *multi-hop chain* at seeded-random
+    capture points.
+
+    The program freezes at a random cut, its top frames migrate
+    home -> node1, the segment runs a random slice there, then re-hops
+    node1 -> node2 (and, half the time, node2 -> node3) with its effects
+    flushed home at each hop; the final hop runs to completion and the
+    results return *directly home* (never back through the chain).
+    Result / uncaught class / interleaved stdout must match the
+    straight-line oracle.
+    """
+    import random as _random
+
+    from repro.cluster import gige_cluster
+    from repro.migration import SODEngine
+    from repro.migration.segments import max_migratable
+
+    try:
+        classes = preprocess_program(compile_source(source), "faulting")
+    except CompileError as exc:
+        return f"generator produced invalid program: {exc}"
+
+    oracle = Machine(classes, dispatch="legacy")
+    thread = oracle.spawn("G", "main", list(args))
+    if oracle.run(thread, max_instrs=MIG_MAX_INSTRS) == "limit":
+        return SKIPPED
+    ref_err = None
+    if thread.uncaught is not None:
+        ref_err = (thread.uncaught.class_name,
+                   thread.uncaught.fields.get("msg"))
+    ref = (thread.result, ref_err, tuple(oracle.stdout))
+    total = oracle.instr_count
+    if total < 40:
+        return SKIPPED  # too little to slice into chain hops
+
+    rng = _random.Random(f"minilang-mhop:{seed}")
+    cut = rng.randint(10, total - 1)
+    eng = SODEngine(gige_cluster(4), classes)
+    home = eng.host("node0")
+    t = eng.spawn(home, "G", "main", list(args))
+    eng.run(home, t, max_instrs=cut)
+    if t.finished:
+        err = None
+        if t.uncaught is not None:
+            err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+        got = (t.result, err, tuple(home.machine.stdout))
+        if got != ref:
+            return f"[mhop/pre-capture] legacy={ref!r} engine={got!r}"
+        return None
+
+    nmax = min(max_migratable(t), t.depth() - 1)
+    if nmax < 1:
+        return SKIPPED
+    nframes = rng.randint(1, nmax)
+    try:
+        worker, wt, _rec = eng.migrate(home, t, "node1", nframes)
+    except MigrationError:
+        return SKIPPED
+    pre = len(home.machine.stdout)
+
+    # Chain of 2-3 hops: run a random slice on each intermediate hop,
+    # then push the (whole) segment onward, anchored to home.
+    hops = ["node2"] + (["node3"] if rng.random() < 0.5 else [])
+    chain = [worker]
+    for dst in hops:
+        slice_instrs = rng.randint(1, max(1, total // 2))
+        eng.run(worker, wt, max_instrs=slice_instrs)
+        if wt.finished:
+            break
+        try:
+            worker, wt, _rec = eng.rehop_segment(worker, wt, dst, home)
+        except MigrationError:
+            eng.abandon_segment(worker, wt)
+            return SKIPPED
+        chain.append(worker)
+    if not wt.finished:
+        eng.run(worker, wt)
+    if wt.uncaught is not None:
+        # Residual frames at home may hold the matching handler, which
+        # direct segment completion does not model.
+        eng.abandon_segment(worker, wt)
+        return SKIPPED
+    eng.complete_segment(worker, wt, home, t, nframes)
+    eng.run(home, t)
+    err = None
+    if t.uncaught is not None:
+        err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+    stdout = tuple(home.machine.stdout[:pre])
+    for hop_host in chain:
+        stdout += tuple(hop_host.machine.stdout)
+    stdout += tuple(home.machine.stdout[pre:])
+    got = (t.result, err, stdout)
+    for what, a, b in zip(("result", "uncaught", "stdout"), ref, got):
+        if a != b:
+            return (f"[mhop cut={cut} nframes={nframes} "
+                    f"chain={[h.node_name for h in chain]}] {what}: "
+                    f"legacy={a!r} migrated={b!r}")
+    return None
+
+
+def run_multihop_fuzz(base_seed: int, count: int) -> Optional[str]:
+    """Fuzz the multi-hop re-offload path over ``count`` generated
+    programs.  Returns None, or a failure report with the minimized
+    program."""
+    checked = 0
+    for i in range(count):
+        seed = base_seed + i
+        prog = generate(seed)
+        source = prog.render()
+        diff = multihop_divergence(source, prog.main_args, seed)
+        if diff == SKIPPED:
+            continue
+        checked += 1
+        if diff is not None:
+            small = shrink(
+                prog,
+                check=lambda s, a: multihop_divergence(s, a, seed))
+            return (f"multi-hop divergence at seed={seed} "
+                    f"args={prog.main_args}:\n{diff}\n"
+                    f"--- minimized program ---\n{small.render()}\n")
+    if checked == 0:
+        return (f"multi-hop fuzz checked 0/{count} programs "
+                f"(every capture point skipped) — generator drift?")
     return None
 
 

@@ -178,14 +178,65 @@ def test_work_profile_running_mean_and_remaining():
         prof.observe("Fib", instrs)
     assert prof.mean("Fib") == pytest.approx(2000.0)
     assert prof.mean("NQ") is None
+    # remaining budgets against the P75, not the mean (interpolated
+    # exactly while the sample is small)
+    assert prof.p75("Fib") == pytest.approx(2500.0)
 
     class Spec:
         program = "Fib"
     req = Request(rid=1, spec=Spec())
     req.instrs = 500
-    assert prof.remaining(req) == pytest.approx(1500.0)
-    req.instrs = 5000  # past the mean: clamped, never negative
+    assert prof.remaining(req) == pytest.approx(2000.0)
+    req.instrs = 5000  # past the budget: clamped, never negative
     assert prof.remaining(req) == 0.0
+
+
+def test_work_profile_segment_remaining_spans_parent_work():
+    """A migrated segment has no spec of its own: its remaining work is
+    the parent program's budget minus work done on both sides of the
+    offload."""
+    prof = WorkProfile()
+    for _ in range(8):
+        prof.observe("Fib", 10_000)
+
+    class Spec:
+        program = "Fib"
+    parent = Request(rid=1, spec=Spec())
+    parent.instrs = 4000
+    seg = Request(rid=2, kind="segment", parent=parent)
+    seg.instrs = 2500
+    assert prof.remaining(seg) == pytest.approx(3500.0)
+
+
+def test_work_profile_p75_tracks_bimodal_mixes():
+    """ROADMAP "work-profile variance": a program whose cost is bimodal
+    (cheap common case, expensive tail) must not have its expensive
+    requests vetoed as nearly-done.  The running mean sits between the
+    modes; the streaming P75 sits at the heavy mode, so a heavy request
+    midway through keeps a large remaining-work estimate."""
+    prof = WorkProfile()
+    light, heavy = 1_000, 100_000
+    for i in range(60):
+        prof.observe("Bi", light if i % 2 == 0 else heavy)
+    mean = prof.mean("Bi")
+    p75 = prof.p75("Bi")
+    assert mean == pytest.approx((light + heavy) / 2, rel=0.05)
+    assert p75 > 0.9 * heavy  # the estimator sits at the heavy mode
+
+    class Spec:
+        program = "Bi"
+    req = Request(rid=3, spec=Spec())
+    req.instrs = 60_000  # a heavy request, just past the mean
+    # mean-based budgeting would call this finished (veto misfire);
+    # P75 budgeting sees the real residual work
+    assert mean - req.instrs < 0
+    assert prof.remaining(req) > 30_000
+
+    # deterministic: the same stream replays to the same estimate
+    prof2 = WorkProfile()
+    for i in range(60):
+        prof2.observe("Bi", light if i % 2 == 0 else heavy)
+    assert prof2.p75("Bi") == p75
 
 
 def test_victim_vetoes_spare_nearly_done_threads():

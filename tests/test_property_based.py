@@ -256,14 +256,15 @@ def test_minilang_fuzz_differential_fast_vs_legacy():
 
 def test_minilang_fuzz_generates_switch_and_virtual_dispatch():
     """The generator actually reaches the new grammar: a window of the
-    seeded stream must contain switch statements and V-hierarchy
-    objects (guards against probability-band drift silently turning
-    the new coverage off)."""
+    seeded stream must contain switch statements, V-hierarchy objects,
+    and float arithmetic (guards against probability-band drift
+    silently turning the new coverage off)."""
     from minilang_fuzz import generate
 
     sources = [generate(FUZZ_SEED + i).render() for i in range(40)]
     assert sum("switch (" in s for s in sources) >= 5
     assert sum("new VA()" in s or "new VB()" in s for s in sources) >= 5
+    assert sum("float f" in s for s in sources) >= 5
 
 
 def test_minilang_fuzz_migration_at_random_capture_points():
@@ -277,4 +278,18 @@ def test_minilang_fuzz_migration_at_random_capture_points():
 
     count = int(os.environ.get("REPRO_FUZZ_MIG_COUNT", "60"))
     failure = run_migration_fuzz(FUZZ_SEED, count)
+    assert failure is None, failure
+
+
+def test_minilang_fuzz_multihop_chains_at_random_capture_points():
+    """Differential fuzz of the Fig. 1c *multi-hop* path: each program
+    freezes at a seeded-random cut, migrates home -> node1, runs a
+    random slice, re-hops node1 -> node2 (sometimes -> node3) with
+    effects flushed home at every hop, completes directly home, and
+    the final result/uncaught/stdout must match the straight-line
+    oracle."""
+    from minilang_fuzz import run_multihop_fuzz
+
+    count = int(os.environ.get("REPRO_FUZZ_MHOP_COUNT", "40"))
+    failure = run_multihop_fuzz(FUZZ_SEED, count)
     assert failure is None, failure

@@ -1,0 +1,530 @@
+"""The migration fast path: delta captures, per-(home, worker) transfer
+caches, object revalidation, and multi-hop re-offload chains.
+
+The load-bearing test is the delta-capture property test: across
+randomized mutation/offload schedules, a cache-enabled engine must
+leave every worker and home in exactly the state a from-scratch
+full-capture engine produces (the oracle pattern of
+``tests/test_load_index.py``), while moving strictly fewer bytes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cluster import gige_cluster
+from repro.errors import MigrationError
+from repro.lang import compile_source
+from repro.migration import SODEngine
+from repro.migration.capture import capture_segment, run_to_msp
+from repro.migration.sodee import CLASS_TOKEN_BYTES
+from repro.migration.state import is_cached_marker
+from repro.preprocess import preprocess_program
+from repro.vm.machine import Machine
+from repro.vm.values import RemoteRef
+
+#: statics-bearing guest program whose segment mutates part of the
+#: static state each run (s1 always, s2 only for odd n) and reads a
+#: home object — every cache layer gets exercised
+SRC = """
+class D { int v; }
+class P {
+  static int s0;
+  static int s1;
+  static int s2;
+  static str tag;
+  static int work(D d, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + P.s0 + d.v + i) % 100003;
+    }
+    P.s1 = P.s1 + n;
+    if (n % 2 == 1) { P.s2 = P.s2 + 1; }
+    d.v = d.v + 1;
+    return acc;
+  }
+  static int main(int n) { return 0; }
+}
+"""
+
+
+def _classes():
+    return preprocess_program(compile_source(SRC), "faulting")
+
+
+def _spawn_at_msp(eng, home, d, n):
+    t = eng.spawn(home, "P", "work", [d, n])
+    run_to_msp(home.machine, t)
+    return t
+
+
+def _home_statics(host):
+    cls = host.machine.loader.load("P")
+    return {f: cls.statics[f] for f in ("s0", "s1", "s2", "tag")}
+
+
+# -- the property test: delta ≡ from-scratch full capture ----------------------
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_delta_capture_equals_full_capture_over_random_schedule(seed):
+    """Drive two engines — transfer cache on vs. off — through an
+    identical randomized schedule of home-side static/object mutations
+    and offloads to varying workers.  After every completed segment:
+
+    * both homes hold identical static and object state;
+    * both segments returned identical results;
+    * the cache-enabled worker's *linked* statics equal its home's
+      (the delta markers elided only truly-unchanged values);
+    * and a from-scratch full capture taken at the same freeze point
+      decodes to exactly the primitive statics the delta-restored
+      worker ended up with.
+    """
+    rng = random.Random(f"deltacap:{seed}")
+    engines = [SODEngine(gige_cluster(3), _classes(), transfer_cache=on)
+               for on in (True, False)]
+    homes = [eng.host("node0") for eng in engines]
+    dees = []
+    for home in homes:
+        d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+        d.fields["v"] = 5
+        dees.append(d)
+
+    for step in range(12):
+        op = rng.random()
+        if op < 0.35:
+            # home-side mutation between offloads (the "dirty" source)
+            field = rng.choice(("s0", "s1", "s2"))
+            delta = rng.randint(1, 9)
+            for home in homes:
+                cls = home.machine.loader.load("P")
+                cls.statics[field] = cls.statics[field] + delta
+            if rng.random() < 0.3:
+                tag = f"t{step}"
+                for home in homes:
+                    home.machine.loader.load("P").statics["tag"] = tag
+            if rng.random() < 0.4:
+                for d in dees:
+                    d.fields["v"] = d.fields["v"] + 1
+            continue
+        n = rng.randint(1, 6)
+        dst = rng.choice(("node1", "node2"))
+        results = []
+        for eng, home, d in zip(engines, homes, dees):
+            t = _spawn_at_msp(eng, home, d, n)
+            # oracle: the from-scratch full capture at this freeze point
+            full = capture_segment(home.vmti, t, 1,
+                                   home_node=home.node_name)
+            worker, wt, rec = eng.migrate(home, t, dst, 1)
+            # delta-applied worker statics == full-capture decode
+            wcls = worker.machine.loader.load("P")
+            from repro.migration.state import decode_value
+            for (cname, fname), enc in full.statics.items():
+                want = decode_value(enc)
+                got = wcls.statics[fname]
+                if isinstance(want, RemoteRef):
+                    assert isinstance(got, RemoteRef)
+                    assert (got.home_oid, got.home_node) == \
+                        (want.home_oid, want.home_node)
+                else:
+                    assert got == want, (
+                        f"seed={seed} step={step} {fname}: "
+                        f"delta-applied={got!r} full={want!r}")
+            eng.run(worker, wt)
+            eng.complete_segment(worker, wt, home, t, 1)
+            results.append(t.result)
+        assert results[0] == results[1]
+        assert _home_statics(homes[0]) == _home_statics(homes[1])
+        assert dees[0].fields["v"] == dees[1].fields["v"]
+
+    # the cached engine moved strictly fewer bytes for the same work
+    cached_bytes = engines[0].cluster.network.total_bytes()
+    full_bytes = engines[1].cluster.network.total_bytes()
+    assert cached_bytes < full_bytes
+    assert engines[0].cluster.network.total_saved() > 0
+    # and at least one re-offload actually elided statics
+    assert any(r.cached_statics > 0 for r in engines[0].migrations)
+
+
+def test_unchanged_statics_are_not_restamped():
+    """Epoch observability: a re-offload that ships a static fresh
+    re-stamps it; one that elides it leaves the stamp alone."""
+    eng = SODEngine(gige_cluster(2), _classes())
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+
+    t = _spawn_at_msp(eng, home, d, 2)
+    worker, wt, _ = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+    led = eng.ledger("node0", "node1")
+    stamp_s0 = led.stamp[("P", "s0")]
+    stamp_s1 = led.stamp[("P", "s1")]
+
+    # s0 untouched; s1 was mutated by the segment (write-back restamped
+    # it at completion, and the next capture matches it -> elided too)
+    t = _spawn_at_msp(eng, home, d, 4)  # n=4: s2 untouched as well
+    worker, wt, rec = eng.migrate(home, t, "node1", 1)
+    assert rec.cached_statics >= 3  # s0, s1, s2 all elided
+    assert led.stamp[("P", "s0")] == stamp_s0
+    assert led.stamp[("P", "s1")] == stamp_s1
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+
+    # home-side mutation forces a fresh ship (and a fresh stamp)
+    home.machine.loader.load("P").statics["s0"] = 999
+    t = _spawn_at_msp(eng, home, d, 2)
+    worker, wt, rec2 = eng.migrate(home, t, "node1", 1)
+    assert led.stamp[("P", "s0")] > stamp_s0
+    assert worker.machine.loader.load("P").statics["s0"] == 999
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+
+
+def test_abandoned_segment_invalidates_its_static_ledger_entries():
+    """A segment that dies after writing statics never ships them home:
+    the worker's cells have forked, so the ledger entries must go —
+    otherwise the next delta capture would elide a value the worker no
+    longer holds."""
+    eng = SODEngine(gige_cluster(2), _classes())
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+
+    t = _spawn_at_msp(eng, home, d, 3)
+    worker, wt, _ = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt, max_instrs=60)  # partway: s1 already written?
+    # force the dirty-static situation deterministically
+    worker.machine.loader.load("P").statics["s1"] = 12345
+    worker.objman._on_write(worker.machine.loader.load("P"))
+    eng.abandon_segment(worker, wt)
+    led = eng.ledger("node0", "node1")
+    assert ("P", "s1") not in led.statics
+
+    # the next offload ships s1 in full and the worker converges again
+    t2 = _spawn_at_msp(eng, home, d, 2)
+    worker, wt2, _rec = eng.migrate(home, t2, "node1", 1)
+    assert worker.machine.loader.load("P").statics["s1"] \
+        == home.machine.loader.load("P").statics["s1"]
+    eng.run(worker, wt2)
+    eng.complete_segment(worker, wt2, home, t2, 1)
+
+
+def test_forked_worker_cell_heals_on_delta_restore():
+    """A marker is a *claim* the worker still holds the ledgered value;
+    restore verifies it.  If something forked the cell behind the
+    ledger's back (e.g. a local guest thread wrote a static between
+    segment episodes, barrier disarmed), the fallback fetches the true
+    value from the home instead of trusting the marker."""
+    eng = SODEngine(gige_cluster(2), _classes())
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+
+    t = _spawn_at_msp(eng, home, d, 2)
+    worker, wt, _ = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+
+    # fork the worker's cell without any tracked write (ledger unaware)
+    worker.machine.loader.load("P").statics["s0"] = -777
+    assert home.machine.loader.load("P").statics["s0"] != -777
+
+    t2 = _spawn_at_msp(eng, home, d, 4)
+    worker, wt2, rec = eng.migrate(home, t2, "node1", 1)
+    assert rec.cached_statics > 0  # the capture still elided s0...
+    # ...but the restore detected the fork and healed from the home
+    assert worker.machine.loader.load("P").statics["s0"] \
+        == home.machine.loader.load("P").statics["s0"]
+    eng.run(worker, wt2)
+    eng.complete_segment(worker, wt2, home, t2, 1)
+    assert worker.machine.loader.load("P").statics["s0"] != -777
+
+
+# -- class tokens --------------------------------------------------------------
+
+
+def test_repeat_offload_ships_class_token_not_class():
+    eng = SODEngine(gige_cluster(2), _classes())
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+
+    t = _spawn_at_msp(eng, home, d, 3)
+    worker, wt, rec1 = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+    assert not rec1.cached_class
+    assert rec1.class_bytes > CLASS_TOKEN_BYTES
+
+    t = _spawn_at_msp(eng, home, d, 3)
+    worker, wt, rec2 = eng.migrate(home, t, "node1", 1)
+    assert rec2.cached_class
+    assert rec2.class_bytes == CLASS_TOKEN_BYTES
+    assert rec2.saved_bytes >= rec1.class_bytes - CLASS_TOKEN_BYTES
+    assert rec2.transfer_time < rec1.transfer_time
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+
+
+def test_transfer_cache_off_reships_everything():
+    eng = SODEngine(gige_cluster(2), _classes(), transfer_cache=False)
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+    for _ in range(2):
+        t = _spawn_at_msp(eng, home, d, 3)
+        worker, wt, rec = eng.migrate(home, t, "node1", 1)
+        assert not rec.cached_class and rec.cached_statics == 0
+        eng.run(worker, wt)
+        eng.complete_segment(worker, wt, home, t, 1)
+    assert eng.cluster.network.total_saved() == 0
+
+
+# -- object revalidation -------------------------------------------------------
+
+#: the segment reads a chunky home array but never writes it
+READER_SRC = """
+class P {
+  static int read(int[] xs, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + xs[i % 64]) % 100003;
+    }
+    return acc;
+  }
+  static int main(int n) { return 0; }
+}
+"""
+
+
+def _reader_engine():
+    classes = preprocess_program(compile_source(READER_SRC), "faulting")
+    eng = SODEngine(gige_cluster(2), classes)
+    home = eng.host("node0")
+    xs = home.machine.heap.new_array("int", 64, 8)
+    for i in range(64):
+        xs.data[i] = i * 3 + 1
+    return eng, home, xs
+
+
+def _offload_read(eng, home, xs, n=70):
+    t = eng.spawn(home, "P", "read", [xs, n])
+    run_to_msp(home.machine, t)
+    worker, wt, rec = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, 1)
+    return worker, t.result
+
+
+def test_unchanged_object_revalidates_instead_of_reshipping():
+    eng, home, xs = _reader_engine()
+    worker, r1 = _offload_read(eng, home, xs)
+    stats = worker.objman.stats
+    assert stats.faults == 1 and stats.revalidations == 0
+    bytes_after_first = eng.cluster.network.total_bytes()
+
+    worker, r2 = _offload_read(eng, home, xs)
+    assert r2 == r1
+    assert stats.revalidations == 1 and stats.reval_hits == 1
+    assert stats.faults == 1  # no payload re-shipped
+    assert eng.cluster.network.total_saved() > 0
+    second_bytes = eng.cluster.network.total_bytes() - bytes_after_first
+    assert second_bytes < bytes_after_first / 2
+
+
+def test_changed_object_fails_revalidation_and_reships():
+    eng, home, xs = _reader_engine()
+    worker, r1 = _offload_read(eng, home, xs)
+    xs.data[10] = 999_999  # home mutates between offloads
+    worker, r2 = _offload_read(eng, home, xs)
+    stats = worker.objman.stats
+    assert stats.revalidations == 1 and stats.reval_hits == 0
+    assert stats.faults == 2  # fresh payload rode the reply
+    assert r2 != r1  # and the worker really saw the new contents
+
+
+def test_abandoned_dirty_copy_is_never_retained():
+    """A copy whose writes were never shipped home must not survive
+    into the retained cache: home still has the old value, so a
+    revalidation would wrongly bless the forked copy."""
+    eng, home, xs = _reader_engine()
+    t = eng.spawn(home, "P", "read", [xs, 70])
+    run_to_msp(home.machine, t)
+    worker, wt, _rec = eng.migrate(home, t, "node1", 1)
+    eng.run(worker, wt)  # faults the array in (clean)
+    # dirty the fetched copy without any write-back, then abandon
+    copy = worker.objman.cache[(xs.oid, "node0")]
+    copy.data[0] = -1
+    worker.objman._on_write(copy)
+    eng.abandon_segment(worker, wt)
+    assert (xs.oid, "node0") not in worker.objman.retained
+
+    worker2, r = _offload_read(eng, home, xs)
+    assert worker2.objman.stats.reval_hits == 0  # full re-fetch happened
+    assert xs.data[0] != -1  # the forked write never leaked home
+
+
+# -- multi-hop chains (engine level) -------------------------------------------
+
+CHAIN_SRC = """
+class D { int v; }
+class P {
+  static int s0;
+  static int outer(D d, int n) { return P.inner(d, n) + P.s0; }
+  static int inner(D d, int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + d.v + i) % 100003;
+      P.s0 = P.s0 + 1;
+    }
+    d.v = d.v + n;
+    return acc;
+  }
+  static int main(int n) { return 0; }
+}
+"""
+
+
+def _chain_classes():
+    return preprocess_program(compile_source(CHAIN_SRC), "faulting")
+
+
+def _chain_oracle(n, v0, s0):
+    m = Machine(_chain_classes(), dispatch="legacy")
+    cls = m.loader.load("P")
+    cls.statics["s0"] = s0
+    d = m.heap.new_instance(m.loader.load("D"))
+    d.fields["v"] = v0
+    t = m.spawn("P", "outer", [d, n])
+    m.run(t)
+    return t.result, cls.statics["s0"], d.fields["v"]
+
+
+def test_rehop_segment_completes_directly_home():
+    """home -> node1 -> node2: the chain's last hop completes straight
+    to the home (value delivered, statics and object effects applied),
+    and the intermediate hop is left clean (epoch released, write
+    barrier disarmed)."""
+    want, want_s0, want_v = _chain_oracle(6, 10, 3)
+
+    eng = SODEngine(gige_cluster(3), _chain_classes())
+    home = eng.host("node0")
+    home.machine.loader.load("P").statics["s0"] = 3
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+    d.fields["v"] = 10
+    t = eng.spawn(home, "P", "outer", [d, 6])
+    # freeze inside inner(), two frames migratable above main-entry
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "inner"
+            and th.frames[-1].pc in th.frames[-1].code.msps)
+
+    worker1, wt, _ = eng.migrate(home, t, "node1", 2)
+    eng.run(worker1, wt, max_instrs=25)  # partial progress on hop 1
+    assert not wt.finished
+    worker2, wt2, rec = eng.rehop_segment(worker1, wt, "node2", home)
+    assert rec.src == "node1" and rec.dst == "node2"
+    # hop 1 is clean: no epochs, no dirt, fast dispatch restored
+    assert not worker1.objman.thread_home
+    assert worker1.machine.on_write is None
+    eng.run(worker2, wt2)
+    eng.complete_segment(worker2, wt2, home, t, 2)
+    eng.run(home, t)
+
+    assert t.result == want
+    assert home.machine.loader.load("P").statics["s0"] == want_s0
+    assert d.fields["v"] == want_v
+
+
+def test_rehop_forwards_fetched_copies_to_true_home():
+    """After a chain hop, the next hop's faults go to the object's real
+    home, not to the intermediate hop (no proxy chains)."""
+    eng = SODEngine(gige_cluster(3), _chain_classes())
+    home = eng.host("node0")
+    d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+    d.fields["v"] = 4
+    t = eng.spawn(home, "P", "outer", [d, 5])
+    eng.run(home, t, stop=lambda th: th.frames[-1].code.name == "inner"
+            and th.frames[-1].pc in th.frames[-1].code.msps)
+    worker1, wt, _ = eng.migrate(home, t, "node1", 2)
+    eng.run(worker1, wt, max_instrs=40)  # faults d in on node1
+    if wt.finished:  # pragma: no cover - schedule drift guard
+        pytest.skip("segment finished before the hop")
+    home_served_before = home.server.requests
+    worker2, wt2, _ = eng.rehop_segment(worker1, wt, "node2", home)
+    eng.run(worker2, wt2)
+    # node2's faults for d went to node0 (the home), not node1
+    assert home.server.requests > home_served_before
+    assert all(node == "node0"
+               for (_oid, node) in worker2.objman.home_identity.values())
+    eng.complete_segment(worker2, wt2, home, t, 2)
+    eng.run(home, t)
+    assert t.uncaught is None
+
+
+# -- multi-hop chains (scheduler level) ----------------------------------------
+
+
+def test_scheduler_multihop_chains_serve_correctly():
+    """An offload-heavy front-door run with chains enabled: chains
+    actually fire, every request is served and correct, and the load
+    index drains back to zero (a chain hop leaks no phantom load)."""
+    from repro.cluster import serve_cluster
+    from repro.serve import (ClusterScheduler, FrontDoorPlacement,
+                             LoadGenerator, QueueDepthPolicy)
+    from repro.workloads.mixes import MIXES, serve_classpath
+
+    mix = MIXES["offload"]
+    sched = ClusterScheduler(
+        serve_cluster(6), serve_classpath(mix.programs()),
+        placement=FrontDoorPlacement(),
+        offload=QueueDepthPolicy(max_seg_hops=2))
+    rep = sched.serve(LoadGenerator(mix, 18, seed=7))
+    assert rep.served == rep.correct == 18
+    assert rep.failed == 0 and rep.unserved == 0
+    assert rep.stats["seg_rehops"] > 0
+    assert rep.stats["bytes_saved"] > 0
+    assert all(c == 0 for c in sched.load_index.count.values())
+    assert all(p == 0 for p in sched.pending.values())
+
+
+def test_scheduler_single_hop_default_never_rehops():
+    from repro.serve import QueueDepthPolicy, serve_mix
+
+    rep = serve_mix("offload", n_nodes=6, n_requests=12, seed=7,
+                    placement="front-door", offload=QueueDepthPolicy())
+    assert rep.served == rep.correct == 12
+    assert rep.stats["seg_rehops"] == 0
+
+
+# -- preemption coverage -------------------------------------------------------
+
+
+LEAF_LOOP_SRC = """
+class G {
+  static int main(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + i * 7 + 3) % 100003;
+    }
+    return acc;
+  }
+}
+"""
+
+
+def test_max_quantum_overshoot_is_recorded():
+    """A call-free loop polls only at back-edges: the overshoot is the
+    loop body's tail, bounded and recorded."""
+    classes = preprocess_program(compile_source(LEAF_LOOP_SRC), "original")
+    m = Machine(classes)
+    t = m.spawn("G", "main", [400])
+    assert m.max_quantum_overshoot == 0
+    while m.run(t, quantum=50) == "preempted":
+        pass
+    assert t.finished
+    assert m.max_quantum_overshoot > 0
+    assert m.max_quantum_overshoot < 64  # a handful of fused groups
+
+    rep_overshoot = None
+    from repro.serve import serve_mix
+    rep = serve_mix("parallel", n_nodes=2, n_requests=6, seed=3)
+    rep_overshoot = rep.stats["max_quantum_overshoot"]
+    assert rep_overshoot is not None and rep_overshoot >= 0
