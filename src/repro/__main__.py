@@ -106,14 +106,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy_cls = (ClockPressurePolicy if offload == "clock-pressure"
                       else QueueDepthPolicy)
         offload = policy_cls(max_seg_hops=args.max_seg_hops)
+    admission = None
+    if args.shed_at is not None:
+        from repro.serve import ShedWhenSaturated
+        admission = ShedWhenSaturated(max_node_load=args.shed_at)
     rep = serve_mix(args.mix, n_nodes=args.nodes, n_requests=args.requests,
                     seed=args.seed, quantum=args.quantum,
                     interarrival=args.interarrival,
                     placement=args.placement, offload=offload,
-                    rack_size=args.rack_size, staleness=staleness)
+                    rack_size=args.rack_size, staleness=staleness,
+                    isolation=args.isolation, admission=admission)
+    ok = (rep.correct == rep.served and rep.unserved == 0
+          and rep.failed == 0)
     if args.json:
         print(_json.dumps(rep.to_dict(), indent=2))
-        return 0 if rep.correct == rep.served == rep.submitted else 1
+        return 0 if ok else 1
     print(f"mix={rep.mix} nodes={rep.n_nodes} "
           f"served={rep.served}/{rep.submitted} correct={rep.correct}")
     print(f"makespan={rep.makespan:.4f}s  "
@@ -129,6 +136,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"transfer cache: {s['bytes_saved']} B kept off the wire, "
           f"{s['reval_hits']} object revalidation hits; "
           f"max quantum overshoot {s['max_quantum_overshoot']} instrs")
+    print(f"static isolation: {s['isolated']} requests in per-request "
+          f"namespaces; admission shed {s['shed']}")
     per_dec = s["decision_ops"] / s["decisions"] if s["decisions"] else 0.0
     print(f"decisions={s['decisions']} "
           f"(index ops/decision={per_dec:.1f}) "
@@ -142,7 +151,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         served = [row["served"] for row in rep.per_node.values()]
         print(f"  per-node served: min={min(served)} max={max(served)} "
               f"(use --json for the full breakdown)")
-    return 0 if rep.correct == rep.served == rep.submitted else 1
+    return 0 if ok else 1
 
 
 def _cmd_disasm(args: argparse.Namespace) -> int:
@@ -206,6 +215,16 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--max-seg-hops", type=int, default=0,
                    help="chain hops a migrated segment may take beyond "
                         "its first offload (Fig. 1c; 0 = single-hop)")
+    p.add_argument("--isolation", default="auto",
+                   choices=["auto", "all", "off"],
+                   help="per-request static isolation: auto = fresh "
+                        "class-loader namespace for non-reentrant "
+                        "programs (FFT/TSP), all = every request, "
+                        "off = shared cells (reentrant-only mixes)")
+    p.add_argument("--shed-at", type=float, default=None,
+                   help="front-door admission: shed requests when the "
+                        "gossip digest shows every rack's lightest "
+                        "node at/above this weighted load")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_serve)
 

@@ -109,19 +109,23 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
         class_names.add(code.class_name)
 
     # Statics of the classes the segment references (superclass chains
-    # included): primitives by value, objects as descriptors.  Against a
-    # baseline ledger, values the destination already holds collapse to
-    # fingerprint markers (delta snapshot).
+    # included): primitives by value, objects as descriptors — read
+    # from the thread's own class-loader namespace, whose cells are the
+    # segment's static state.  Against a baseline ledger, values the
+    # destination already holds collapse to fingerprint markers (delta
+    # snapshot).
     known = baseline.statics if baseline is not None else None
+    loader = machine.namespace(thread.namespace)
     statics: Dict[Tuple[str, str], object] = {}
     cached = 0
     saved = 0
     for cname in sorted(class_names):
-        cls = machine.loader.load(cname)
+        cls = loader.load(cname)
         walk = cls
         while walk is not None:
             for fname in walk.statics:
-                value = vmti.get_static(walk.name, fname)
+                value = vmti.get_static(walk.name, fname,
+                                        namespace=thread.namespace)
                 enc, _b = encode_value(value, home_node, identity)
                 key = (walk.name, fname)
                 # Object-valued statics ship as 12-byte descriptors and
@@ -145,4 +149,5 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
     return CapturedState(
         frames=frames, statics=statics, class_names=sorted(class_names),
         home_node=home_node, return_to=return_to or home_node,
-        thread_name=thread.name, cached_statics=cached, saved_bytes=saved)
+        thread_name=thread.name, namespace=thread.namespace,
+        cached_statics=cached, saved_bytes=saved)

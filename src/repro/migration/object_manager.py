@@ -85,12 +85,15 @@ class HomeObjectServer:
 
     def apply_writeback(self, updates: Dict[int, Dict[str, Any]],
                         elem_updates: Dict[int, List[Any]],
-                        static_updates: Dict[Tuple[str, str], Any],
+                        static_updates: Dict[Tuple[Optional[str], str, str],
+                                             Any],
                         graph: Dict[int, Any],
                         return_enc: Any) -> Any:
         """Apply a completed segment's effects: dirty object fields, dirty
-        array contents, dirty statics, plus the (possibly object-valued)
-        return value.  Returns the decoded return value."""
+        array contents, dirty statics (keyed (namespace, class, field) —
+        each lands in the matching class-loader namespace), plus the
+        (possibly object-valued) return value.  Returns the decoded
+        return value."""
         decoder = GraphDecoder(self.machine.heap, self.machine.loader,
                                self.node_name, graph)
         for oid, fields in updates.items():
@@ -105,8 +108,9 @@ class HomeObjectServer:
                 raise MigrationError(f"write-back of elements to non-array #{oid}")
             for i, enc in enumerate(elems):
                 arr.data[i] = decoder.decode(enc, (LOC_ELEM, arr, i))
-        for (cname, fname), enc in static_updates.items():
-            cls = self.machine.loader.load(cname).find_static_home(fname)
+        for (ns, cname, fname), enc in static_updates.items():
+            cls = self.machine.namespace(ns).load(cname) \
+                .find_static_home(fname)
             cls.statics[fname] = decoder.decode(enc, (LOC_STATIC, cname, fname))
         return decoder.decode(return_enc)
 
@@ -144,12 +148,15 @@ class WorkerObjectManager:
         self.home_identity: Dict[int, Tuple[int, str]] = {}
         #: dirty fetched objects (by id) and locally created dirty roots
         self.dirty: Dict[int, Any] = {}
-        #: (class, field) -> (worker-side class, attributed home node or
-        #: None).  The home attribution lets a multi-tenant write-back
-        #: ship each home its own static updates; None means the write
-        #: came from a thread with no registered home (a local request,
-        #: or a single-tenant flow that never registers).
-        self.dirty_statics: Dict[Tuple[str, str],
+        #: (namespace, class, field) -> (worker-side class, attributed
+        #: home node or None).  The namespace tag comes from the written
+        #: VMClass itself (cells live per namespace, so one class name
+        #: can be dirty in several namespaces at once); the home
+        #: attribution lets a multi-tenant write-back ship each home its
+        #: own static updates.  None home means the write came from a
+        #: thread with no registered home (a local request, or a
+        #: single-tenant flow that never registers).
+        self.dirty_statics: Dict[Tuple[Optional[str], str, str],
                                  Tuple[VMClass, Optional[str]]] = {}
         #: cache keys fetched on behalf of each running segment thread,
         #: so its consistency epoch can be released at completion (the
@@ -198,8 +205,9 @@ class WorkerObjectManager:
         if isinstance(target, VMClass):
             home = self.thread_home.get(
                 getattr(self.machine, "current_thread", None))
+            ns = target.namespace
             for fname in target.statics:
-                self.dirty_statics[(target.name, fname)] = (target, home)
+                self.dirty_statics[(ns, target.name, fname)] = (target, home)
         else:
             self.dirty[id(target)] = target
 
@@ -441,6 +449,9 @@ class WorkerObjectManager:
             _k, owner, name = loc
             owner.fields[name] = obj
         elif kind == LOC_STATIC:
+            # Faults happen mid-run, when machine.loader IS the
+            # faulting thread's namespace: the patch lands in the
+            # cells the thread is actually reading.
             _k, cname, fname = loc
             cls = self.machine.loader.load(cname).find_static_home(fname)
             cls.statics[fname] = obj
@@ -546,8 +557,10 @@ class WorkerObjectManager:
         # unattributed home=None write comes from a *local* thread and
         # must never ride a foreign segment's completion).  Unscoped
         # write-backs (single-tenant flushes) keep shipping everything.
+        # Keys are (namespace, class, field): the home applies each
+        # update inside the namespace whose cells were written.
         static_updates = {
-            key: enc.encode(cls.statics[key[1]])
+            key: enc.encode(cls.statics[key[2]])
             for key, (cls, home) in self.dirty_statics.items()
             if home_node is None or home == home_node
         }

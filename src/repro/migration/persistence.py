@@ -61,6 +61,7 @@ def state_to_json(state: CapturedState, indent: int | None = None) -> str:
         "home_node": state.home_node,
         "return_to": state.return_to,
         "thread_name": state.thread_name,
+        "namespace": state.namespace,
         "class_names": list(state.class_names),
         "statics": [
             {"class": c, "field": f, "value": _enc(v)}
@@ -106,7 +107,8 @@ def state_from_json(text: str) -> CapturedState:
         frames=frames, statics=statics,
         class_names=list(doc["class_names"]),
         home_node=doc["home_node"], return_to=doc["return_to"],
-        thread_name=doc.get("thread_name", "main"))
+        thread_name=doc.get("thread_name", "main"),
+        namespace=doc.get("namespace"))
 
 
 def save_checkpoint(state: CapturedState, path: str) -> None:

@@ -97,23 +97,28 @@ class RestoreDriver:
 
     def restore_statics(self) -> None:
         """Load the segment's classes and restore static fields (like JNI
-        ``SetStatic<Type>Field`` in the paper); object statics become
-        remote refs that fault on first use."""
+        ``SetStatic<Type>Field`` in the paper) inside the segment's
+        class-loader namespace; object statics become remote refs that
+        fault on first use."""
+        ns = self.state.namespace
+        loader = self.machine.namespace(ns)
         for cname in self.state.class_names:
-            self.machine.loader.load(cname)
+            loader.load(cname)
         for (cname, fname), enc in self.state.statics.items():
             if is_cached_marker(enc):
                 # Delta capture: this worker should already hold the
                 # fingerprinted value (shipped by an earlier capture or
                 # write-back).  Verify before trusting — a cell forked
                 # behind the ledger's back heals via the fallback fetch.
-                if not _marker_matches(self.machine, cname, fname, enc):
+                if not _marker_matches(self.machine, cname, fname, enc, ns):
                     if self.static_fallback is not None:
                         self.vmti.set_static(
-                            cname, fname, self.static_fallback(cname, fname))
+                            cname, fname, self.static_fallback(cname, fname),
+                            namespace=ns)
                 continue
             self.vmti.set_static(
-                cname, fname, decode_value(enc, (LOC_STATIC, cname, fname)))
+                cname, fname, decode_value(enc, (LOC_STATIC, cname, fname)),
+                namespace=ns)
 
     # -- the breakpoint dance -----------------------------------------------------
 
@@ -134,14 +139,18 @@ class RestoreDriver:
 
     def start_thread(self) -> ThreadState:
         """Create the worker thread poised to restore: first frame pushed
-        with empty locals, breakpoint armed at its entry."""
+        with empty locals, breakpoint armed at its entry.  The thread
+        joins the segment's namespace, so the whole restoration dance
+        (and everything after) runs against the right static cells."""
         rec = self.state.frames[0]
-        cls = self.machine.loader.load(rec.class_name)
+        cls = self.machine.namespace(self.state.namespace).load(
+            rec.class_name)
         code = cls.find_method(rec.method_name)
         if code is None:
             raise MigrationError(
                 f"restored method {rec.class_name}.{rec.method_name} missing")
-        thread = ThreadState(self.state.thread_name)
+        thread = ThreadState(self.state.thread_name,
+                             namespace=self.state.namespace)
         thread.frames.append(Frame(code))
         self.vmti.set_breakpoint(*self._method_entry(0))
         self._armed.append(self._method_entry(0))
@@ -182,12 +191,13 @@ class RestoreDriver:
 
 
 def _marker_matches(machine: Machine, cname: str, fname: str,
-                    marker: tuple) -> bool:
-    """Does the worker's current static cell still hold the value the
-    ``@cached`` marker fingerprints?  Markers only ever cover
-    primitive/string statics, whose encoding is node-independent, so
-    re-encoding the local cell reproduces the capture-side digest."""
-    cls = machine.loader.load(cname).find_static_home(fname)
+                    marker: tuple, namespace=None) -> bool:
+    """Does the worker's current static cell (in the segment's
+    namespace) still hold the value the ``@cached`` marker
+    fingerprints?  Markers only ever cover primitive/string statics,
+    whose encoding is node-independent, so re-encoding the local cell
+    reproduces the capture-side digest."""
+    cls = machine.namespace(namespace).load(cname).find_static_home(fname)
     enc, _b = encode_value(cls.statics[fname], "")
     return fingerprint(enc) == marker[1]
 
@@ -198,22 +208,24 @@ def java_level_restore(machine: Machine, state: CapturedState,
     Java level via reflection.  Functionally identical result; the cost
     model charges the much slower per-frame reflective path
     (``SystemCosts.java_restore_per_frame`` scaled by device speed)."""
+    ns = state.namespace
+    loader = machine.namespace(ns)
     for cname in state.class_names:
-        machine.loader.load(cname)
+        loader.load(cname)
     for (cname, fname), enc in state.statics.items():
         if is_cached_marker(enc):
             # device already holds this value — verify, heal on fork
-            if not _marker_matches(machine, cname, fname, enc) \
+            if not _marker_matches(machine, cname, fname, enc, ns) \
                     and static_fallback is not None:
-                cls = machine.loader.load(cname).find_static_home(fname)
+                cls = loader.load(cname).find_static_home(fname)
                 cls.statics[fname] = static_fallback(cname, fname)
             continue
-        cls = machine.loader.load(cname).find_static_home(fname)
+        cls = loader.load(cname).find_static_home(fname)
         cls.statics[fname] = decode_value(enc, (LOC_STATIC, cname, fname))
-    thread = ThreadState(state.thread_name)
+    thread = ThreadState(state.thread_name, namespace=ns)
     last = len(state.frames) - 1
     for i, rec in enumerate(state.frames):
-        cls = machine.loader.load(rec.class_name)
+        cls = loader.load(rec.class_name)
         code = cls.find_method(rec.method_name)
         if code is None:
             raise MigrationError(

@@ -54,11 +54,18 @@ class TransferLedger:
       delta property tests assert against (an unchanged static must not
       be re-stamped by a re-offload).
 
+    Static cells live per class-loader *namespace*, so the ledger keeps
+    one ``(statics, stamp)`` view per namespace tag: two requests
+    running the same class through one (home, worker) pair never share
+    markers.  The attribute pair above is the root (``None``) view —
+    the single-tenant fast path reads it with zero indirection;
+    :meth:`view` resolves any tag.
+
     Classes and their pre-decoded instruction streams need no ledger:
-    a worker's classpath *is* the truth (class files are immutable once
-    defined, and the worker machine's decoded-stream cache persists
-    across segment episodes), so repeat offloads ship a
-    :data:`CLASS_TOKEN_BYTES` digest token instead of the class.
+    a worker's classpath *is* the truth (class files are immutable,
+    namespace-independent, and shared across namespaces by reference),
+    so repeat offloads ship a :data:`CLASS_TOKEN_BYTES` digest token
+    instead of the class — whatever namespace first pulled it.
     Object payloads are revalidated content-addressed per fetch (see
     :meth:`WorkerObjectManager.fetch` / ``fetch_if_changed``).
     """
@@ -67,24 +74,46 @@ class TransferLedger:
         self.epoch = 0
         self.statics: Dict[Tuple[str, str], int] = {}
         self.stamp: Dict[Tuple[str, str], int] = {}
+        #: per-namespace (statics, stamp) views; root lives above
+        self._ns: Dict[str, Tuple[Dict, Dict]] = {}
 
-    def record(self, key: Tuple[str, str], enc: Any) -> None:
-        """Note that the worker now holds ``enc`` for static ``key``
-        (object-valued descriptors are never ledgered — see capture)."""
+    def view(self, ns: Optional[str]) -> Tuple[Dict, Dict]:
+        """The (statics, stamp) dicts for namespace ``ns``."""
+        if ns is None:
+            return self.statics, self.stamp
+        pair = self._ns.get(ns)
+        if pair is None:
+            pair = self._ns[ns] = ({}, {})
+        return pair
+
+    def record(self, key: Tuple[str, str], enc: Any,
+               ns: Optional[str] = None) -> None:
+        """Note that the worker now holds ``enc`` for static ``key`` in
+        namespace ``ns`` (object-valued descriptors are never ledgered
+        — see capture)."""
+        statics, stamp = self.view(ns)
         if isinstance(enc, tuple) and enc and enc[0] == "@ref":
-            self.statics.pop(key, None)
-            self.stamp.pop(key, None)
+            statics.pop(key, None)
+            stamp.pop(key, None)
             return
-        self.statics[key] = fingerprint(enc)
-        self.stamp[key] = self.epoch
+        statics[key] = fingerprint(enc)
+        stamp[key] = self.epoch
 
-    def invalidate(self, key: Tuple[str, str]) -> None:
-        self.statics.pop(key, None)
-        self.stamp.pop(key, None)
+    def invalidate(self, key: Tuple[str, str],
+                   ns: Optional[str] = None) -> None:
+        statics, stamp = self.view(ns)
+        statics.pop(key, None)
+        stamp.pop(key, None)
+
+    def drop_namespace(self, ns: str) -> None:
+        """Forget a namespace's view (its request completed and the
+        worker dropped the cells the fingerprints described)."""
+        self._ns.pop(ns, None)
 
 
 class CaptureBaseline:
-    """Mutable ledger view staged during one (possibly batched) capture.
+    """Mutable ledger view staged during one (possibly batched) capture,
+    scoped to one class-loader namespace (``ns=None`` = root).
 
     A migration can still be refused *after* capture (cross-home static
     conflict, restore failure) — nothing shipped, so nothing may be
@@ -94,10 +123,11 @@ class CaptureBaseline:
     once the restore has succeeded.
     """
 
-    def __init__(self, led: TransferLedger):
+    def __init__(self, led: TransferLedger, ns: Optional[str] = None):
         self.led = led
+        self.ns = ns
         #: the fingerprint view capture_segment reads
-        self.statics: Dict[Tuple[str, str], int] = dict(led.statics)
+        self.statics: Dict[Tuple[str, str], int] = dict(led.view(ns)[0])
         self._fresh: List[Tuple[Tuple[str, str], Any]] = []
 
     def stage(self, state: "CapturedState") -> None:
@@ -114,7 +144,7 @@ class CaptureBaseline:
     def commit(self) -> None:
         self.led.epoch += 1
         for key, enc in self._fresh:
-            self.led.record(key, enc)
+            self.led.record(key, enc, self.ns)
 
 
 @dataclass
@@ -207,6 +237,17 @@ class SODEngine:
         #: tests' oracle configuration).
         self.transfer_cache = transfer_cache
         self._ledgers: Dict[Tuple[str, str], TransferLedger] = {}
+        #: namespace tag -> the node whose cells are authoritative for
+        #: it (the home a segment in that namespace was captured from).
+        #: A worker's load_listener is bound to the home that *spawned*
+        #: the worker; cross-home namespaced segments would otherwise
+        #: sync on-demand class statics against the wrong machine.
+        self._ns_home: Dict[str, str] = {}
+        #: namespace tag -> node names that materialized it (spawn and
+        #: restore sites) — lets :meth:`forget_namespace` reclaim only
+        #: the 2-3 hosts/links a request actually touched instead of
+        #: sweeping the whole cluster per completion
+        self._ns_sites: Dict[str, set] = {}
         self.hosts: Dict[str, Host] = {}
         #: experiment timeline, seconds
         self.timeline = 0.0
@@ -268,6 +309,15 @@ class SODEngine:
         captured frames read but never own).  Without it the worker
         links paper defaults and silently computes on stale state.
 
+        The class links inside some namespace (``vmclass.namespace``);
+        the authoritative values are the cells *in that same namespace*
+        on the namespace's true home — the engine's ``_ns_home`` map,
+        recorded when the segment restored, overrides the listener's
+        spawn-time ``home`` binding (a worker first spawned by H1 can
+        later host a segment whose namespace lives on H0).  The home is
+        peeked, never created: an absent namespace there means nobody
+        holds values for it and the paper defaults are authoritative.
+
         Object-valued statics become remote refs, which need the fault
         natives: on a worker without an object manager (a node serving
         only handed-off, statics-free requests) they keep their
@@ -276,9 +326,17 @@ class SODEngine:
         from repro.vm.values import LOC_STATIC
         if not vmclass.statics:
             return
-        if not home.machine.loader.is_loaded(vmclass.name):
+        ns = vmclass.namespace
+        if ns is not None:
+            true_home = self.hosts.get(self._ns_home.get(ns, ""))
+            if true_home is not None:
+                home = true_home
+        if home.machine is worker.machine:
+            return  # linking ON the namespace's home: defaults are it
+        home_loader = home.machine.namespace(ns, create=False)
+        if home_loader is None or not home_loader.is_loaded(vmclass.name):
             return  # home never linked it: defaults are authoritative
-        home_cls = home.machine.loader.load(vmclass.name)
+        home_cls = home_loader.load(vmclass.name)
         led = (self.ledger(home.node_name, worker.node_name)
                if self.transfer_cache else None)
         nbytes = 0
@@ -290,7 +348,7 @@ class SODEngine:
             vmclass.statics[fname] = dec
             nbytes += b
             if led is not None:
-                led.record((vmclass.name, fname), enc)
+                led.record((vmclass.name, fname), enc, ns)
         if nbytes:
             worker.machine.charge_raw(self.transfer_time(
                 home.node_name, worker.node_name, nbytes))
@@ -355,6 +413,39 @@ class SODEngine:
             led = self._ledgers[key] = TransferLedger()
         return led
 
+    def note_namespace_site(self, tag: str, node_name: str) -> None:
+        """Record that ``node_name`` materialized namespace ``tag``
+        (the scheduler calls this at spawn; restores record their own
+        sites) so reclamation can stay O(sites the request touched)."""
+        self._ns_sites.setdefault(tag, set()).add(node_name)
+
+    def forget_namespace(self, tag: str) -> None:
+        """End of a namespace's life (its request completed): drop its
+        linked classes and decoded streams, its ledger views, and its
+        bookkeeping — per-request namespaces must not accumulate
+        across a long serving run.  With recorded sites the sweep is
+        O(sites²) dict pops (a request touches 2-3 nodes, not the
+        cluster); a tag with no recorded sites falls back to the full
+        host/ledger sweep so engine-level callers that never note
+        sites still reclaim everything."""
+        self._ns_home.pop(tag, None)
+        sites = self._ns_sites.pop(tag, None)
+        if sites is None:
+            for h in self.hosts.values():
+                h.machine.drop_namespace(tag)
+            for led in self._ledgers.values():
+                led.drop_namespace(tag)
+            return
+        for n in sites:
+            h = self.hosts.get(n)
+            if h is not None:
+                h.machine.drop_namespace(tag)
+        for a in sites:
+            for b in sites:
+                led = self._ledgers.get((a, b))
+                if led is not None:
+                    led.drop_namespace(tag)
+
     # -- program control ------------------------------------------------------------
 
     def spawn(self, host: Host, class_name: str, method: str,
@@ -398,13 +489,13 @@ class SODEngine:
         if rec.cached_class:
             rec.saved_bytes += max(0, class_size(cf) - rec.class_bytes)
 
-    def _baseline(self, home_node: str,
-                  dst_node: str) -> Optional[CaptureBaseline]:
-        """Staged delta-capture view of the (home, worker) ledger, or
-        None with the transfer cache disabled."""
+    def _baseline(self, home_node: str, dst_node: str,
+                  ns: Optional[str] = None) -> Optional[CaptureBaseline]:
+        """Staged delta-capture view of the (home, worker) ledger for
+        one namespace, or None with the transfer cache disabled."""
         if not self.transfer_cache:
             return None
-        return CaptureBaseline(self.ledger(home_node, dst_node))
+        return CaptureBaseline(self.ledger(home_node, dst_node), ns)
 
     def _commit_shipment(self, base: Optional[CaptureBaseline], src: str,
                          dst_node: str, saved_bytes: int) -> None:
@@ -425,13 +516,18 @@ class SODEngine:
     def _check_cross_home_statics(worker: Host, state: CapturedState,
                                   src_node: str) -> None:
         """Refuse to co-locate segments from *different* homes whose
-        classes carry mutable statics: a worker machine has one static
-        cell per class, so restoring the second segment would overwrite
-        the first home's values and their updates would compose on one
-        shared cell — silent cross-tenant corruption.  (Same-home
-        co-location keeps last-writer-wins release consistency;
-        reentrant, statics-free programs — the serving contract — are
-        never affected.)"""
+        classes carry mutable statics **within one class-loader
+        namespace**: a namespace has one static cell per class, so
+        restoring the second segment would overwrite the first home's
+        values and their updates would compose on one shared cell —
+        silent cross-tenant corruption.  (Same-home co-location keeps
+        last-writer-wins release consistency.)
+
+        Segments in *different* namespaces each carry their own cells,
+        so they co-locate freely whatever their homes — this is what
+        lets the serving layer run statics-heavy programs (FFT/TSP)
+        concurrently: the scheduler gives each such request a fresh
+        namespace and the old whole-worker refusal no longer fires."""
         objman = worker.objman
         if objman is None:
             return
@@ -441,13 +537,15 @@ class SODEngine:
         for thread, home in objman.thread_home.items():
             if home == src_node:
                 continue
+            if getattr(thread, "namespace", None) != state.namespace:
+                continue  # disjoint cells: no conflict possible
             shared = objman.thread_statics.get(thread, frozenset()) & new
             if shared:
                 raise MigrationError(
                     f"cross-home static conflict on {sorted(shared)}: "
                     f"worker {worker.node_name} already hosts a segment "
-                    f"from {home} using these statics; cannot also "
-                    f"serve {src_node}")
+                    f"from {home} using these statics in the same "
+                    f"namespace; cannot also serve {src_node}")
 
     def migrate(self, src_host: Host, thread: ThreadState, dst_node: str,
                 nframes: int = 1,
@@ -472,8 +570,10 @@ class SODEngine:
         self.timeline += machine.clock - t0
 
         # -- capture (C2 part 1): a delta snapshot against the ledger of
-        # what this destination already holds from this home --
-        base = self._baseline(src_host.node_name, dst_node)
+        # what this destination already holds from this home, in the
+        # thread's namespace --
+        base = self._baseline(src_host.node_name, dst_node,
+                              thread.namespace)
         t0 = machine.clock
         state = capture_segment(src_host.vmti, thread, nframes,
                                 home_node=src_host.node_name,
@@ -522,6 +622,11 @@ class SODEngine:
         else:
             # Reflection-based rebuild on the (slow) device CPU; no
             # VMTI/JNI machinery involved (paper section IV.D).
+            if state.namespace is not None:
+                self._ns_home[state.namespace] = src_host.node_name
+                self.note_namespace_site(state.namespace, worker.node_name)
+                self.note_namespace_site(state.namespace,
+                                         src_host.node_name)
             t0 = worker.machine.clock
             worker.machine.charge(
                 self.sys.java_restore_fixed
@@ -576,12 +681,18 @@ class SODEngine:
                 "migrate_many targets VMTI-capable nodes only")
 
         # -- capture every thread (each at its own MSP), each a delta
-        # against the staged ledger view (the first capture in the batch
-        # ships a static fresh; its batchmates ride as @cached markers) --
-        base = self._baseline(src_host.node_name, dst_node)
+        # against the staged ledger view of its *own namespace* (the
+        # first capture in the batch ships a static fresh; same-
+        # namespace batchmates ride as @cached markers; other
+        # namespaces have their own cells and their own baselines) --
+        bases: Dict[Optional[str], Optional[CaptureBaseline]] = {}
         recs: List[MigrationRecord] = []
         states: List[CapturedState] = []
         for thread in threads:
+            if thread.namespace not in bases:
+                bases[thread.namespace] = self._baseline(
+                    src_host.node_name, dst_node, thread.namespace)
+            base = bases[thread.namespace]
             t0 = machine.clock
             run_to_msp(machine, thread)
             self.timeline += machine.clock - t0
@@ -657,12 +768,17 @@ class SODEngine:
             rec.worker_spawn_time = spawn
             spawn = 0.0  # charged once per batch
             worker_thread = self._restore_segment(worker, state, nframes,
-                                                  src_host, rec, base)
+                                                  src_host, rec,
+                                                  bases[state.namespace])
             self.timeline += rec.latency
             self.migrations.append(rec)
             out.append((worker_thread, rec))
-        self._commit_shipment(base, src_host.node_name, dst_node,
-                              sum(r.saved_bytes for r in recs))
+        saved = sum(r.saved_bytes for r in recs)
+        for base in bases.values():
+            self._commit_shipment(base, src_host.node_name, dst_node, 0)
+        if saved:
+            self.cluster.network.record_saved(src_host.node_name, dst_node,
+                                              saved)
         return worker, out
 
     # -- multi-hop re-offload (Fig. 1c chains) -----------------------------------------
@@ -719,7 +835,8 @@ class SODEngine:
             self._flush_foreign_effects(src_worker, home.node_name,
                                         seg_thread)
 
-        base = self._baseline(home.node_name, dst_node)
+        base = self._baseline(home.node_name, dst_node,
+                              seg_thread.namespace)
         identity = objman.home_identity if objman is not None else None
         t0 = machine.clock
         state = capture_segment(src_worker.vmti, seg_thread, nframes,
@@ -853,21 +970,32 @@ class SODEngine:
     def _static_fallback(self, worker: Host, home: Host,
                          base: Optional[CaptureBaseline]):
         """Self-heal service for mismatched delta markers: fetch the
-        static's true value from the home (one small round trip on the
-        worker's clock) and re-stamp the ledger — the worker physically
-        holds the value afterwards, whatever else the restore does."""
+        static's true value from the home's matching namespace (one
+        small round trip on the worker's clock) and re-stamp the
+        ledger — the worker physically holds the value afterwards,
+        whatever else the restore does."""
         if base is None:
             return None
         led = base.led
+        ns = base.ns
 
         def fetch(cname: str, fname: str) -> Any:
             from repro.migration.state import decode_value
+            from repro.vm.classloader import Namespace
             from repro.vm.values import LOC_STATIC
-            cls = home.machine.loader.load(cname).find_static_home(fname)
+            ldr = home.machine.namespace(ns, create=False)
+            if ldr is None:
+                # The home never materialized this namespace: nothing
+                # ever wrote its cells there, so the paper defaults are
+                # the true values — read them through a *transient*
+                # (unregistered) view rather than creating an empty
+                # namespace on the home as a side effect.
+                ldr = Namespace(home.machine.loader, ns)
+            cls = ldr.load(cname).find_static_home(fname)
             enc, b = encode_value(cls.statics[fname], home.node_name)
             worker.machine.charge_raw(
                 self.rtt(worker.node_name, home.node_name, 64, b))
-            led.record((cname, fname), enc)
+            led.record((cname, fname), enc, ns)
             return decode_value(enc, (LOC_STATIC, cname, fname))
 
         return fetch
@@ -879,6 +1007,10 @@ class SODEngine:
         """Shared VMTI restore tail: cost charges, the breakpoint-dance
         restore (with delta-marker fallback wired to ``home``), epoch
         registration, and ``rec.restore_time``."""
+        if state.namespace is not None:
+            self._ns_home[state.namespace] = home.node_name
+            self.note_namespace_site(state.namespace, worker.node_name)
+            self.note_namespace_site(state.namespace, home.node_name)
         t0 = worker.machine.clock
         worker.machine.charge(self.sys.sod_restore_fixed
                               + self.sys.sod_restore_per_frame * nframes)
@@ -928,14 +1060,16 @@ class SODEngine:
                                static_updates: Dict) -> None:
         """After a write-back lands, both sides agree on the written
         statics: re-stamp the (home, worker) ledger with the home's
-        post-apply values so the next delta capture can elide them."""
+        post-apply values so the next delta capture can elide them.
+        Update keys carry the namespace whose cells were written."""
         if not self.transfer_cache or not static_updates:
             return
         led = self.ledger(home.node_name, worker_node)
-        for (cname, fname) in static_updates:
-            cls = home.machine.loader.load(cname).find_static_home(fname)
+        for (ns, cname, fname) in static_updates:
+            cls = home.machine.namespace(ns).load(cname) \
+                .find_static_home(fname)
             enc, _b = encode_value(cls.statics[fname], home.node_name)
-            led.record((cname, fname), enc)
+            led.record((cname, fname), enc, ns)
 
     def abandon_segment(self, worker: Host,
                         worker_thread: ThreadState) -> None:
@@ -957,9 +1091,10 @@ class SODEngine:
             # and a forked cell must never survive as a marker.
             led = self._ledgers.get((home, worker.node_name))
             if led is not None:
-                for key, (_cls, h) in objman.dirty_statics.items():
+                for (ns, cname, fname), (_cls, h) in \
+                        objman.dirty_statics.items():
                     if h == home or h is None:
-                        led.invalidate(key)
+                        led.invalidate((cname, fname), ns)
         objman.release_thread(worker_thread)
         if home is not None and home not in objman.thread_home.values():
             objman.dirty_statics = {
@@ -978,27 +1113,36 @@ class SODEngine:
         """Refresh the worker's static fields from the home's current
         values (release consistency at a hop boundary: a residual
         segment restored *before* an earlier segment finished must see
-        that segment's static updates when control arrives)."""
+        that segment's static updates when control arrives).  Every
+        class-loader namespace resyncs against the home's matching
+        namespace; namespaces the home does not hold are skipped (the
+        worker's cells are the only live copy — home defaults would
+        clobber them)."""
         from repro.migration.state import decode_value
         from repro.vm.values import LOC_STATIC
         led = (self.ledger(home.node_name, worker.node_name)
                if self.transfer_cache else None)
         nbytes = 0
-        for cls in worker.machine.loader.loaded_classes().values():
-            if not cls.statics:
+        for loader in worker.machine.loaders():
+            ns = loader.tag
+            if ns is not None and not home.machine.has_namespace(ns):
                 continue
-            try:
-                home_cls = home.machine.loader.load(cls.name)
-            except Exception:
-                continue
-            for fname in cls.statics:
-                enc, b = encode_value(home_cls.find_static_home(fname)
-                                      .statics[fname], home.node_name)
-                nbytes += b
-                cls.statics[fname] = decode_value(
-                    enc, (LOC_STATIC, cls.name, fname))
-                if led is not None:
-                    led.record((cls.name, fname), enc)
+            home_loader = home.machine.namespace(ns)
+            for cls in loader.loaded_classes().values():
+                if not cls.statics:
+                    continue
+                try:
+                    home_cls = home_loader.load(cls.name)
+                except Exception:
+                    continue
+                for fname in cls.statics:
+                    enc, b = encode_value(home_cls.find_static_home(fname)
+                                          .statics[fname], home.node_name)
+                    nbytes += b
+                    cls.statics[fname] = decode_value(
+                        enc, (LOC_STATIC, cls.name, fname))
+                    if led is not None:
+                        led.record((cls.name, fname), enc, ns)
         dt = self.transfer_time(home.node_name, worker.node_name,
                                 nbytes + 64)
         self.timeline += dt

@@ -137,7 +137,13 @@ def _enc_bytes(enc: Any) -> int:
 class CapturedState:
     """The unit a SOD migration ships (stack segment + statics + class
     manifest).  ``return_to`` names the node holding the residual stack
-    (where the segment's eventual return value must be delivered)."""
+    (where the segment's eventual return value must be delivered).
+
+    ``namespace`` is the class-loader namespace tag the segment's
+    thread executes in (``None`` = root): the destination links the
+    segment's classes — and restores its statics — inside the matching
+    namespace on the worker machine, so two segments of the same
+    program never share static cells."""
 
     frames: List[CapturedFrame]
     statics: Dict[Tuple[str, str], Any] = field(default_factory=dict)
@@ -145,6 +151,7 @@ class CapturedState:
     home_node: str = ""
     return_to: str = ""
     thread_name: str = "main"
+    namespace: Optional[str] = None
     #: statics elided as ``@cached`` markers by a delta capture, and the
     #: payload bytes that elision kept off the wire (vs. a full capture)
     cached_statics: int = 0
@@ -156,6 +163,8 @@ class CapturedState:
     def state_bytes(self) -> int:
         """Modeled serialized size of the captured state."""
         total = 64
+        if self.namespace:
+            total += 4 + len(self.namespace)
         for f in self.frames:
             total += f.state_bytes()
         for _key, enc in self.statics.items():

@@ -18,6 +18,7 @@ from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile,
                                    naive_pick, recompute_load)
 from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
                                   OffloadPolicy, Placement, QueueDepthPolicy,
+                                  ShedWhenSaturated,
                                   WeightedRoundRobinPlacement)
 from repro.serve.scheduler import ClusterScheduler, ServeReport, serve_mix
 
@@ -27,5 +28,6 @@ __all__ = [
     "naive_pick", "recompute_load",
     "Placement", "FrontDoorPlacement", "WeightedRoundRobinPlacement",
     "OffloadPolicy", "QueueDepthPolicy", "ClockPressurePolicy",
+    "ShedWhenSaturated",
     "ClusterScheduler", "ServeReport", "serve_mix",
 ]

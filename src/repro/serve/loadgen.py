@@ -41,11 +41,17 @@ class Request:
     thread: Optional[ThreadState] = None
     host_node: Optional[str] = None
     #: lifecycle: queued -> running -> (remote ->) queued -> done|failed
+    #: ("shed" = refused at the front door by admission control)
     state: str = "queued"
     result: Any = None
     error: Optional[str] = None
     #: pre-start handoff count (bounded by the policy's max_hops)
     hops: int = 0
+    #: class-loader namespace tag this request's thread runs in (None
+    #: for reentrant programs; non-reentrant requests get a fresh
+    #: per-request namespace at first spawn — their own static cells
+    #: on every node the request or its segments touch)
+    namespace: Optional[str] = None
     #: quanta this request has consumed
     quanta: int = 0
     #: guest instructions executed on this request's behalf so far

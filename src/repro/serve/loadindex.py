@@ -205,6 +205,20 @@ class LoadIndex:
             self.ops += 1
         return best
 
+    def saturated(self, now: float, threshold: float) -> bool:
+        """Does the gossip digest report *every* rack saturated — its
+        least-loaded node at or above ``threshold`` weighted threads?
+        The front-door admission stub reads this before queueing a
+        request; like every cross-rack question it runs on the (≤
+        ``staleness``-old) digest, so it is O(racks) dict reads, not a
+        cluster scan."""
+        self._maybe_gossip(now)
+        for rack in self.racks:
+            m = self._summary.get(rack)
+            if m is None or m[0] < threshold:
+                return False
+        return True
+
     # -- the decision -------------------------------------------------------
 
     def pick_underloaded(self, now: float, src: str, src_load: float,

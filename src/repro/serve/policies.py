@@ -149,6 +149,31 @@ class WeightedRoundRobinPlacement(Placement):
         self._cycle = cycle
 
 
+# -- admission control ---------------------------------------------------------
+
+
+@dataclass
+class ShedWhenSaturated:
+    """Front-door admission stub: when the gossip digest reports every
+    rack saturated (each rack's least-loaded node already at or above
+    ``max_node_load`` weighted threads), the scheduler *sheds* the
+    request — counted in ``stats["shed"]`` — instead of queueing
+    unboundedly.  A shed request is finished-on-arrival with state
+    ``"shed"``: the client got a fast overload signal rather than an
+    unbounded queueing delay.
+
+    This is deliberately a stub of real overload control: the full
+    open-loop Poisson sweep past saturation (latency/goodput knees,
+    adaptive thresholds) stays a future PR; the hook and accounting
+    land here so that sweep has something to drive."""
+
+    max_node_load: float = 8.0
+
+    def admit(self, sched, req) -> bool:
+        return not sched.load_index.saturated(
+            sched.env.now, self.max_node_load)
+
+
 # -- offload policies ----------------------------------------------------------
 
 

@@ -46,11 +46,12 @@ from repro.serve.loadgen import LoadGenerator, Request
 from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile)
 from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
                                   OffloadPolicy, Placement, QueueDepthPolicy,
+                                  ShedWhenSaturated,
                                   WeightedRoundRobinPlacement)
 from repro.sim.kernel import Store
 from repro.vm.costmodel import CostModel, sodee_model
 from repro.workloads.mixes import (MIXES, expected_request_result,
-                                   serve_classpath)
+                                   needs_isolation, serve_classpath)
 
 #: serving-scale per-instruction time: one request is milliseconds of
 #: guest compute, so the fixed VMTI/transfer costs of an offload are
@@ -118,7 +119,11 @@ class ClusterScheduler:
                  placement: Optional[Placement] = None,
                  offload: Optional[OffloadPolicy] = None,
                  front: Optional[str] = None,
-                 staleness: float = DEFAULT_STALENESS):
+                 staleness: float = DEFAULT_STALENESS,
+                 isolation: str = "auto",
+                 admission: Optional[ShedWhenSaturated] = None):
+        if isolation not in ("auto", "all", "off"):
+            raise ClusterError(f"unknown isolation mode {isolation!r}")
         if not cluster.nodes:
             raise ClusterError("cannot schedule on an empty cluster")
         self.cluster = cluster
@@ -134,6 +139,14 @@ class ClusterScheduler:
         self.quantum = quantum
         self.placement = placement or WeightedRoundRobinPlacement()
         self.offload = offload
+        #: per-request static isolation: "auto" gives every request of
+        #: a non-reentrant program (FFT/TSP — statics carry request
+        #: state) a fresh class-loader namespace; "all" isolates every
+        #: request; "off" restores the PR 2 shared-cells behavior
+        #: (reentrant-only mixes)
+        self.isolation = isolation
+        #: front-door admission control (None = admit everything)
+        self.admission = admission
         #: per-node run queues (Store exposes .items for load inspection)
         self.stores: Dict[str, Store] = {
             n: Store(self.env, name=f"runq:{n}") for n in self.node_names}
@@ -164,7 +177,8 @@ class ClusterScheduler:
             "quanta": 0, "handoffs": 0, "sod_offloads": 0,
             "batched_threads": 0, "offload_aborts": 0, "completions": 0,
             "failed": 0, "decisions": 0, "decision_ops": 0,
-            "victim_vetoes": 0, "seg_rehops": 0,
+            "victim_vetoes": 0, "seg_rehops": 0, "shed": 0,
+            "isolated": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
@@ -175,9 +189,19 @@ class ClusterScheduler:
     # -- admission ---------------------------------------------------------
 
     def submit(self, spec) -> Request:
-        """Admit one request now; placement picks its first queue."""
+        """Admit one request now; placement picks its first queue.
+        With admission control installed and the gossip digest showing
+        every rack saturated, the request is *shed* instead: finished
+        on arrival with state ``"shed"`` and counted, never queued."""
         req = Request(rid=self._take_rid(), spec=spec, arrival=self.env.now)
         self.requests.append(req)
+        if self.admission is not None and not self.admission.admit(self, req):
+            req.state = "shed"
+            req.finished_at = self.env.now
+            self.stats["shed"] += 1
+            self.finished.append(req)
+            self._maybe_stop()
+            return req
         self._enqueue(req, self.placement.place(self, req))
         return req
 
@@ -286,8 +310,20 @@ class ClusterScheduler:
             req.started_at = self.env.now
             req.host_node = node
             cls, meth = req.spec.main
+            if self.isolation == "all" or (
+                    self.isolation == "auto"
+                    and needs_isolation(req.spec.program)):
+                # Static isolation: this request gets its own class-
+                # loader namespace — fresh static cells here and on
+                # every node a migrated segment of it lands on (the
+                # captured state carries the tag).  Reentrant programs
+                # skip this entirely and share the root cells.
+                req.namespace = f"req{req.rid}"
+                self.engine.note_namespace_site(req.namespace, node)
+                self.stats["isolated"] += 1
             req.thread = machine.spawn(cls, meth, list(req.spec.args),
-                                       thread_name=req.label())
+                                       thread_name=req.label(),
+                                       namespace=req.namespace)
         req.quanta += 1
         status = machine.run(req.thread, quantum=self.quantum)
         req.instrs += machine.instr_count - i0
@@ -354,6 +390,7 @@ class ClusterScheduler:
             req.result = t.result
             if req.spec is not None:
                 self.profile.observe(req.spec.program, req.instrs)
+            self._drop_namespace(req)
             self.finished.append(req)
             self._maybe_stop()
         return 0.0
@@ -379,8 +416,17 @@ class ClusterScheduler:
         req.state = "failed"
         req.error = error
         self.stats["failed"] += 1
+        self._drop_namespace(req)
         self.finished.append(req)
         self._maybe_stop()
+
+    def _drop_namespace(self, req: Request) -> None:
+        """A request's life is over: its per-request namespace (linked
+        classes, decoded streams, ledger views) is garbage on every
+        host it migrated through — reclaim it so thousands of isolated
+        requests don't accumulate per-node state."""
+        if req.namespace is not None:
+            self.engine.forget_namespace(req.namespace)
 
     def _maybe_stop(self) -> None:
         if (self._expected is not None and not self._stopped
@@ -626,7 +672,9 @@ def serve_mix(mix: str = "parallel", n_nodes: int = 4,
               cpu_weights: Optional[List[float]] = None,
               cost: Optional[CostModel] = None,
               rack_size: int = 4,
-              staleness: float = DEFAULT_STALENESS) -> ServeReport:
+              staleness: float = DEFAULT_STALENESS,
+              isolation: str = "auto",
+              admission: Optional[ShedWhenSaturated] = None) -> ServeReport:
     """Serve ``n_requests`` drawn from a named mix on a fresh
     ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
     same arguments, same report."""
@@ -640,7 +688,8 @@ def serve_mix(mix: str = "parallel", n_nodes: int = 4,
     sched = ClusterScheduler(cluster, serve_classpath(mixobj.programs()),
                              cost=cost, quantum=quantum,
                              placement=placement, offload=offload,
-                             staleness=staleness)
+                             staleness=staleness, isolation=isolation,
+                             admission=admission)
     load = LoadGenerator(mixobj, n_requests, seed=seed,
                          interarrival=interarrival)
     rep = sched.serve(load)

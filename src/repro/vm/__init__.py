@@ -1,6 +1,6 @@
 """The repro stack-machine VM."""
 
-from repro.vm.classloader import ClassLoader
+from repro.vm.classloader import ClassLoader, Namespace
 from repro.vm.costmodel import (CostModel, SystemCosts, gjavampi_model,
                                 jdk_model, jessica2_model, sodee_model,
                                 xen_model)
@@ -12,7 +12,7 @@ from repro.vm.values import RemoteRef, is_nullish, truthy
 from repro.vm.vmti import VMTI
 
 __all__ = [
-    "ClassLoader", "CostModel", "SystemCosts",
+    "ClassLoader", "Namespace", "CostModel", "SystemCosts",
     "jdk_model", "sodee_model", "gjavampi_model", "jessica2_model",
     "xen_model",
     "Frame", "ThreadState", "Heap",

@@ -12,6 +12,16 @@ Two hooks make on-demand *code migration* work (paper section III.A):
 * ``load_listener(vmclass)`` — notified after a class links; migration
   engines use it to charge class-load costs and to implement
   JESSICA2-style allocate-statics-at-load behaviour.
+
+Class-loader **namespaces** (:class:`Namespace`) give a guest context
+its own linked-class table — and therefore its own static cells — the
+way real JVMs isolate per-webapp state with per-context class loaders.
+A namespace shares its parent's classpath *object* (class files are
+immutable and node-wide: a class fetched by any context is on the
+classpath for all) and its hooks, but links classes independently, so
+two requests running the same statics-bearing program never touch each
+other's cells.  The root loader is itself the default namespace
+(``tag=None``); everything single-tenant keeps working unchanged.
 """
 
 from __future__ import annotations
@@ -25,7 +35,13 @@ from repro.vm.objects import VMClass
 
 
 class ClassLoader:
-    """Per-VM class loader."""
+    """Per-VM class loader (the root namespace)."""
+
+    #: namespace tag: ``None`` for the root loader, the namespace's
+    #: name for :class:`Namespace` instances.  Linked :class:`VMClass`
+    #: objects inherit it, so any holder of a class knows which
+    #: namespace owns its static cells.
+    tag: Optional[str] = None
 
     def __init__(self, classpath: Optional[Dict[str, ClassFile]] = None,
                  include_builtins: bool = True):
@@ -85,8 +101,61 @@ class ClassLoader:
             if cf.superclass == name:
                 raise LinkError(f"class {name} extends itself")
             superclass = self.load(cf.superclass)
-        cls = VMClass(cf, superclass)
+        cls = VMClass(cf, superclass, namespace=self.tag)
         self._loaded[name] = cls
         if self.load_listener is not None:
             self.load_listener(cls)
         return cls
+
+
+class Namespace(ClassLoader):
+    """A class-loader namespace: its own linked-class table (and thus
+    its own static cells) over a parent loader's shared classpath.
+
+    * the classpath dict is *shared by reference* with the parent —
+      defining or on-demand-fetching a class through any namespace
+      makes the (immutable) file available to all of them;
+    * ``missing_class_hook`` / ``load_listener`` delegate to the
+      parent, so a worker VM's fetch-from-home wiring covers every
+      namespace without per-namespace installs;
+    * linking is fully independent: ``load`` builds fresh
+      :class:`VMClass` objects whose ``statics`` dicts belong to this
+      namespace only.
+    """
+
+    def __init__(self, parent: ClassLoader, tag: str):
+        self.parent = parent
+        self.tag = tag
+        self._classpath = parent._classpath  # shared, by reference
+        self._loaded = {}
+
+    def define(self, cf: ClassFile) -> None:
+        """Add a class file to the *shared* classpath.  Only additive
+        defines are allowed through a namespace: the classpath is one
+        object for every context on the machine, and this namespace
+        cannot see which siblings (or the root) already linked a file
+        — replacing it would silently run divergent code for the same
+        class name across namespaces.  Replacement stays a root-loader
+        operation with the root's already-linked guard."""
+        if cf.name in self._classpath:
+            raise LinkError(
+                f"class {cf.name} already on the shared classpath; "
+                f"redefining through namespace {self.tag!r} is not "
+                f"allowed")
+        self._classpath[cf.name] = cf
+
+    @property
+    def missing_class_hook(self):
+        return self.parent.missing_class_hook
+
+    @missing_class_hook.setter
+    def missing_class_hook(self, fn):
+        self.parent.missing_class_hook = fn
+
+    @property
+    def load_listener(self):
+        return self.parent.load_listener
+
+    @load_listener.setter
+    def load_listener(self, fn):
+        self.parent.load_listener = fn

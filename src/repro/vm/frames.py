@@ -54,18 +54,27 @@ class ThreadState:
     ``pending_exception`` supports JVMTI-style asynchronous exception
     injection (the restore driver throws ``InvalidStateException`` into
     the thread from a breakpoint callback).
+
+    ``namespace`` names the class-loader namespace the thread executes
+    in (``None`` = the machine's root loader): the machine resolves the
+    thread's classes — and therefore its static cells — through that
+    namespace for as long as the thread runs, and a migrated segment
+    carries the tag so the destination rebuilds it in the same
+    namespace.
     """
 
     __slots__ = ("frames", "pending_exception", "name", "finished",
-                 "result", "uncaught")
+                 "result", "uncaught", "namespace")
 
-    def __init__(self, name: str = "main"):
+    def __init__(self, name: str = "main",
+                 namespace: Optional[str] = None):
         self.frames: List[Frame] = []
         self.pending_exception: Any = None
         self.name = name
         self.finished = False
         self.result: Any = None
         self.uncaught: Any = None
+        self.namespace = namespace
 
     @property
     def top(self) -> Frame:

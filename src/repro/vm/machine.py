@@ -61,6 +61,20 @@ per-machine decoded stream, never on shared ``CodeObject``s.  Swapping
 ``machine.cost`` (or mutating its weight table) or mutating a method's
 ``instrs`` after execution started requires
 :meth:`Machine.invalidate_caches`.
+
+Namespaces
+----------
+
+A thread whose :attr:`~repro.vm.frames.ThreadState.namespace` tag is
+set executes inside that class-loader namespace
+(:class:`repro.vm.classloader.Namespace`): for the duration of
+:meth:`run`, ``machine.loader`` *is* the namespace loader and the
+decoded-stream cache is the namespace's own map, so the
+``GETS``/``PUTS``/``INVOKESTATIC`` inline caches bind per
+``(code, namespace)`` and never leak one context's static cells into
+another.  Root-namespace threads (``namespace=None``, the default)
+take none of that indirection — the swap is a single ``is None`` test,
+which is how the fast loop's throughput is preserved.
 """
 
 from __future__ import annotations
@@ -81,7 +95,7 @@ from repro.preprocess.fuse import (F_CCMP_JNZ, F_CCMP_JZ, F_CMP_JNZ,
                                    F_LL_CMP_JZ, F_LL_OP2, F_LOAD_CONST,
                                    F_LOAD_GETF, F_LOAD_JNZ, F_LOAD_JZ,
                                    F_LOAD_LOAD, decode_and_fuse)
-from repro.vm.classloader import ClassLoader
+from repro.vm.classloader import ClassLoader, Namespace
 from repro.vm.costmodel import CostModel
 from repro.vm.frames import Frame, ThreadState
 from repro.vm.heap import Heap
@@ -159,8 +173,14 @@ class Machine:
         self.dispatch = dispatch
         #: fuse superinstructions in the decoded stream
         self.fuse = fuse
-        #: per-machine decoded-stream cache (holds the inline caches)
+        #: per-machine decoded-stream cache (holds the inline caches).
+        #: This is the *root namespace's* map; while a namespaced
+        #: thread runs, :meth:`run` swaps in the namespace's own map
+        #: from ``_decoded_ns`` so cache cells stay per-namespace.
         self._decoded: Dict[CodeObject, List[tuple]] = {}
+        #: class-loader namespaces by tag, and their decoded streams
+        self._namespaces: Dict[str, Namespace] = {}
+        self._decoded_ns: Dict[str, Dict[CodeObject, List[tuple]]] = {}
         self._speed = node.spec.speed_factor if node is not None else 1.0
         self._bp_guard: Optional[Tuple[int, int]] = None
 
@@ -173,6 +193,58 @@ class Machine:
     def charge_raw(self, seconds: float) -> None:
         """Add wall time not subject to CPU scaling (I/O, network)."""
         self.clock += seconds
+
+    # -- namespaces ------------------------------------------------------
+
+    def namespace(self, tag: Optional[str],
+                  create: bool = True) -> Optional[ClassLoader]:
+        """The class loader for namespace ``tag`` (created on first
+        use); ``None`` is the root loader.  Namespaces share the root
+        classpath and hooks but link classes — and hold static cells —
+        independently (see :mod:`repro.vm.classloader`).
+
+        ``create=False`` is the read-only peek: it returns None when
+        the tag does not exist here.  Callers that only want to *look
+        at* another machine's cells must use it — materializing an
+        empty namespace as a side effect of a query would make
+        ``has_namespace`` claim this machine holds cells it never
+        wrote (which e.g. ``resync_statics`` trusts to decide whose
+        values are authoritative)."""
+        root = self._root_loader()
+        if tag is None:
+            return root
+        ns = self._namespaces.get(tag)
+        if ns is None:
+            if not create:
+                return None
+            ns = self._namespaces[tag] = Namespace(root, tag)
+            self._decoded_ns[tag] = {}
+        return ns
+
+    def _root_loader(self) -> ClassLoader:
+        """The machine's root loader.  While a namespaced thread runs,
+        ``self.loader`` IS that thread's namespace; resolve through
+        its parent so tags always name the same loader regardless of
+        when they are asked for."""
+        root = self.loader
+        if isinstance(root, Namespace):
+            root = root.parent
+        return root
+
+    def has_namespace(self, tag: str) -> bool:
+        return tag in self._namespaces
+
+    def loaders(self) -> List[ClassLoader]:
+        """Every class loader on this machine: the root first, then
+        each namespace (insertion order)."""
+        return [self._root_loader()] + list(self._namespaces.values())
+
+    def drop_namespace(self, tag: str) -> None:
+        """Discard a namespace's linked classes and decoded streams
+        (end of a request's life; no-op if never created).  The shared
+        classpath keeps any class files it fetched."""
+        self._namespaces.pop(tag, None)
+        self._decoded_ns.pop(tag, None)
 
     # -- guest exception construction ----------------------------------------
 
@@ -195,27 +267,33 @@ class Machine:
 
     def spawn(self, class_name: str, method_name: str,
               args: Optional[List[Any]] = None,
-              thread_name: str = "main") -> ThreadState:
-        """Create a thread whose first frame invokes a static method."""
-        cls = self.loader.load(class_name)
+              thread_name: str = "main",
+              namespace: Optional[str] = None) -> ThreadState:
+        """Create a thread whose first frame invokes a static method.
+        With ``namespace``, the entry class (and everything the thread
+        touches while running) resolves in that namespace — its own
+        static cells, created on first use."""
+        cls = self.namespace(namespace).load(class_name)
         code = cls.find_method(method_name)
         if code is None:
             raise LinkError(f"no method {class_name}.{method_name}")
         if not code.is_static:
             raise VMError(f"{class_name}.{method_name} is not static")
-        thread = ThreadState(thread_name)
+        thread = ThreadState(thread_name, namespace=namespace)
         thread.frames.append(Frame(code, list(args or [])))
         return thread
 
     def spawn_on_instance(self, receiver: VMInstance, method_name: str,
                           args: Optional[List[Any]] = None,
                           thread_name: str = "main") -> ThreadState:
-        """Create a thread invoking an instance method on ``receiver``."""
+        """Create a thread invoking an instance method on ``receiver``
+        (in the namespace that linked the receiver's class)."""
         code = receiver.vmclass.find_method(method_name)
         if code is None or code.is_static:
             raise LinkError(
                 f"no instance method {receiver.class_name}.{method_name}")
-        thread = ThreadState(thread_name)
+        thread = ThreadState(thread_name,
+                             namespace=receiver.vmclass.namespace)
         thread.frames.append(Frame(code, [receiver] + list(args or [])))
         return thread
 
@@ -240,7 +318,8 @@ class Machine:
         return stream
 
     def invalidate_caches(self) -> None:
-        """Drop all decoded streams and the inline caches they carry.
+        """Drop all decoded streams and the inline caches they carry
+        (every namespace's — cost weights are machine-global).
 
         Needed only after host-level surgery the VM cannot see: swapping
         ``machine.cost`` (or mutating its weight table) after execution
@@ -251,6 +330,10 @@ class Machine:
         for code in self._decoded:
             code.invalidate_decoded()
         self._decoded.clear()
+        for ns_map in self._decoded_ns.values():
+            for code in ns_map:
+                code.invalidate_decoded()
+            ns_map.clear()
 
     # -- main loop --------------------------------------------------------------
 
@@ -277,6 +360,18 @@ class Machine:
         start_count = self.instr_count
         prev_thread = getattr(self, "current_thread", None)
         self.current_thread = thread
+        # Namespace entry: for a namespaced thread, the namespace
+        # loader and its decoded-stream map *become* the machine's for
+        # the duration of the run — every resolution path (fast-loop
+        # cache fills, the legacy loop, natives, exception allocation)
+        # sees the thread's own static cells with no per-instruction
+        # cost.  Root threads pay one None test.
+        prev_loader = None
+        if thread.namespace is not None:
+            prev_loader = self.loader
+            prev_decoded = self._decoded
+            self.loader = self.namespace(thread.namespace)
+            self._decoded = self._decoded_ns[thread.namespace]
         try:
             if (stop is None and max_instrs is None
                     and self.dispatch == "fast"
@@ -294,6 +389,9 @@ class Machine:
                                   self.instr_count - start_count, quantum)
         finally:
             self.current_thread = prev_thread
+            if prev_loader is not None:
+                self.loader = prev_loader
+                self._decoded = prev_decoded
             if quantum is not None:
                 over = (self.instr_count - start_count) - quantum
                 if over > self.max_quantum_overshoot:

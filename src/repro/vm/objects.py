@@ -26,11 +26,20 @@ def default_value(type_name: str) -> Any:
 
 
 class VMClass:
-    """A linked runtime class."""
+    """A linked runtime class.
 
-    def __init__(self, cf: ClassFile, superclass: Optional["VMClass"]):
+    ``namespace`` is the tag of the class-loader namespace that linked
+    it (``None`` for the root loader): static cells live per linked
+    class, so the tag identifies which context's cells these are —
+    write barriers and write-back messages carry it so a multi-tenant
+    worker attributes static writes to the right namespace.
+    """
+
+    def __init__(self, cf: ClassFile, superclass: Optional["VMClass"],
+                 namespace: Optional[str] = None):
         self.cf = cf
         self.superclass = superclass
+        self.namespace = namespace
         #: all instance fields, superclass-first
         self.all_fields: List[FieldDecl] = []
         if superclass is not None:

@@ -112,17 +112,20 @@ class VMTI:
 
     # -- statics --------------------------------------------------------------
 
-    def get_static(self, class_name: str, field: str) -> Any:
-        """Read a static field of a *loaded* class."""
+    def get_static(self, class_name: str, field: str,
+                   namespace: Optional[str] = None) -> Any:
+        """Read a static field of a *loaded* class (in ``namespace``;
+        ``None`` = the root loader)."""
         self._charge(self._c.get_static)
-        cls = self.machine.loader.load(class_name)
+        cls = self.machine.namespace(namespace).load(class_name)
         return cls.find_static_home(field).statics[field]
 
-    def set_static(self, class_name: str, field: str, value: Any) -> None:
+    def set_static(self, class_name: str, field: str, value: Any,
+                   namespace: Optional[str] = None) -> None:
         """Write a static field (used during restoration, like JNI
-        ``SetStatic<Type>Field``)."""
+        ``SetStatic<Type>Field``) — namespaced like :meth:`get_static`."""
         self._charge(self._c.set_static)
-        cls = self.machine.loader.load(class_name)
+        cls = self.machine.namespace(namespace).load(class_name)
         cls.find_static_home(field).statics[field] = value
 
     def loaded_classes(self) -> List[VMClass]:

@@ -1,17 +1,21 @@
 """Request-mix scenarios for the elastic serving layer.
 
 A *serve program* is a guest program small enough that one request is a
-few thousand to a few tens of thousands of instructions — web-request
-scale rather than batch scale — and **reentrant** (no mutable statics),
-because the scheduler time-slices many requests on one node's machine.
-A *request mix* is a weighted catalogue of (program, args) pairs from
-which a seeded load generator draws a deterministic request stream.
+few thousand to a few hundred thousand instructions — web-request scale
+rather than batch scale.  A *request mix* is a weighted catalogue of
+(program, args) pairs from which a seeded load generator draws a
+deterministic request stream.
 
-FFT and TSP from the paper registry are deliberately absent: they keep
-their working state in static fields, so two interleaved requests of
-the same program would corrupt each other.  That is a real property of
-the guest code, not a scheduler limitation; the single-tenant
-experiment harnesses still run them.
+Programs are marked **reentrant** (no mutable statics: safe to
+time-slice many requests on one machine's shared cells) or
+**isolated** (statics carry working state — FFT and TSP from the paper
+registry).  Isolated programs used to be excluded from every mix;
+since class-loader namespaces landed, the scheduler gives each such
+request its own namespace (its own static cells, on every node it
+migrates through), so the ``"paper"`` mix serves the full registry
+concurrently — including offload, migration, and multi-hop chains.
+Reentrant programs skip the namespace entirely and keep the original
+zero-overhead path.
 """
 
 from __future__ import annotations
@@ -30,11 +34,16 @@ from repro.workloads import programs
 
 @dataclass(frozen=True)
 class ServeProgram:
-    """One servable guest program: source + entry point."""
+    """One servable guest program: source + entry point.
+
+    ``reentrant=False`` marks a program whose mutable statics carry
+    request state: the scheduler must serve each request of it inside
+    a fresh class-loader namespace (per-request static cells)."""
 
     name: str
     source: str
     main: Tuple[str, str]
+    reentrant: bool = True
 
 
 SERVE_PROGRAMS: Dict[str, ServeProgram] = {
@@ -43,7 +52,20 @@ SERVE_PROGRAMS: Dict[str, ServeProgram] = {
     "MM": ServeProgram("MM", programs.MATMUL, ("MM", "main")),
     "Primes": ServeProgram("Primes", programs.PRIMES, ("Primes", "main")),
     "QS": ServeProgram("QS", programs.QSORT, ("QS", "main")),
+    # The paper registry's statics-heavy pair: working state lives in
+    # static fields (FFT's arrays/result, TSP's distance matrix and
+    # best bound), so concurrent requests need namespace isolation.
+    "FFT": ServeProgram("FFT", programs.FFT, ("FFT", "main"),
+                        reentrant=False),
+    "TSP": ServeProgram("TSP", programs.TSP, ("TSP", "main"),
+                        reentrant=False),
 }
+
+
+def needs_isolation(program: str) -> bool:
+    """Does a request of ``program`` require its own class-loader
+    namespace (non-reentrant statics)?"""
+    return not SERVE_PROGRAMS[program].reentrant
 
 
 @lru_cache(maxsize=None)
@@ -161,6 +183,23 @@ MIXES: Dict[str, RequestMix] = {
         ("Primes", (300,), 4.0),
         ("Fib", (17,), 1.0),
         ("QS", (400,), 1.0),
+    ),
+    # The full paper registry, statics-heavy programs included: FFT
+    # keeps its arrays and result in statics, TSP its distance matrix
+    # and best-tour bound — each such request runs in its own
+    # class-loader namespace (fresh static cells on every node it
+    # touches), so heavy traffic, offload and multi-hop chains all
+    # work on programs that were previously excluded from serving.
+    # Sizes span light lookups (TSP n=5, ~18k instrs) to heavy compute
+    # (FFT 4x4 2D transform + checksum, ~145k instrs).
+    "paper": _mix(
+        "paper",
+        "the whole registry incl. non-reentrant FFT/TSP via namespaces",
+        ("FFT", (4, 8), 2.0),
+        ("TSP", (5,), 3.0),
+        ("TSP", (6,), 1.0),
+        ("Fib", (14,), 2.0),
+        ("NQ", (5,), 2.0),
     ),
     # Offload-heavy: uniformly heavy, deep-stacked requests (~100-250k
     # instructions, dozens of quanta each) — nearly every thread lives

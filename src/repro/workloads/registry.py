@@ -39,6 +39,9 @@ class Workload:
         paper_h: Table I max stack height (for reporting alongside ours).
         trigger: where the experiments place the migration.
         mig_frames: SOD segment size at that trigger (paper: top frame).
+        reentrant: False when mutable statics carry run state — such a
+            workload can only be served concurrently inside per-request
+            class-loader namespaces (see ``repro.workloads.mixes``).
     """
 
     name: str
@@ -51,6 +54,7 @@ class Workload:
     trigger_method: Tuple[str, str]
     trigger_depth: int = 0
     mig_frames: int = 1
+    reentrant: bool = True
 
     def trigger(self) -> Trigger:
         """The migration trigger: fires at entry of ``trigger_method``
@@ -80,11 +84,12 @@ WORKLOADS: Dict[str, Workload] = {
         name="FFT", source=programs.FFT, main=("FFT", "main"),
         # dim=32 (1024 points), 32768 nominal bytes/elem -> 64 MB total
         paper_n=256, sim_args=(32, 32768), paper_jdk_seconds=12.39,
-        paper_h=4, trigger_method=("FFT", "checksum")),
+        paper_h=4, trigger_method=("FFT", "checksum"), reentrant=False),
     "TSP": Workload(
         name="TSP", source=programs.TSP, main=("TSP", "main"),
         paper_n=12, sim_args=(8,), paper_jdk_seconds=2.92, paper_h=4,
-        trigger_method=("TSP", "search"), trigger_depth=4),
+        trigger_method=("TSP", "search"), trigger_depth=4,
+        reentrant=False),
 }
 
 

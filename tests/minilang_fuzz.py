@@ -2,7 +2,9 @@
 
 Generates random-but-valid MiniLang programs (bounded loops, DAG calls,
 bounded recursion, arrays, objects, virtual-dispatch hierarchies,
-switch/LSWITCH, statics, try/catch, guest-exception sites) and
+switch/LSWITCH, statics, string bands — concat / compare / length /
+substring over locals and a static string cell, substr-clamped so
+loop-carried folds stay bounded — try/catch, guest-exception sites) and
 differentially checks the fast pre-decoded/fused/inline-cached
 interpreter against the legacy string-dispatched loop on
 stdout / result / uncaught-exception / instr_count / clock.
@@ -70,7 +72,7 @@ class FuzzProgram:
 
     def render(self) -> str:
         parts = ["class Box { int v; Box next; }",
-                 "class S { static int acc; }",
+                 "class S { static int acc; static str tag; }",
                  # a three-deep virtual-dispatch hierarchy: V/VA/VB all
                  # override f, VB also overrides g (which calls f
                  # virtually through this), so receiver-class inline
@@ -123,6 +125,7 @@ class _Ctx:
         self.rng = rng
         self.ints: List[str] = ["a", "b"]
         self.floats: List[str] = []       # declared float vars
+        self.strs: List[str] = []         # declared str vars
         self.arrays: List[Tuple[str, int]] = []  # (name, length)
         self.boxes: List[str] = []        # initialized Box vars
         self.null_boxes: List[str] = []   # vars that may hold null
@@ -150,6 +153,8 @@ def _expr(ctx: _Ctx, depth: int) -> str:
         return rng.choice(ctx.ints)
     if roll < 0.56:
         return "S.acc"
+    if roll < 0.59 and ctx.strs:
+        return f"Sys.len({_sexpr(ctx, 1)})"  # length band
     if roll < 0.63 and ctx.arrays:
         name, length = rng.choice(ctx.arrays)
         # mostly in bounds, sometimes out (guest IndexOutOfBounds site)
@@ -215,11 +220,71 @@ def _float_stmt(ctx: _Ctx) -> str:
     return f"{var} = ({_fexpr(ctx, 2)}) % {FCLAMP};"
 
 
+#: substring clamp length: loop-carried string folds are cut to this
+#: many chars, so concat inside a loop cannot grow without bound
+SCLAMP = 8
+
+_STR_LITS = ('""', '"a"', '"xy"', '"Q9"', '"_"')
+
+
+def _sexpr(ctx: _Ctx, depth: int) -> str:
+    """A string-valued expression: literals, declared str vars, the
+    static string cell, concat (int operands coerce via ADD's string
+    rule), and substring slices.  ``Sys.charAt`` is deliberately
+    absent — an out-of-range index there is a *host* IndexError, not a
+    guest exception, so it cannot be differentially compared."""
+    rng = ctx.rng
+    roll = rng.random()
+    if depth <= 0 or roll < 0.30:
+        return rng.choice(_STR_LITS)
+    if roll < 0.50 and ctx.strs:
+        return rng.choice(ctx.strs)
+    if roll < 0.58:
+        return "S.tag"
+    if roll < 0.72:
+        return f"({_sexpr(ctx, depth - 1)} + {_expr(ctx, 1)})"
+    if roll < 0.86:
+        return f"({_sexpr(ctx, depth - 1)} + {_sexpr(ctx, depth - 1)})"
+    lo = rng.randint(0, 2)
+    return (f"Sys.substr({_sexpr(ctx, depth - 1)}, {lo}, "
+            f"{lo + rng.randint(0, SCLAMP)})")
+
+
+def _str_fold(ctx: _Ctx) -> str:
+    """Fold into an existing str var or the static string cell —
+    always substr-clamped (legal inside loop bodies)."""
+    rng = ctx.rng
+    if not ctx.strs or rng.random() < 0.3:
+        return (f"S.tag = Sys.substr(S.tag + {_sexpr(ctx, 1)}, 0, "
+                f"{SCLAMP});")
+    var = rng.choice(ctx.strs)
+    return f"{var} = Sys.substr({var} + {_sexpr(ctx, 1)}, 0, {SCLAMP});"
+
+
+def _string_stmt(ctx: _Ctx) -> str:
+    """Declare a fresh str, or fold into an existing one."""
+    rng = ctx.rng
+    if not ctx.strs or rng.random() < 0.45:
+        var = ctx.fresh("s")
+        text = f"str {var} = {_sexpr(ctx, 2)};"
+        ctx.strs.append(var)
+        return text
+    return _str_fold(ctx)
+
+
 def _cond(ctx: _Ctx) -> str:
     rng = ctx.rng
     op = rng.choice(("<", "<=", ">", ">=", "==", "!="))
-    if ctx.floats and rng.random() < 0.15:
+    roll = rng.random()
+    if ctx.floats and roll < 0.15:
         c = f"{rng.choice(ctx.floats)} {op} {_fexpr(ctx, 1)}"
+    elif ctx.strs and roll < 0.30:
+        # string bands: equality on contents, ordering/length via len
+        if rng.random() < 0.5:
+            c = (f"{rng.choice(ctx.strs)} {rng.choice(('==', '!='))} "
+                 f"{_sexpr(ctx, 1)}")
+        else:
+            c = f"Sys.len({_sexpr(ctx, 1)}) {op} {_expr(ctx, 1)}"
     else:
         c = f"{_expr(ctx, 1)} {op} {_expr(ctx, 1)}"
     if rng.random() < 0.2:
@@ -235,10 +300,12 @@ def _simple_stmt(ctx: _Ctx, clamp: bool) -> str:
     scope-safe under shrinking)."""
     rng = ctx.rng
     roll = rng.random()
-    if roll < 0.15:
+    if roll < 0.12:
         return f'Sys.print("v=" + {_expr(ctx, 1)});'
-    if roll < 0.30:
+    if roll < 0.24:
         return f"S.acc = (S.acc + {_expr(ctx, 1)}) % {CLAMP};"
+    if roll < 0.30:
+        return _str_fold(ctx)
     if roll < 0.45 and ctx.arrays:
         name, length = rng.choice(ctx.arrays)
         idx = rng.randint(0, max(0, length - 1))
@@ -304,12 +371,17 @@ def _stmt(ctx: _Ctx) -> str:
         ctx.vobjs.append(var)
         return (f"V {var} = new {cls}();\n"
                 f"{var}.tag = {_expr(ctx, 1)};")
-    if roll < 0.58:
+    if roll < 0.57:
         text = _float_stmt(ctx)
         if rng.random() < 0.3 and ctx.floats:
             text += f'\nSys.print("fv=" + {rng.choice(ctx.floats)});'
         return text
-    if roll < 0.66:
+    if roll < 0.63:
+        text = _string_stmt(ctx)
+        if rng.random() < 0.3 and ctx.strs:
+            text += f'\nSys.print("sv=" + {rng.choice(ctx.strs)});'
+        return text
+    if roll < 0.68:
         return (f"if ({_cond(ctx)}) {{\n"
                 f"  {_simple_stmt(ctx, clamp=False)}\n"
                 f"}} else {{\n"

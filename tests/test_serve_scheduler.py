@@ -12,7 +12,8 @@ from repro.errors import VMError
 from repro.migration.sodee import SODEngine
 from repro.serve import (ClockPressurePolicy, ClusterScheduler,
                          FrontDoorPlacement, LoadGenerator, QueueDepthPolicy,
-                         Request, WeightedRoundRobinPlacement, serve_mix)
+                         Request, ShedWhenSaturated,
+                         WeightedRoundRobinPlacement, serve_mix)
 from repro.vm import Machine
 from repro.workloads.mixes import (MIXES, RequestSpec,
                                    expected_request_result, serve_classpath,
@@ -302,3 +303,43 @@ def test_weighted_round_robin_rebuilds_on_reweighted_cluster():
                        placement=placement)
     places = [placement.place(skewed, None) for _ in range(8)]
     assert places.count("node0") == 6  # 3:1, not the stale 1:1 cycle
+
+
+# -- front-door admission control ----------------------------------------------
+
+
+def test_admission_sheds_when_every_rack_saturated():
+    """A burst far beyond capacity with a low shed threshold: once the
+    digest shows every rack's lightest node at/above the bar, later
+    arrivals are shed — counted, finished-on-arrival, never queued —
+    and everything actually admitted is still served correctly."""
+    mix = MIXES["parallel"]
+    sched = ClusterScheduler(
+        serve_cluster(2), serve_classpath(mix.programs()),
+        staleness=0.0,  # always-fresh digest: deterministic shed point
+        admission=ShedWhenSaturated(max_node_load=2.0))
+    n = 16
+    rep = sched.serve(LoadGenerator(mix, n, seed=9))
+    assert rep.stats["shed"] > 0
+    assert rep.served + rep.stats["shed"] == n
+    assert rep.served == rep.correct
+    assert rep.failed == 0 and rep.unserved == 0
+    shed = [r for r in sched.finished if r.state == "shed"]
+    assert len(shed) == rep.stats["shed"]
+    assert all(r.finished_at == r.arrival and r.thread is None
+               for r in shed)
+    # the load index drained: shed requests never touched a queue
+    assert all(c == 0 for c in sched.load_index.count.values())
+
+
+def test_admission_admits_everything_under_light_load():
+    """Spaced arrivals under the same threshold: the digest never shows
+    saturation, nothing is shed."""
+    mix = MIXES["parallel"]
+    sched = ClusterScheduler(
+        serve_cluster(2), serve_classpath(mix.programs()),
+        staleness=0.0,
+        admission=ShedWhenSaturated(max_node_load=2.0))
+    rep = sched.serve(LoadGenerator(mix, 8, seed=9, interarrival=0.05))
+    assert rep.stats["shed"] == 0
+    assert rep.served == rep.correct == 8

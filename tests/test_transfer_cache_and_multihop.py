@@ -528,3 +528,140 @@ def test_max_quantum_overshoot_is_recorded():
     rep = serve_mix("parallel", n_nodes=2, n_requests=6, seed=3)
     rep_overshoot = rep.stats["max_quantum_overshoot"]
     assert rep_overshoot is not None and rep_overshoot >= 0
+
+
+# -- transfer-cache fuzz: randomized abandon/re-offload/rehop interleavings ----
+#
+# The PR 4 property test drives *sequential* schedules (one segment in
+# flight at a time).  This fuzz layer interleaves several live segments
+# per home — offloads to varying workers, mid-run slices, chain rehops,
+# abandons, home-side mutations between episodes — and requires the
+# cache-enabled engine to stay bit-identical to the cache-off oracle on
+# every completed result and on the final home state, while moving no
+# more bytes.  The op stream is seeded, so CI replays exact schedules.
+
+import os
+
+FUZZ_CACHE_SEEDS = [int(s) for s in os.environ.get(
+    "REPRO_CACHE_FUZZ_SEEDS", "0,1,2,3").split(",")]
+
+
+def _fuzz_spawn(eng, home, d, n):
+    """A fresh outer(d, n) thread, run to the first MSP."""
+    t = eng.spawn(home, "P", "outer", [d, n])
+    run_to_msp(home.machine, t)
+    return t
+
+
+@pytest.mark.parametrize("seed", FUZZ_CACHE_SEEDS)
+def test_transfer_cache_fuzz_interleaved_schedules(seed):
+    from repro.migration.segments import max_migratable
+
+    rng = random.Random(f"cachefuzz:{seed}")
+    engines = [SODEngine(gige_cluster(4), _chain_classes(),
+                         transfer_cache=on) for on in (True, False)]
+    homes = [eng.host("node0") for eng in engines]
+    dees = []
+    for home in homes:
+        d = home.machine.heap.new_instance(home.machine.loader.load("D"))
+        d.fields["v"] = 7
+        dees.append(d)
+    workers = ("node1", "node2", "node3")
+    # live[i] is the per-engine list of in-flight segments:
+    # (home_thread, seg_thread, worker_host, nframes)
+    live = [[], []]
+    results = [[], []]
+
+    def complete(idx):
+        """Finish and complete live segment ``idx`` on both engines."""
+        for k, eng in enumerate(engines):
+            t, wt, worker, nframes = live[k].pop(idx)
+            eng.run(worker, wt)
+            eng.complete_segment(worker, wt, homes[k], t, nframes)
+            eng.run(homes[k], t)
+            results[k].append(t.result)
+
+    for step in range(16):
+        op = rng.random()
+        if op < 0.18:
+            # home-side mutation between segment episodes
+            delta = rng.randint(1, 9)
+            for home, d in zip(homes, dees):
+                cls = home.machine.loader.load("P")
+                cls.statics["s0"] = cls.statics["s0"] + delta
+                if step % 2:
+                    d.fields["v"] = d.fields["v"] + 1
+        elif op < 0.50 or not live[0]:
+            # spawn + offload a fresh segment to a random worker
+            n = rng.randint(2, 6)
+            dst = rng.choice(workers)
+            run = rng.randint(0, 60)
+            for k, eng in enumerate(engines):
+                t = _fuzz_spawn(eng, homes[k], dees[k], n)
+                eng.run(homes[k], t, max_instrs=run)
+                if t.finished:
+                    results[k].append(t.result)
+                    continue
+                run_to_msp(homes[k].machine, t)
+                nmax = min(max_migratable(t), t.depth() - 1)
+                if nmax < 1:
+                    eng.run(homes[k], t)
+                    results[k].append(t.result)
+                    continue
+                nframes = rng.randint(1, nmax)
+                worker, wt, _rec = eng.migrate(homes[k], t, dst, nframes)
+                live[k].append((t, wt, worker, nframes))
+            assert len(live[0]) == len(live[1])
+        elif op < 0.62:
+            # run a slice of one live segment on its current hop
+            idx = rng.randrange(len(live[0]))
+            slice_instrs = rng.randint(1, 80)
+            for k, eng in enumerate(engines):
+                _t, wt, worker, _n = live[k][idx]
+                eng.run(worker, wt, max_instrs=slice_instrs)
+        elif op < 0.76:
+            # chain rehop: push one live segment a hop onward
+            idx = rng.randrange(len(live[0]))
+            cur = live[0][idx][2].node_name
+            choices = [w for w in workers if w != cur]
+            dst = rng.choice(choices)
+            outcomes = []
+            for k, eng in enumerate(engines):
+                t, wt, worker, nframes = live[k][idx]
+                if wt.finished:
+                    outcomes.append("finished")
+                    continue
+                try:
+                    w2, wt2, _ = eng.rehop_segment(worker, wt, dst,
+                                                   homes[k])
+                except MigrationError:
+                    outcomes.append("refused")
+                    continue
+                outcomes.append("hopped")
+                live[k][idx] = (t, wt2, w2, nframes)
+            # both engines must take the same path (identical guest
+            # schedules -> identical capturability)
+            assert len(set(outcomes)) == 1, outcomes
+            if outcomes[0] == "finished":
+                complete(idx)
+        elif op < 0.86:
+            # abandon: the segment dies, effects dropped on both sides;
+            # ledger entries for its dirty statics must be invalidated
+            # (a later delta capture re-ships them in full)
+            idx = rng.randrange(len(live[0]))
+            for k, eng in enumerate(engines):
+                t, wt, worker, _n = live[k].pop(idx)
+                eng.abandon_segment(worker, wt)
+        else:
+            complete(rng.randrange(len(live[0])))
+
+    while live[0]:
+        complete(0)
+
+    assert results[0] == results[1]
+    final = [dict(h.machine.loader.load("P").statics) for h in homes]
+    assert final[0] == final[1]
+    assert dees[0].fields["v"] == dees[1].fields["v"]
+    cached_bytes = engines[0].cluster.network.total_bytes()
+    full_bytes = engines[1].cluster.network.total_bytes()
+    assert cached_bytes <= full_bytes
