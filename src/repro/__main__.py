@@ -138,6 +138,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max quantum overshoot {s['max_quantum_overshoot']} instrs")
     print(f"static isolation: {s['isolated']} requests in per-request "
           f"namespaces; admission shed {s['shed']}")
+    print(f"tier-2 jit: {s['tier2_compiles']} compiles "
+          f"({s['tier2_precompiles']} profile-driven), "
+          f"{s['tier2_deopts']} deopts, "
+          f"{s['tier2_guard_bails']} guard bails")
     per_dec = s["decision_ops"] / s["decisions"] if s["decisions"] else 0.0
     print(f"decisions={s['decisions']} "
           f"(index ops/decision={per_dec:.1f}) "

@@ -117,6 +117,11 @@ class CodeObject:
         )
         self.msps: set[int] = set()
         self.version = version
+        #: tier-up profile: frame entries + loop back-edges observed by
+        #: the fast loop.  Shared across machines on purpose — hotness
+        #: is a property of the program, not of one VM — so machines
+        #: compare against the threshold with ``>=``, never ``==``.
+        self.hotness = 0
         #: cache for :meth:`predecoded`: id(weights) -> (weights, stream).
         #: The weight table itself is kept in the entry so the id cannot
         #: be recycled by a new dict while the cache is alive.

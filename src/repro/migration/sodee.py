@@ -455,10 +455,17 @@ class SODEngine:
 
     def run(self, host: Host, thread: ThreadState,
             stop: Optional[Callable[[ThreadState], bool]] = None,
-            max_instrs: Optional[int] = None) -> str:
-        """Run a thread on its host, advancing the timeline."""
+            max_instrs: Optional[int] = None,
+            quantum: Optional[int] = None) -> str:
+        """Run a thread on its host, advancing the timeline.
+
+        ``quantum`` forwards to :meth:`Machine.run`'s scheduler budget;
+        unlike ``max_instrs`` it keeps the fast (and tier-2) path, so a
+        thread can be frozen at a safepoint inside compiled code and
+        then captured — the tier-2 migration fuzzer leans on this."""
         t0 = host.machine.clock
-        status = host.machine.run(thread, stop=stop, max_instrs=max_instrs)
+        status = host.machine.run(thread, stop=stop, max_instrs=max_instrs,
+                                  quantum=quantum)
         self.timeline += host.machine.clock - t0
         return status
 

@@ -149,6 +149,34 @@ def decode_and_fuse(code: CodeObject, weights: Dict[str, float],
     return out
 
 
+def cache_seeds(stream: List[DecodedSlot],
+                code: CodeObject) -> Dict[int, list]:
+    """Warmed inline-cache cells of ``stream``, keyed by original bci.
+
+    The tier-2 compiler reuses the monomorphic facts tier-1 execution
+    has already proven instead of re-discovering them: every
+    GETS/PUTS/INVOKESTATIC/INVOKEVIRT site that kept its plain decoded
+    slot (fusion only replaces the group-leader position; component
+    bcis keep their own decodable slot) and whose cell is bound
+    contributes a seed.  The returned cells are the *live* tier-1
+    cells, so a rebind by either tier is seen by both.
+    """
+    ids = op.OP_IDS
+    seeds: Dict[int, list] = {}
+    for i, ins in enumerate(code.instrs):
+        ncells = _CACHED_OPS.get(ins.op)
+        if ncells is None or i >= len(stream):
+            continue
+        slot = stream[i]
+        if slot[0] != ids[ins.op]:
+            continue  # fused over: per-site state lives in the leader
+        aux = slot[5]
+        if isinstance(aux, list) and len(aux) == ncells \
+                and aux[0] is not None:
+            seeds[i] = aux
+    return seeds
+
+
 def _fuse_at(base: Sequence[Tuple[int, Any, Any, float]], i: int, n: int,
              arith: Dict[str, Callable], fast2: Dict[str, Callable],
              ) -> Any:

@@ -70,6 +70,13 @@ _STOP = object()
 #: thousand-deep backlog must not make every offload an O(queue) walk)
 VICTIM_SCAN_WINDOW = 64
 
+#: profile-driven tier-up: when :class:`WorkProfile` already knows a
+#: program averages at least this many instructions per request, its
+#: entry point is tier-2 compiled at spawn instead of interpreting the
+#: first ``JIT_THRESHOLD`` activations of a request that will run for
+#: many quanta anyway
+PRECOMPILE_INSTRS = 50_000
+
 
 @dataclass
 class ServeReport:
@@ -178,7 +185,7 @@ class ClusterScheduler:
             "batched_threads": 0, "offload_aborts": 0, "completions": 0,
             "failed": 0, "decisions": 0, "decision_ops": 0,
             "victim_vetoes": 0, "seg_rehops": 0, "shed": 0,
-            "isolated": 0,
+            "isolated": 0, "tier2_precompiles": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
@@ -324,6 +331,10 @@ class ClusterScheduler:
             req.thread = machine.spawn(cls, meth, list(req.spec.args),
                                        thread_name=req.label(),
                                        namespace=req.namespace)
+            mean = self.profile.mean(req.spec.program)
+            if mean is not None and mean >= PRECOMPILE_INSTRS:
+                if machine.precompile(cls, meth, namespace=req.namespace):
+                    self.stats["tier2_precompiles"] += 1
         req.quanta += 1
         status = machine.run(req.thread, quantum=self.quantum)
         req.instrs += machine.instr_count - i0
@@ -635,6 +646,12 @@ class ClusterScheduler:
         stats["max_quantum_overshoot"] = max(
             (h.machine.max_quantum_overshoot
              for h in self.engine.hosts.values()), default=0)
+        # Tier-2 JIT activity across every node's VM.
+        hosts = self.engine.hosts.values()
+        stats["tier2_compiles"] = sum(h.machine.jit_compiles for h in hosts)
+        stats["tier2_deopts"] = sum(h.machine.jit_deopts for h in hosts)
+        stats["tier2_guard_bails"] = sum(
+            h.machine.jit_guard_bails for h in hosts)
         def pct(p: float) -> float:
             return lat[int(p * (len(lat) - 1))] if lat else 0.0
         return ServeReport(

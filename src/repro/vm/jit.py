@@ -1,0 +1,1002 @@
+"""Tier-2 specializing JIT: hot code objects become Python closures.
+
+The interpreter already pre-decodes, fuses and inline-caches (tier 1,
+:meth:`repro.vm.machine.Machine._run_fast`); this module adds the next
+tier above it.  :func:`compile_code` turns one :class:`CodeObject` into
+a *specialized Python closure*: the method's control-flow graph is
+compiled to a ``while``-loop over basic blocks, the operand stack is
+compiled away into Python local temporaries (``s0``, ``s1``, ...),
+guest locals stay in ``frame.locals`` (so deoptimization never needs a
+write-back pass), and every monomorphic fact the tier-1 inline caches
+have proven — static-call targets, static-field home dicts, virtual
+receiver classes — is baked in as a bound constant or a one-compare
+guard.
+
+Execution protocol
+------------------
+
+A compiled closure executes exactly ONE frame and returns control to
+the fast loop's outer driver at every boundary that other subsystems
+can observe; frames stay plain data, so SOD capture/restore, VMTI and
+migration are oblivious to the tier:
+
+``fn(m, thread, frame, frames, ql, w_acc, n_acc, opc)`` returns a
+status tuple ``(st, w_acc, n_acc, aux, aux2)``:
+
+=====  ==========================================================
+``st``
+=====  ==========================================================
+0      guest call: callee frame pushed, caller suspended at the
+       return bci with its live operand stack spilled
+1      return: frame popped, value delivered to the caller's
+       operand stack (or ``thread.result``)
+2      scheduler preemption: ``frame.pc`` at a safepoint bci, the
+       full operand stack spilled (``"preempted"``)
+3      guest throw: accounting flushed, ``frame.pc`` at the
+       faulting bci; ``aux`` is the exception, ``aux2`` the
+       faulting instruction's weight (charged only if a handler
+       is found — same rule as both interpreter tiers)
+4      a native set ``thread.pending_exception``; resume state
+       materialized at the bci after the native
+5      deopt: a native installed hooks mid-run; state
+       materialized, the driver retreats to the legacy loop
+=====  ==========================================================
+
+Safepoints and accounting
+-------------------------
+
+``frame.pc`` and ``frame.stack`` are materialized *only* at safepoints:
+calls, returns, natives, loop back-edges, straight-line poll sites
+(every ``_POLL_EVERY`` instructions, closing the preemption-coverage
+gap for long call-free tails), and guest-throw sites.  Between
+safepoints the closure runs pure Python with block-summed
+``w_acc``/``n_acc`` accounting constants, so ``instr_count`` is
+integer-exact against tier 1 while the clock agrees to float
+re-association (every clock comparison in the tree uses
+``math.isclose``; the cost weights are non-dyadic, so any summation
+order differs in ulps).
+
+Guest exceptions report a precise faulting bci through a per-closure
+fault table (``f`` holds the index of the last armed fault record).
+Host-level errors (LinkError, type confusion) reuse the last armed
+record best-effort — they abort the run, so the guest can never observe
+the approximation.
+
+Compilation is per ``(code, namespace)``: the machine compiles while a
+namespace's loader is swapped in, and stores the closure in that
+namespace's own compiled map, so bound static cells never leak across
+class-loader namespaces (mirroring the decoded-stream maps).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.bytecode import opcodes as op
+from repro.bytecode.code import CodeObject
+from repro.bytecode.verifier import stack_depths
+from repro.errors import LinkError, VMError
+from repro.preprocess.fuse import cache_seeds
+
+#: hotness (entries + loop back-edges) at which a code object tiers up
+JIT_THRESHOLD = 16
+
+#: refuse absurdly large methods (compile time is O(instrs))
+_MAX_INSTRS = 3000
+
+#: straight-line instructions between injected safepoint polls
+_POLL_EVERY = 192
+
+#: compiled->compiled direct calls nest at most this many host frames;
+#: past the cap every call round-trips through the (stackless) driver,
+#: so guest recursion depth is never limited by the host's
+_MAX_INLINE_DEPTH = 100
+
+#: binop opcode -> inline Python operator (certified equivalent to the
+#: interpreter's semantic helpers for every guest value type: no guest
+#: type overloads comparison/equality — see machine._FAST2)
+_INLINE_BINOP = {
+    op.SUB: "-", op.MUL: "*",
+    op.EQ: "==", op.NE: "!=",
+    op.LT: "<", op.LE: "<=", op.GT: ">", op.GE: ">=",
+}
+
+#: value-producing ops whose result assignment is the last action that
+#: can raise — safe to fuse with a following STORE (write straight to
+#: the local slot, skipping the temp)
+_STORE_FUSABLE = frozenset({
+    op.ADD, op.SUB, op.MUL, op.DIV, op.MOD, op.EQ, op.NE, op.LT, op.LE,
+    op.GT, op.GE, op.NEG, op.NOT, op.ISREMOTE, op.LEN, op.ALOAD,
+    op.GETF, op.GETS, op.NEW, op.NEWARR,
+})
+
+_CMP_OPS = frozenset({op.EQ, op.NE, op.LT, op.LE, op.GT, op.GE})
+
+
+class _Refuse(Exception):
+    """Internal: this method is not tier-2 compilable."""
+
+
+# -- runtime helpers bound into every closure ------------------------------------
+#
+# Cold paths only: each mirrors the corresponding interpreter branch
+# exactly (same exception classes, same message formats), so the
+# differential suite cannot tell the tiers apart.
+
+def _tname(v: Any) -> str:
+    from repro.vm.machine import _tname as t
+    return t(v)
+
+
+def _arr_fail(m: Any, arr: Any, what: str) -> Any:
+    """Array-op guard miss: NPE for nullish, VMError otherwise."""
+    from repro.vm.values import RemoteRef
+    if arr is None or isinstance(arr, RemoteRef):
+        raise m._npe(arr, what)
+    raise VMError(f"{what} on {_tname(arr)}")
+
+
+def _iobe(m: Any, idx: Any, n: int) -> Any:
+    return m.throw("IndexOutOfBoundsException", f"index {idx} length {n}")
+
+
+def _getf_fail(m: Any, obj: Any, fname: str) -> Any:
+    from repro.vm.objects import VMInstance
+    from repro.vm.values import RemoteRef
+    if not isinstance(obj, VMInstance) and (
+            obj is None or isinstance(obj, RemoteRef)):
+        raise m._npe(obj, f"getfield {fname}")
+    raise LinkError(f"no field {fname!r} on {_tname(obj)}")
+
+
+def _putf_fail(m: Any, obj: Any, fname: str) -> Any:
+    from repro.vm.objects import VMInstance
+    from repro.vm.values import RemoteRef
+    if not isinstance(obj, VMInstance) and (
+            obj is None or isinstance(obj, RemoteRef)):
+        raise m._npe(obj, f"putfield {fname}")
+    raise LinkError(f"no field {fname!r} on {_tname(obj)}")
+
+
+def _throw_exc(m: Any, exc: Any) -> Any:
+    """Build the carrier for a guest THROW (validating the operand)."""
+    from repro.vm.machine import GuestThrow
+    from repro.vm.objects import VMInstance
+    from repro.vm.values import RemoteRef
+    if exc is None or isinstance(exc, RemoteRef):
+        return m._npe(exc, "throw")
+    if not isinstance(exc, VMInstance) \
+            or not exc.vmclass.is_subclass_of("Throwable"):
+        return VMError(f"throw of non-Throwable {_tname(exc)}")
+    return GuestThrow(exc)
+
+
+def _newarr(m: Any, n: Any, kind: str, eb: int) -> Any:
+    if not isinstance(n, int) or n < 0:
+        raise m.throw("IndexOutOfBoundsException", f"array length {n}")
+    need = n * eb + 16
+    if m.node is not None and (
+            m.heap.allocated_bytes + need > m.node.spec.ram_bytes):
+        raise m.throw("OutOfMemoryError",
+                      f"array of {need} bytes exceeds node RAM")
+    return m.heap.new_array(kind, n, eb)
+
+
+def _resolve_static(m: Any, cls_name: str, mname: str,
+                    nargs: int) -> Tuple[CodeObject, List[Any]]:
+    from repro.vm.machine import _arity_pad
+    cls = m.loader.load(cls_name)
+    code2 = cls.find_method(mname)
+    if code2 is None:
+        raise LinkError(f"no method {cls_name}.{mname}")
+    if not code2.is_static:
+        raise VMError(f"{cls_name}.{mname} is not static")
+    return (code2, _arity_pad(code2, nargs))
+
+
+def _resolve_virtual(m: Any, receiver: Any, name: str, nargs: int,
+                     cell: List[Any]) -> Tuple[CodeObject, List[Any]]:
+    """Virtual-call guard miss: re-resolve, rebind the guard cell."""
+    from repro.vm.machine import _arity_pad
+    from repro.vm.values import RemoteRef
+    m.jit_guard_bails += 1
+    if receiver is None or isinstance(receiver, RemoteRef):
+        raise m._npe(receiver, f"invoke {name}")
+    code2 = m._resolve_method(receiver, name)
+    c = (code2, _arity_pad(code2, nargs + 1))
+    cell[0] = receiver.vmclass
+    cell[1] = c
+    return c
+
+
+def _resolve_static_field(m: Any, cls_name: str,
+                          fname: str) -> Tuple[Dict[str, Any], str]:
+    home = m.loader.load(cls_name).find_static_home(fname)
+    return (home.statics, fname)
+
+
+# -- the compiler ----------------------------------------------------------------
+
+def _literal(v: Any) -> Optional[str]:
+    """Source literal for a CONST argument, or None to bind it."""
+    if v is None or v is True or v is False:
+        return repr(v)
+    t = type(v)
+    if t is int or t is str:
+        return repr(v)
+    if t is float:
+        if v != v or v in (float("inf"), float("-inf")):
+            return None  # non-finite floats have no literal form
+        return repr(v)
+    return None
+
+
+class _Compiler:
+    """One ``compile_code`` invocation's state."""
+
+    def __init__(self, machine: Any, code: CodeObject):
+        self.m = machine
+        self.code = code
+        self.instrs = code.instrs
+        self.wt = machine.cost.op_weights.get
+        self.lines: List[str] = []
+        self.consts: Dict[str, Any] = {}
+        self._const_by_id: Dict[int, str] = {}
+        self._kn = 0
+        self._un = 0
+        #: fault table: (bci, w_pre, n_pre, w_self); index 0 is the
+        #: "nothing armed yet" sentinel
+        self.faults: List[Tuple[int, float, int, float]] = [(0, 0.0, 0, 0.0)]
+        self.seg_w = 0.0
+        self.seg_n = 0
+        self.sym: List[Tuple[str, Optional[int]]] = []
+        self.indent = 16
+        # tier-1 cache seeds: bci -> warmed inline-cache cell contents
+        stream = machine._decoded.get(code)
+        self.seeds = cache_seeds(stream, code) if stream else {}
+
+    # -- plumbing ---------------------------------------------------------
+
+    def bind(self, value: Any, prefix: str = "k") -> str:
+        name = self._const_by_id.get(id(value))
+        if name is not None and self.consts[name] is value:
+            return name
+        self._kn += 1
+        name = f"{prefix}{self._kn}"
+        self.consts[name] = value
+        self._const_by_id[id(value)] = name
+        return name
+
+    def emit(self, line: str, extra: int = 0) -> None:
+        self.lines.append(" " * (self.indent + extra) + line)
+
+    def fresh(self) -> str:
+        self._un += 1
+        return f"u{self._un}"
+
+    def target_name(self, pos: int) -> str:
+        """Assignment target for a push at stack position ``pos`` —
+        positional naming reuses temps, but SWAP/DUP can keep an alias
+        of ``s<pos>`` live elsewhere on the symbolic stack."""
+        name = f"s{pos}"
+        if any(e[0] == name for e in self.sym):
+            return self.fresh()
+        return name
+
+    def account(self, opname: str) -> None:
+        self.seg_w += self.wt(opname, 1.0)
+        self.seg_n += 1
+
+    def flush_acc(self, extra: int = 0) -> None:
+        """Emit the pending block-summed accounting adds."""
+        if self.seg_n:
+            self.emit(f"w_acc += {self.seg_w!r}", extra)
+            self.emit(f"n_acc += {self.seg_n}", extra)
+            self.seg_w = 0.0
+            self.seg_n = 0
+
+    def marker(self, bci: int, opname: str, charged: bool = True) -> None:
+        """Arm the fault record for a potentially-throwing op at
+        ``bci``.  The record's pre-fault sums must EXCLUDE the faulting
+        op itself (it is charged only if a handler is found, the tier-1
+        rule): ``charged`` says whether :meth:`gen_op`'s up-front
+        ``account`` of this op is still in the segment and must be
+        backed out of the record."""
+        w = self.wt(opname, 1.0)
+        idx = len(self.faults)
+        if charged:
+            self.faults.append((bci, self.seg_w - w, self.seg_n - 1, w))
+        else:
+            self.faults.append((bci, self.seg_w, self.seg_n, w))
+        self.emit(f"f = {idx}")
+
+    def spill(self, atoms: List[Tuple[str, Optional[int]]],
+              extra: int = 0) -> None:
+        if not atoms:
+            return
+        if len(atoms) == 1:
+            self.emit(f"fstack.append({atoms[0][0]})", extra)
+        else:
+            self.emit(
+                "fstack.extend((" + ", ".join(e[0] for e in atoms) + "))",
+                extra)
+
+    def poll(self, bci: int, extra: int = 0,
+             spill_sym: bool = False) -> None:
+        """Quantum safepoint: yield with ``frame.pc`` at ``bci``."""
+        self.emit(f"if ql and m.instr_count + n_acc >= ql:", extra)
+        if spill_sym:
+            self.spill(self.sym, extra + 4)
+        self.emit(f"    frame.pc = {bci}", extra)
+        self.emit(f"    return (2, w_acc, n_acc)", extra)
+
+    def materialize_slot(self, slot: int) -> None:
+        """Before ``locs[slot]`` is written, copy any symbolic-stack
+        aliases of it into temps."""
+        for p, (expr, s) in enumerate(self.sym):
+            if s == slot:
+                name = self.target_name(p)
+                self.emit(f"{name} = {expr}")
+                self.sym[p] = (name, None)
+
+    def push_temp(self, expr: str) -> None:
+        name = self.target_name(len(self.sym))
+        self.emit(f"{name} = {expr}")
+        self.sym.append((name, None))
+
+    def store_fused_slot(self, bci: int) -> Optional[int]:
+        """If the next instruction is a STORE in the same block, return
+        its slot (the caller writes its result straight to the local)."""
+        nxt = bci + 1
+        if nxt < len(self.instrs) and nxt not in self.leaders \
+                and self.instrs[nxt].op == op.STORE:
+            return self.instrs[nxt].a
+        return None
+
+    def push_value(self, bci: int, expr: str) -> int:
+        """Deliver a fusable op's result: either straight into a local
+        (STORE fusion) or onto the symbolic stack.  Returns the number
+        of extra instructions consumed (0 or 1)."""
+        slot = self.store_fused_slot(bci)
+        if slot is not None:
+            self.materialize_slot(slot)
+            self.emit(f"locs[{slot}] = {expr}")
+            self.account(op.STORE)
+            return 1
+        self.push_temp(expr)
+        return 0
+
+    # -- analysis ---------------------------------------------------------
+
+    def analyze(self) -> None:
+        code = self.code
+        n = len(code.instrs)
+        if n == 0 or n > _MAX_INSTRS:
+            raise _Refuse("size")
+        self.depths = stack_depths(code)
+        leaders: Set[int] = {0}
+        self.backward: Set[int] = set()
+        for i, ins in enumerate(code.instrs):
+            o = ins.op
+            if o in (op.JMP, op.JZ, op.JNZ):
+                leaders.add(ins.a)
+                if o != op.JMP:
+                    leaders.add(i + 1)
+                if ins.a <= i:
+                    self.backward.add(i)
+                    if o == op.JMP:
+                        # its own block: the poll reports frame.pc at
+                        # the JMP itself, exactly like tier 1
+                        leaders.add(i)
+            elif o == op.LSWITCH:
+                for t in ins.a.values():
+                    leaders.add(t)
+                leaders.add(ins.b)
+                if i + 1 < n:
+                    leaders.add(i + 1)
+            elif o in (op.INVOKESTATIC, op.INVOKEVIRT, op.NATIVE):
+                leaders.add(i)      # preemption re-entry
+                leaders.add(i + 1)  # return / after-native re-entry
+            elif o in (op.RET, op.RETV):
+                leaders.add(i)      # preemption re-entry
+        for e in code.exc_table:
+            leaders.add(e.handler)
+        # straight-line safepoint injection: long call-free stretches
+        # get a poll site (and therefore a resume entry) every
+        # _POLL_EVERY instructions
+        self.poll_sites: Set[int] = set()
+        run = 0
+        for i, ins in enumerate(code.instrs):
+            if ins.op in (op.INVOKESTATIC, op.INVOKEVIRT, op.NATIVE,
+                          op.RET, op.RETV) or i in self.backward:
+                run = 0
+                continue
+            run += 1
+            if run >= _POLL_EVERY and i in self.depths:
+                leaders.add(i)
+                self.poll_sites.add(i)
+                run = 0
+        self.leaders = {b for b in leaders
+                        if b < n and b in self.depths}
+        # Block order: loop bodies first (shorter dispatch scans on the
+        # hot path), then everything else in bci order.
+        hot: Set[int] = set()
+        for i in self.backward:
+            t = code.instrs[i].a if code.instrs[i].op == op.JMP \
+                else code.instrs[i].a
+            for b in self.leaders:
+                if t <= b <= i:
+                    hot.add(b)
+        ordered = sorted(b for b in self.leaders if b in hot) + \
+            sorted(b for b in self.leaders if b not in hot)
+        self.block_id = {b: k for k, b in enumerate(ordered)}
+        self.block_order = ordered
+
+    # -- code generation --------------------------------------------------
+
+    def compile(self) -> Tuple[Any, Dict[int, int]]:
+        self.analyze()
+        for k, start in enumerate(self.block_order):
+            kw = "if" if k == 0 else "elif"
+            self.lines.append(" " * 12 + f"{kw} b == {self.block_id[start]}:")
+            self.gen_block(start)
+        return self.assemble()
+
+    def gen_block(self, start: int) -> None:
+        code = self.code
+        n = len(self.instrs)
+        self.seg_w = 0.0
+        self.seg_n = 0
+        if start in self.poll_sites:
+            # before the preamble: on resume the operand stack is
+            # still in frame.stack and re-entry repeats the pops
+            self.poll(start)
+        d = self.depths[start]
+        self.sym = [(f"s{i}", None) for i in range(d)]
+        for i in range(d - 1, -1, -1):
+            self.emit(f"s{i} = fstack.pop()")
+        bci = start
+        while True:
+            if bci >= n:
+                raise _Refuse("fell off code end")
+            if bci != start and bci in self.leaders:
+                self.flush_acc()
+                self.spill(self.sym)
+                self.emit(f"b = {self.block_id[bci]}")
+                self.emit("continue")
+                return
+            closed, extra = self.gen_op(bci, self.instrs[bci])
+            if closed:
+                return
+            bci += 1 + extra
+
+    # one op -> source lines; returns (block_closed, extra_consumed)
+    def gen_op(self, bci: int, ins: Any) -> Tuple[bool, int]:
+        o = ins.op
+        sym = self.sym
+        self.account(o)
+
+        if o == op.LOAD:
+            sym.append((f"locs[{ins.a}]", ins.a))
+        elif o == op.CONST:
+            lit = _literal(ins.a)
+            sym.append((lit if lit is not None
+                        else self.bind(ins.a, "c"), None))
+        elif o == op.STORE:
+            v = sym.pop()
+            self.materialize_slot(ins.a)
+            self.emit(f"locs[{ins.a}] = {v[0]}")
+        elif o == op.POP:
+            sym.pop()
+        elif o == op.DUP:
+            sym.append(sym[-1])
+        elif o == op.SWAP:
+            sym[-1], sym[-2] = sym[-2], sym[-1]
+        elif o == op.NOP:
+            pass
+
+        elif o == op.ADD:
+            b = sym.pop()[0]
+            a = sym.pop()[0]
+            return (False, self.push_value(
+                bci, f"({a} + {b}) if type({a}) is int "
+                     f"and type({b}) is int else A(m, {a}, {b})"))
+        elif o in _INLINE_BINOP:
+            b = sym.pop()[0]
+            a = sym.pop()[0]
+            expr = f"{a} {_INLINE_BINOP[o]} {b}"
+            if o in _CMP_OPS:
+                nxt = bci + 1
+                if nxt < len(self.instrs) and nxt not in self.leaders \
+                        and self.instrs[nxt].op in (op.JZ, op.JNZ):
+                    # compare+branch fusion: the raw bool drives the
+                    # branch (same certification as tier-1's fused
+                    # compare-jump superinstructions — no truthy call)
+                    return (True, self.gen_branch(
+                        nxt, self.instrs[nxt], expr, raw=True))
+            return (False, self.push_value(bci, expr))
+        elif o == op.DIV or o == op.MOD:
+            b = sym.pop()[0]
+            a = sym.pop()[0]
+            self.marker(bci, o)
+            fn = "D" if o == op.DIV else "MO"
+            return (False, self.push_value(bci, f"{fn}(m, {a}, {b})"))
+        elif o == op.NEG:
+            a = sym.pop()[0]
+            return (False, self.push_value(bci, f"-({a})"))
+        elif o == op.NOT:
+            a = sym.pop()[0]
+            return (False, self.push_value(bci, f"not T({a})"))
+        elif o == op.ISREMOTE:
+            a = sym.pop()[0]
+            return (False, self.push_value(bci, f"isinstance({a}, RR)"))
+
+        elif o == op.GETF:
+            obj = sym.pop()[0]
+            self.marker(bci, o)
+            slot = self.store_fused_slot(bci)
+            fn = _literal(ins.a) or self.bind(ins.a)
+            # Guard in a temp, never in the destination: the faulting
+            # build's injected NPE handlers re-read the receiver from
+            # its *local slot* (ObjMan.resolve + retry), so a fused
+            # store must not clobber the slot before GFF raises.
+            u = self.fresh()
+            self.emit(f"{u} = {obj}.fields.get({fn}, MS) "
+                      f"if isinstance({obj}, Inst) else MS")
+            self.emit(f"if {u} is MS:")
+            self.emit(f"    raise GFF(m, {obj}, {fn})")
+            if slot is not None:
+                self.materialize_slot(slot)
+                self.emit(f"locs[{slot}] = {u}")
+                self.account(op.STORE)
+                return (False, 1)
+            sym.append((u, None))
+        elif o == op.PUTF:
+            v = sym.pop()[0]
+            obj = sym.pop()[0]
+            self.marker(bci, o)
+            fn = _literal(ins.a) or self.bind(ins.a)
+            self.emit(f"if isinstance({obj}, Inst) "
+                      f"and {fn} in {obj}.fields:")
+            self.emit(f"    {obj}.fields[{fn}] = {v}")
+            self.emit("else:")
+            self.emit(f"    raise PFF(m, {obj}, {fn})")
+        elif o == op.GETS:
+            expr = self.gen_static_cell(bci, o, ins.a)
+            return (False, self.push_value(bci, expr))
+        elif o == op.PUTS:
+            v = sym.pop()[0]
+            expr = self.gen_static_cell(bci, o, ins.a)
+            # the fast tiers only run with on_write uninstalled
+            self.emit(f"{expr} = {v}")
+        elif o == op.NEW:
+            self.marker(bci, o)
+            cls_name = ins.a
+            seeded = self.m.loader.is_loaded(cls_name)
+            if seeded:
+                k = self.bind(self.m.loader.load(cls_name), "cls")
+                return (False, self.push_value(
+                    bci, f"m.heap.new_instance({k})"))
+            nm = _literal(cls_name) or self.bind(cls_name)
+            return (False, self.push_value(
+                bci, f"m.heap.new_instance(m.loader.load({nm}))"))
+        elif o == op.NEWARR:
+            cnt = sym.pop()[0]
+            self.marker(bci, o)
+            kn = _literal(ins.a) or self.bind(ins.a)
+            return (False, self.push_value(
+                bci, f"NA(m, {cnt}, {kn}, {ins.b or 8})"))
+        elif o == op.ALOAD:
+            idx = sym.pop()[0]
+            arr = sym.pop()[0]
+            self.marker(bci, o)
+            u = self.fresh()
+            self.emit(f"{u} = {arr}.data if isinstance({arr}, Arr) "
+                      f"else AF(m, {arr}, 'arrayload')")
+            slot = self.store_fused_slot(bci)
+            tgt = f"locs[{slot}]" if slot is not None \
+                else self.target_name(len(sym))
+            if slot is not None:
+                self.materialize_slot(slot)
+            self.emit(f"if 0 <= {idx} < len({u}):")
+            self.emit(f"    {tgt} = {u}[{idx}]")
+            self.emit("else:")
+            self.emit(f"    raise IO(m, {idx}, len({u}))")
+            if slot is not None:
+                self.account(op.STORE)
+                return (False, 1)
+            sym.append((tgt, None))
+        elif o == op.ASTORE:
+            v = sym.pop()[0]
+            idx = sym.pop()[0]
+            arr = sym.pop()[0]
+            self.marker(bci, o)
+            u = self.fresh()
+            self.emit(f"{u} = {arr}.data if isinstance({arr}, Arr) "
+                      f"else AF(m, {arr}, 'arraystore')")
+            self.emit(f"if not (0 <= {idx} < len({u})):")
+            self.emit(f"    raise IO(m, {idx}, len({u}))")
+            self.emit(f"{u}[{idx}] = {v}")
+        elif o == op.LEN:
+            arr = sym.pop()[0]
+            self.marker(bci, o)
+            return (False, self.push_value(
+                bci, f"len({arr}.data) if isinstance({arr}, Arr) "
+                     f"else AF(m, {arr}, 'arraylength')"))
+
+        elif o == op.JMP:
+            if bci in self.backward:
+                # back-edge safepoint: frame.pc reports the JMP itself
+                # (not yet charged), exactly like the tier-1 fast loop
+                self.seg_w -= self.wt(op.JMP, 1.0)
+                self.seg_n -= 1
+                self.flush_acc()
+                self.poll(bci)
+                self.emit(f"w_acc += {self.wt(op.JMP, 1.0)!r}")
+                self.emit("n_acc += 1")
+            else:
+                self.flush_acc()
+            self.spill(self.sym)
+            self.emit(f"b = {self.block_id[ins.a]}")
+            self.emit("continue")
+            return (True, 0)
+        elif o == op.JZ or o == op.JNZ:
+            cond = sym.pop()[0]
+            self.gen_branch(bci, ins, cond, raw=False)
+            return (True, 0)
+        elif o == op.LSWITCH:
+            key = sym.pop()[0]
+            self.flush_acc()
+            self.spill(self.sym)
+            table = {k: self.block_id[t] for k, t in ins.a.items()}
+            tb = self.bind(table, "tb")
+            self.emit(f"b = {tb}.get({key}, {self.block_id[ins.b]})")
+            self.emit("continue")
+            return (True, 0)
+
+        elif o == op.RET or o == op.RETV:
+            self.seg_w -= self.wt(o, 1.0)
+            self.seg_n -= 1
+            self.flush_acc()
+            self.poll(bci, spill_sym=True)
+            val = sym.pop()[0] if o == op.RETV else "None"
+            self.emit("frames.pop()")
+            self.emit("if frames:")
+            self.emit(f"    frames[-1].stack.append({val})")
+            self.emit("else:")
+            self.emit("    thread.finished = True")
+            self.emit(f"    thread.result = {val}")
+            self.emit(f"return (1, w_acc + {self.wt(o, 1.0)!r}, "
+                      f"n_acc + 1)")
+            return (True, 0)
+        elif o == op.THROW:
+            v = sym.pop()[0]
+            self.seg_w -= self.wt(o, 1.0)
+            self.seg_n -= 1
+            self.marker(bci, o, charged=False)
+            self.emit(f"raise TH(m, {v})")
+            return (True, 0)
+
+        elif o == op.INVOKESTATIC:
+            return (True, self.gen_invokestatic(bci, ins))
+        elif o == op.INVOKEVIRT:
+            return (True, self.gen_invokevirt(bci, ins))
+        elif o == op.NATIVE:
+            return (False, self.gen_native(bci, ins))
+        else:  # pragma: no cover - ISA is closed
+            raise _Refuse(f"op {o}")
+        return (False, 0)
+
+    def gen_branch(self, bci: int, ins: Any, cond: str,
+                   raw: bool) -> int:
+        """JZ/JNZ (optionally fused with a preceding compare: ``raw``
+        conditions skip the truthy coercion, like tier-1 fusion)."""
+        if raw:
+            self.account(ins.op)
+        self.flush_acc()
+        self.spill(self.sym)
+        taken = self.block_id[ins.a]
+        fall = self.block_id[bci + 1]
+        test = cond if raw else f"T({cond})"
+        if ins.op == op.JZ:
+            self.emit(f"if {test}:")
+            self.emit(f"    b = {fall}")
+            self.emit("else:")
+            if ins.a <= bci:
+                self.poll(ins.a, extra=4)
+            self.emit(f"    b = {taken}")
+        else:
+            self.emit(f"if {test}:")
+            if ins.a <= bci:
+                self.poll(ins.a, extra=4)
+            self.emit(f"    b = {taken}")
+            self.emit("else:")
+            self.emit(f"    b = {fall}")
+        self.emit("continue")
+        return 1 if raw else 0
+
+    def gen_static_cell(self, bci: int, opname: str,
+                        key: Tuple[str, str]) -> str:
+        """lvalue/rvalue expression for a static field: a bound
+        ``statics`` dict when monomorphy is proven (linked class or a
+        warmed tier-1 cache), else a lazy cell identical to tier 1."""
+        cls_name, fname = key
+        seed = self.seeds.get(bci)
+        if seed is not None:
+            statics, fn = seed[0]
+            return f"{self.bind(statics, 'sd')}[{_literal(fn) or self.bind(fn)}]"
+        if self.m.loader.is_loaded(cls_name):
+            try:
+                home = self.m.loader.load(cls_name).find_static_home(fname)
+            except Exception:
+                home = None  # unresolvable: raise at runtime like tier 1
+            if home is not None:
+                return (f"{self.bind(home.statics, 'sd')}"
+                        f"[{_literal(fname) or self.bind(fname)}]")
+        cell = self.bind([None], "gc")
+        u = self.fresh()
+        self.emit(f"{u} = {cell}[0]")
+        self.emit(f"if {u} is None:")
+        self.marker(bci, opname)
+        # marker emits at base indent; re-emit inside the if
+        self.lines[-1] = self.lines[-1].replace("f =", "    f =", 1)
+        self.emit(f"    {u} = {cell}[0] = RSF(m, "
+                  f"{_literal(cls_name) or self.bind(cls_name)}, "
+                  f"{_literal(fname) or self.bind(fname)})")
+        return f"{u}[0][{u}[1]]"
+
+    def gen_invokestatic(self, bci: int, ins: Any) -> int:
+        nargs = ins.b or 0
+        sym = self.sym
+        # the call itself is charged on the return tuple, not the segment
+        self.seg_w -= self.wt(op.INVOKESTATIC, 1.0)
+        self.seg_n -= 1
+        self.flush_acc()
+        self.poll(bci, spill_sym=True)
+        args = [sym.pop()[0] for _ in range(nargs)][::-1]
+        live = list(sym)
+        cls_name, mname = ins.a
+        seed = self.seeds.get(bci)
+        bound = None
+        if seed is not None:
+            bound = seed[0]
+        elif self.m.loader.is_loaded(cls_name):
+            try:
+                bound = _resolve_static(self.m, cls_name, mname, nargs)
+            except Exception:
+                bound = None  # let the runtime raise exactly like tier 1
+        self.spill(live)
+        self.emit(f"frame.pc = {bci + 1}")
+        if bound is not None:
+            kc = self.bind(bound[0], "mc")
+            kp = self.bind(bound[1], "mp")
+            code_expr, pad_expr = kc, kp
+        else:
+            cell = self.bind([None], "ic")
+            u = self.fresh()
+            self.emit(f"{u} = {cell}[0]")
+            self.emit(f"if {u} is None:")
+            idx = len(self.faults)
+            self.faults.append((bci, 0.0, 0,
+                                self.wt(op.INVOKESTATIC, 1.0)))
+            self.emit(f"    f = {idx}")
+            self.emit(f"    {u} = {cell}[0] = RS(m, "
+                      f"{_literal(cls_name) or self.bind(cls_name)}, "
+                      f"{_literal(mname) or self.bind(mname)}, {nargs})")
+            code_expr, pad_expr = f"{u}[0]", f"{u}[1]"
+        self.gen_push_frame(code_expr, pad_expr, args)
+        self.gen_call_exit(bci, self.wt(op.INVOKESTATIC, 1.0))
+        return 0
+
+    def gen_invokevirt(self, bci: int, ins: Any) -> int:
+        nargs = ins.b or 0
+        sym = self.sym
+        self.seg_w -= self.wt(op.INVOKEVIRT, 1.0)
+        self.seg_n -= 1
+        self.flush_acc()
+        self.poll(bci, spill_sym=True)
+        args = [sym.pop()[0] for _ in range(nargs)][::-1]
+        recv = sym.pop()[0]
+        live = list(sym)
+        seed = self.seeds.get(bci)
+        # share the tier-1 cell when warmed (both tiers keep it hot);
+        # otherwise a fresh per-site guard cell
+        cell = self.bind(seed if seed is not None else [None, None], "vc")
+        mn = _literal(ins.a) or self.bind(ins.a)
+        u = self.fresh()
+        self.emit(f"if {recv}.__class__ is Inst "
+                  f"and {recv}.vmclass is {cell}[0]:")
+        self.emit(f"    {u} = {cell}[1]")
+        self.emit("else:")
+        idx = len(self.faults)
+        self.faults.append((bci, 0.0, 0, self.wt(op.INVOKEVIRT, 1.0)))
+        self.emit(f"    f = {idx}")
+        self.emit(f"    {u} = RV(m, {recv}, {mn}, {nargs}, {cell})")
+        self.spill(live)
+        self.emit(f"frame.pc = {bci + 1}")
+        self.gen_push_frame(f"{u}[0]", f"{u}[1]", [recv] + args)
+        self.gen_call_exit(bci, self.wt(op.INVOKEVIRT, 1.0))
+        return 0
+
+    def gen_call_exit(self, bci: int, w_call: float) -> None:
+        """Close a call site: try a compiled->compiled direct call
+        (host-level recursion, depth-capped so deep guest recursion
+        still round-trips through the driver instead of blowing the
+        host stack), else hand the pushed frame to the driver.
+
+        Our state is fully materialized before the nested closure runs,
+        so every non-return status simply forwards: the driver sees
+        exactly what it would have seen had it made the call itself.
+        A status-1 result from the direct callee means our own frame is
+        the top again — re-enter this region at the return-continuation
+        block without leaving the closure."""
+        ret_blk = self.block_id.get(bci + 1)
+        if ret_blk is not None:
+            u = self.fresh()
+            self.emit(f"if rd < {_MAX_INLINE_DEPTH}:")
+            self.emit(f"    {u} = JM.get(nf.code)")
+            self.emit(f"    if {u}.__class__ is tuple:")
+            self.emit(f"        res = {u}[0](m, thread, nf, frames, ql, "
+                      f"w_acc + {w_call!r}, n_acc + 1, opc, rd + 1)")
+            self.emit("        if res[0] == 1 and frames[-1] is frame:")
+            self.emit("            w_acc = res[1]")
+            self.emit("            n_acc = res[2]")
+            self.emit(f"            b = {ret_blk}")
+            self.emit("            continue")
+            self.emit("        return res")
+        self.emit(f"return (0, w_acc + {w_call!r}, n_acc + 1)")
+
+    def gen_push_frame(self, code_expr: str, pad_expr: str,
+                       args: List[str]) -> None:
+        self.emit("nf = F.__new__(F)")
+        self.emit(f"nf.code = {code_expr}")
+        self.emit(f"nf.locals = [{', '.join(args)}] + {pad_expr}")
+        self.emit("nf.stack = []")
+        self.emit("nf.pc = 0")
+        self.emit("nf.pinned = False")
+        self.emit("frames.append(nf)")
+
+    def gen_native(self, bci: int, ins: Any) -> int:
+        nargs = ins.b or 0
+        sym = self.sym
+        wn = self.wt(op.NATIVE, 1.0)
+        self.seg_w -= wn
+        self.seg_n -= 1
+        self.flush_acc()
+        self.poll(bci, spill_sym=True)
+        args = [sym.pop()[0] for _ in range(nargs)][::-1]
+        live = list(sym)
+        # Safepoint: natives may read the clock, print, charge time or
+        # install hooks — flush hard and expose a precise frame state.
+        self.spill(live)
+        self.emit("m.clock += opc * w_acc")
+        self.emit("m.instr_count += n_acc")
+        self.emit("w_acc = 0.0")
+        self.emit("n_acc = 0")
+        self.emit(f"frame.pc = {bci}")
+        self.marker(bci, op.NATIVE, charged=False)
+        nm = _literal(ins.a) or self.bind(ins.a)
+        rv = self.fresh()
+        self.emit(f"m.charge(NB)")
+        self.emit(f"{rv} = m.natives.lookup({nm})(m, [{', '.join(args)}])")
+        self.emit("if (m.breakpoints or m.on_breakpoint is not None "
+                  "or m.on_write is not None):")
+        self.emit(f"    fstack.append({rv})")
+        self.emit(f"    frame.pc = {bci + 1}")
+        self.emit(f"    return (5, {wn!r}, 1)")
+        self.emit("if thread.pending_exception is not None:")
+        self.emit(f"    fstack.append({rv})")
+        self.emit(f"    frame.pc = {bci + 1}")
+        self.emit(f"    return (4, {wn!r}, 1)")
+        if live:
+            self.emit(f"del fstack[-{len(live)}:]")
+        self.seg_w += wn
+        self.seg_n += 1
+        # no STORE fusion across the native's spill/refill bookkeeping;
+        # rv was assigned under a fresh name, so it is its own temp.
+        sym.append((rv, None))
+        return 0
+
+    # -- assembly ---------------------------------------------------------
+
+    def assemble(self) -> Tuple[Any, Dict[int, int]]:
+        from repro.vm import machine as _machine
+        entries = {b: self.block_id[b] for b in self.block_order}
+        g: Dict[str, Any] = {
+            "T": __import__("repro.vm.values", fromlist=["truthy"]).truthy,
+            "A": _machine._add,
+            "D": _machine._div,
+            "MO": _machine._mod,
+            "MS": _machine._MISSING,
+            "Inst": __import__("repro.vm.objects",
+                               fromlist=["VMInstance"]).VMInstance,
+            "Arr": __import__("repro.vm.objects",
+                              fromlist=["VMArray"]).VMArray,
+            "RR": __import__("repro.vm.values",
+                             fromlist=["RemoteRef"]).RemoteRef,
+            "F": __import__("repro.vm.frames",
+                            fromlist=["Frame"]).Frame,
+            "GT": _machine.GuestThrow,
+            "AF": _arr_fail,
+            "IO": _iobe,
+            "GFF": _getf_fail,
+            "PFF": _putf_fail,
+            "TH": _throw_exc,
+            "NA": _newarr,
+            "RS": _resolve_static,
+            "RV": _resolve_virtual,
+            "RSF": _resolve_static_field,
+            "EN": entries,
+            "FT": tuple(self.faults),
+            "NB": self.m.cost.native_base,
+            # the active compiled-code map (this namespace's): direct
+            # compiled->compiled calls resolve the callee through it
+            "JM": self.m._compiled,
+        }
+        g.update(self.consts)
+        # Constants enter through a factory's closure cells, not
+        # keyword defaults: kwdefault filling costs one dict lookup per
+        # missing argument on EVERY call, which dominates small
+        # call-heavy methods; LOAD_DEREF is paid only where used.
+        params = ", ".join(g)
+        src_lines = [
+            f"def _mk({params}):",
+            "  def _cf(m, thread, frame, frames, ql, w_acc, n_acc, opc,",
+            "          rd=0):",
+            "    locs = frame.locals",
+            "    fstack = frame.stack",
+            "    f = 0",
+            "    b = EN[frame.pc]",
+            "    try:",
+            "        while True:",
+        ]
+        src_lines.extend(self.lines)
+        src_lines.extend([
+            "    except GT as gt:",
+            "        ft = FT[f]",
+            "        m.clock += opc * (w_acc + ft[1])",
+            "        m.instr_count += n_acc + ft[2]",
+            "        frame.pc = ft[0]",
+            "        return (3, 0.0, 0, gt.exc, ft[3])",
+            "    except BaseException:",
+            "        m.clock += opc * w_acc",
+            "        m.instr_count += n_acc",
+            "        frame.pc = FT[f][0]",
+            "        raise",
+            "  return _cf",
+        ])
+        src = "\n".join(src_lines) + "\n"
+        ns: Dict[str, Any] = {}
+        exec(compile(src, f"<jit {self.code.qualname}>", "exec"), ns)
+        fn = ns["_mk"](**g)
+        fn.__jit_source__ = src  # debugging aid
+        return fn, entries
+
+
+def compile_code(machine: Any, code: CodeObject
+                 ) -> Optional[Tuple[Any, Dict[int, int]]]:
+    """Compile ``code`` against ``machine``'s current loader (which IS
+    the running thread's namespace loader during ``run``).  Returns
+    ``(closure, entries)`` — ``entries`` maps every resumable bci to
+    its dispatch block id — or ``None`` when the method is refused."""
+    try:
+        return _Compiler(machine, code).compile()
+    except _Refuse:
+        return None
+
+
+def compile_into(machine: Any, code: CodeObject,
+                 jm: Dict[CodeObject, Any]) -> Any:
+    """Tier-up entry used by the fast loop's driver: compile ``code``
+    into the active compiled-code map.  Failures are cached as
+    ``False`` so the driver never retries a refused method."""
+    try:
+        cf = compile_code(machine, code)
+    except Exception:
+        cf = None
+    if cf is None:
+        jm[code] = False
+        return False
+    jm[code] = cf
+    machine.jit_compiles += 1
+    return cf

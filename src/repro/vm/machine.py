@@ -81,6 +81,7 @@ from __future__ import annotations
 
 import math
 import operator
+import os
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.bytecode import opcodes as op
@@ -134,7 +135,8 @@ class Machine:
                  node: Any = None, fs: Any = None,
                  name: str = "vm",
                  dispatch: str = "fast",
-                 fuse: bool = True):
+                 fuse: bool = True,
+                 jit: Optional[bool] = None):
         if dispatch not in DISPATCH_MODES:
             raise VMError(f"unknown dispatch mode {dispatch!r}")
         self.loader = ClassLoader(classpath)
@@ -181,6 +183,23 @@ class Machine:
         #: class-loader namespaces by tag, and their decoded streams
         self._namespaces: Dict[str, Namespace] = {}
         self._decoded_ns: Dict[str, Dict[CodeObject, List[tuple]]] = {}
+        #: tier-2 JIT: compile hot code objects into specialized Python
+        #: closures above the inline caches (see :mod:`repro.vm.jit`).
+        #: ``REPRO_JIT=0`` disables it fleet-wide for triage.
+        if jit is None:
+            jit = os.environ.get("REPRO_JIT", "1") not in (
+                "0", "false", "False", "")
+        self.jit = jit and dispatch == "fast"
+        #: per-machine compiled-closure cache: CodeObject ->
+        #: (closure, entries) | False (refused).  Mirrors ``_decoded``:
+        #: the root namespace's map, swapped per namespaced thread so
+        #: baked-in static cells stay namespace-private.
+        self._compiled: Dict[CodeObject, Any] = {}
+        self._compiled_ns: Dict[str, Dict[CodeObject, Any]] = {}
+        #: tier-2 telemetry (surfaced by serve stats and benchmarks)
+        self.jit_compiles = 0
+        self.jit_deopts = 0
+        self.jit_guard_bails = 0
         self._speed = node.spec.speed_factor if node is not None else 1.0
         self._bp_guard: Optional[Tuple[int, int]] = None
 
@@ -219,6 +238,7 @@ class Machine:
                 return None
             ns = self._namespaces[tag] = Namespace(root, tag)
             self._decoded_ns[tag] = {}
+            self._compiled_ns[tag] = {}
         return ns
 
     def _root_loader(self) -> ClassLoader:
@@ -240,11 +260,14 @@ class Machine:
         return [self._root_loader()] + list(self._namespaces.values())
 
     def drop_namespace(self, tag: str) -> None:
-        """Discard a namespace's linked classes and decoded streams
-        (end of a request's life; no-op if never created).  The shared
-        classpath keeps any class files it fetched."""
+        """Discard a namespace's linked classes, decoded streams, and
+        tier-2 compiled closures (end of a request's life; no-op if
+        never created).  The shared classpath keeps any class files it
+        fetched.  Long serving runs rely on this to not pin dead
+        ``req{rid}`` static cells through cache maps."""
         self._namespaces.pop(tag, None)
         self._decoded_ns.pop(tag, None)
+        self._compiled_ns.pop(tag, None)
 
     # -- guest exception construction ----------------------------------------
 
@@ -334,6 +357,45 @@ class Machine:
             for code in ns_map:
                 code.invalidate_decoded()
             ns_map.clear()
+        # tier-2 closures bake in cost weights and static cells too
+        self._compiled.clear()
+        for ns_map in self._compiled_ns.values():
+            ns_map.clear()
+
+    def precompile(self, class_name: str, method: str,
+                   namespace: Optional[str] = None) -> bool:
+        """Tier-2 compile a method ahead of its hotness threshold.
+
+        The serve scheduler calls this when ``WorkProfile`` already
+        knows a program is heavy: there is no point interpreting the
+        first ``JIT_THRESHOLD`` activations of a request that will run
+        millions of instructions.  Compiles against ``namespace``'s
+        loader/caches (the root's when ``None``).  Returns True when a
+        compiled closure is available afterwards."""
+        if not self.jit:
+            return False
+        from repro.vm.jit import compile_into
+        prev_loader = self.loader
+        prev_decoded = self._decoded
+        try:
+            if namespace is not None:
+                self.loader = self.namespace(namespace)
+                self._decoded = self._decoded_ns[namespace]
+                jm = self._compiled_ns[namespace]
+            else:
+                self.loader = self._root_loader()
+                jm = self._compiled
+            cls = self.loader.load(class_name)
+            code = cls.find_method(method)
+            if code is None:
+                return False
+            cf = jm.get(code)
+            if cf is None:
+                cf = compile_into(self, code, jm)
+            return bool(cf)
+        finally:
+            self.loader = prev_loader
+            self._decoded = prev_decoded
 
     # -- main loop --------------------------------------------------------------
 
@@ -370,8 +432,10 @@ class Machine:
         if thread.namespace is not None:
             prev_loader = self.loader
             prev_decoded = self._decoded
+            prev_compiled = self._compiled
             self.loader = self.namespace(thread.namespace)
             self._decoded = self._decoded_ns[thread.namespace]
+            self._compiled = self._compiled_ns[thread.namespace]
         try:
             if (stop is None and max_instrs is None
                     and self.dispatch == "fast"
@@ -392,6 +456,7 @@ class Machine:
             if prev_loader is not None:
                 self.loader = prev_loader
                 self._decoded = prev_decoded
+                self._compiled = prev_compiled
             if quantum is not None:
                 over = (self.instr_count - start_count) - quantum
                 if over > self.max_quantum_overshoot:
@@ -429,6 +494,13 @@ class Machine:
         # n_acc at safepoints).
         q = quantum
         q_limit = self.instr_count + q if q is not None else 0
+        # Tier-2: per-(machine, namespace) compiled-closure map and the
+        # tier-up machinery (lazy import: jit.py leans on this module).
+        jm = None
+        if self.jit:
+            from repro.vm.jit import JIT_THRESHOLD as TH
+            from repro.vm.jit import compile_into as _ci
+            jm = self._compiled
         # dense opcode ids as locals (LOAD_FAST beats LOAD_GLOBAL)
         I_LOAD = _I_LOAD; I_CONST = _I_CONST; I_STORE = _I_STORE
         I_JMP = _I_JMP; I_JZ = _I_JZ; I_JNZ = _I_JNZ
@@ -464,6 +536,40 @@ class Machine:
                         return "finished"
                     continue
                 frame = frames[-1]
+                if jm is not None:
+                    # Tier-up driver: every frame (re)entry at a
+                    # compiled entry point runs the closure; everything
+                    # else falls through to tier-1 interpretation.
+                    code = frame.code
+                    cf = jm.get(code)
+                    if cf is None:
+                        h = code.hotness = code.hotness + 1
+                        if h >= TH:
+                            cf = _ci(self, code, jm)
+                    if cf and frame.pc in cf[1]:
+                        res = cf[0](self, thread, frame, frames, q_limit,
+                                    w_acc, n_acc, op_cost)
+                        st = res[0]
+                        w_acc = res[1]
+                        n_acc = res[2]
+                        if st <= 1:       # call / return
+                            continue
+                        if st == 2:       # quantum safepoint
+                            return "preempted"
+                        if st == 3:       # guest throw (pre-flushed)
+                            if not self._dispatch(thread, res[3]):
+                                return "finished"
+                            # the faulting instruction is charged only
+                            # once a handler is found (tier-1 rule)
+                            w_acc = res[4]
+                            n_acc = 1
+                            continue
+                        if st == 4:       # pending exception armed
+                            continue
+                        # st == 5: a native installed hooks mid-region —
+                        # deoptimize (state is materialized) and retreat
+                        self.jit_deopts += 1
+                        return None
                 stream = decoded.get(frame.code)
                 if stream is None:
                     stream = self.decoded(frame.code)
@@ -686,6 +792,19 @@ class Machine:
                                     and self.instr_count + n_acc >= q_limit:
                                 frame.pc = pc
                                 return "preempted"
+                            if jm is not None and ins[1] <= pc:
+                                # OSR: loops tier up at the back edge
+                                code2 = frame.code
+                                cf2 = jm.get(code2)
+                                if cf2 is None:
+                                    h = code2.hotness = code2.hotness + 1
+                                    if h >= TH:
+                                        cf2 = _ci(self, code2, jm)
+                                if cf2 and ins[1] in cf2[1]:
+                                    w_acc += ins[3]
+                                    n_acc += ins[4]
+                                    frame.pc = ins[1]
+                                    break
                             pc = ins[1]
                         elif oid == I_JNZ:
                             pc = ins[1] if tr(pop()) else pc + 1
@@ -776,6 +895,18 @@ class Machine:
                             stream = decoded.get(code2)
                             if stream is None:
                                 stream = self.decoded(code2)
+                            if jm is not None:
+                                # Tier-up at the call site: charge the
+                                # invoke, then enter via the driver.
+                                cf2 = jm.get(code2)
+                                if cf2 is None:
+                                    h = code2.hotness = code2.hotness + 1
+                                    if h >= TH:
+                                        cf2 = _ci(self, code2, jm)
+                                if cf2:
+                                    w_acc += ins[3]
+                                    n_acc += ins[4]
+                                    break
                         elif oid == I_RETV:
                             if q is not None and \
                                     self.instr_count + n_acc >= q_limit:
@@ -795,6 +926,14 @@ class Machine:
                                 stream = decoded.get(code2)
                                 if stream is None:
                                     stream = self.decoded(code2)
+                                if jm is not None:
+                                    # Re-enter a compiled caller at its
+                                    # return-continuation entry point.
+                                    cf2 = jm.get(code2)
+                                    if cf2 and pc in cf2[1]:
+                                        w_acc += ins[3]
+                                        n_acc += ins[4]
+                                        break
                             else:
                                 thread.finished = True
                                 thread.result = value
@@ -819,6 +958,12 @@ class Machine:
                                 stream = decoded.get(code2)
                                 if stream is None:
                                     stream = self.decoded(code2)
+                                if jm is not None:
+                                    cf2 = jm.get(code2)
+                                    if cf2 and pc in cf2[1]:
+                                        w_acc += ins[3]
+                                        n_acc += ins[4]
+                                        break
                             else:
                                 thread.finished = True
                                 thread.result = None
@@ -866,6 +1011,16 @@ class Machine:
                             stream = decoded.get(code2)
                             if stream is None:
                                 stream = self.decoded(code2)
+                            if jm is not None:
+                                cf2 = jm.get(code2)
+                                if cf2 is None:
+                                    h = code2.hotness = code2.hotness + 1
+                                    if h >= TH:
+                                        cf2 = _ci(self, code2, jm)
+                                if cf2:
+                                    w_acc += ins[3]
+                                    n_acc += ins[4]
+                                    break
                         elif oid == I_NATIVE:
                             if q is not None and \
                                     self.instr_count + n_acc >= q_limit:

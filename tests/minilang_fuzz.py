@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 import random
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -453,9 +454,33 @@ def generate(seed: int) -> FuzzProgram:
 
 # -- differential checking -----------------------------------------------------
 
-#: dispatch configurations checked against the legacy oracle
-MODES = [("fast", dict(dispatch="fast", fuse=True)),
-         ("fast-nofuse", dict(dispatch="fast", fuse=False))]
+#: dispatch configurations checked against the legacy oracle.  The fast
+#: modes pin ``jit=False`` so they stay a pure tier-1 differential no
+#: matter what ``REPRO_JIT`` says; the tier-2 modes turn the
+#: specializing JIT on explicitly.
+MODES = [("fast", dict(dispatch="fast", fuse=True, jit=False)),
+         ("fast-nofuse", dict(dispatch="fast", fuse=False, jit=False))]
+
+#: tier-2 configurations: the specializing JIT above each fast mode.
+#: Fuzzed under a hotness threshold of 1 (:func:`_jit_threshold`) so
+#: even one-shot generated programs compile and run the closures.
+TIER2_MODES = [("tier2", dict(dispatch="fast", fuse=True, jit=True)),
+               ("tier2-nofuse", dict(dispatch="fast", fuse=False,
+                                     jit=True))]
+
+
+@contextmanager
+def _jit_threshold(n: int):
+    """Temporarily lower the tier-up hotness threshold (the machine
+    reads the module global at loop entry, so this takes effect for
+    every run inside the block)."""
+    import repro.vm.jit as _jit
+    old = _jit.JIT_THRESHOLD
+    _jit.JIT_THRESHOLD = n
+    try:
+        yield
+    finally:
+        _jit.JIT_THRESHOLD = old
 
 
 def _observe(classes, args, **kw) -> Tuple[Any, ...]:
@@ -478,10 +503,13 @@ SKIPPED = "skipped"
 
 
 def divergence(source: str, args: Tuple[int, int],
-               build: str = "original") -> Optional[str]:
-    """None if every fast mode matches the legacy oracle, ``SKIPPED``
-    if the program exceeds the instruction budget, else a
-    human-readable description of the first mismatch."""
+               build: str = "original",
+               modes: Optional[List[Tuple[str, Dict[str, Any]]]] = None
+               ) -> Optional[str]:
+    """None if every mode in ``modes`` (default: the tier-1 fast
+    modes) matches the legacy oracle, ``SKIPPED`` if the program
+    exceeds the instruction budget, else a human-readable description
+    of the first mismatch."""
     try:
         classes = preprocess_program(compile_source(source), build)
     except CompileError as exc:
@@ -496,7 +524,7 @@ def divergence(source: str, args: Tuple[int, int],
         err = (thread.uncaught.class_name, thread.uncaught.fields.get("msg"))
     ref = (thread.result, err, tuple(screen.stdout), screen.instr_count,
            screen.clock)
-    for label, kw in MODES:
+    for label, kw in (MODES if modes is None else modes):
         got = _observe(classes, args, **kw)
         for what, a, b in zip(("result", "uncaught", "stdout",
                                "instr_count", "clock"), ref, got):
@@ -507,6 +535,16 @@ def divergence(source: str, args: Tuple[int, int],
             if not ok:
                 return f"[{label}/{build}] {what}: legacy={a!r} {label}={b!r}"
     return None
+
+
+def tier2_divergence(source: str, args: Tuple[int, int],
+                     build: str = "original") -> Optional[str]:
+    """The tier-2 differential: both JIT modes vs the legacy oracle,
+    under a hotness threshold of 1 so the generated program's methods
+    actually compile.  Same observables as :func:`divergence` —
+    including exact ``instr_count`` and clock agreement to 1e-9."""
+    with _jit_threshold(1):
+        return divergence(source, args, build, modes=TIER2_MODES)
 
 
 def _compiles(source: str) -> bool:
@@ -639,6 +677,121 @@ def migration_divergence(source: str, args: Tuple[int, int],
         if a != b:
             return (f"[mig cut={cut} nframes={nframes}] {what}: "
                     f"legacy={a!r} migrated={b!r}")
+    return None
+
+
+def tier2_migration_divergence(source: str, args: Tuple[int, int],
+                               seed: int) -> Optional[str]:
+    """Force deoptimization mid-compiled-region, then migrate the
+    deoptimized frame.
+
+    The engine run keeps the tier-2 JIT on (hotness threshold 1, so
+    the generated program's methods compile) and freezes the thread
+    with a scheduler ``quantum`` at a seeded-random instruction cut.
+    Unlike ``max_instrs`` — which forces the legacy loop — the quantum
+    is polled at safepoints *inside* compiled closures, so the freeze
+    lands with ``frame.pc`` materialized out of a compiled region: the
+    frozen frames are deoptimized tier-2 frames.  Those frames are
+    then SOD-captured, migrated to a second node, executed there
+    (the worker tiers up independently), completed home, and the
+    result / uncaught class / interleaved stdout compared against the
+    straight-line legacy oracle.
+    """
+    import random as _random
+
+    from repro.cluster import gige_cluster
+    from repro.migration import SODEngine
+    from repro.migration.segments import max_migratable
+
+    try:
+        classes = preprocess_program(compile_source(source), "faulting")
+    except CompileError as exc:
+        return f"generator produced invalid program: {exc}"
+
+    oracle = Machine(classes, dispatch="legacy")
+    thread = oracle.spawn("G", "main", list(args))
+    if oracle.run(thread, max_instrs=MIG_MAX_INSTRS) == "limit":
+        return SKIPPED
+    ref_err = None
+    if thread.uncaught is not None:
+        ref_err = (thread.uncaught.class_name,
+                   thread.uncaught.fields.get("msg"))
+    ref = (thread.result, ref_err, tuple(oracle.stdout))
+    total = oracle.instr_count
+    if total < 20:
+        return SKIPPED  # nothing meaningful to freeze mid-run
+
+    rng = _random.Random(f"minilang-t2mig:{seed}")
+    cut = rng.randint(10, total - 1)
+    with _jit_threshold(1):
+        eng = SODEngine(gige_cluster(2), classes)
+        home = eng.host("node0")
+        t = eng.spawn(home, "G", "main", list(args))
+        eng.run(home, t, quantum=cut)
+        if t.finished:
+            err = None
+            if t.uncaught is not None:
+                err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+            got = (t.result, err, tuple(home.machine.stdout))
+            if got != ref:
+                return f"[t2mig/pre-capture] legacy={ref!r} engine={got!r}"
+            return None
+        if home.machine.jit_compiles == 0:
+            return SKIPPED  # nothing tiered up before the cut
+
+        nmax = min(max_migratable(t), t.depth() - 1)
+        if nmax < 1:
+            return SKIPPED  # frozen too shallow to ship anything
+        nframes = rng.randint(1, nmax)
+        try:
+            worker, wt, _rec = eng.migrate(home, t, "node1", nframes)
+        except MigrationError:
+            return SKIPPED  # not capturable at this point
+        pre = len(home.machine.stdout)
+        eng.run(worker, wt)
+        if wt.uncaught is not None:
+            eng.abandon_segment(worker, wt)
+            return SKIPPED  # handler may live in residual home frames
+        eng.complete_segment(worker, wt, home, t, nframes)
+        eng.run(home, t)
+    err = None
+    if t.uncaught is not None:
+        err = (t.uncaught.class_name, t.uncaught.fields.get("msg"))
+    stdout = (tuple(home.machine.stdout[:pre])
+              + tuple(worker.machine.stdout)
+              + tuple(home.machine.stdout[pre:]))
+    got = (t.result, err, stdout)
+    for what, a, b in zip(("result", "uncaught", "stdout"), ref, got):
+        if a != b:
+            return (f"[t2mig cut={cut} nframes={nframes} "
+                    f"compiles={home.machine.jit_compiles}] {what}: "
+                    f"legacy={a!r} migrated={b!r}")
+    return None
+
+
+def run_tier2_migration_fuzz(base_seed: int, count: int) -> Optional[str]:
+    """Fuzz the deopt-at-capture + migration path over ``count``
+    generated programs.  Returns None, or a failure report with the
+    minimized program."""
+    checked = 0
+    for i in range(count):
+        seed = base_seed + i
+        prog = generate(seed)
+        source = prog.render()
+        diff = tier2_migration_divergence(source, prog.main_args, seed)
+        if diff == SKIPPED:
+            continue
+        checked += 1
+        if diff is not None:
+            small = shrink(
+                prog,
+                check=lambda s, a: tier2_migration_divergence(s, a, seed))
+            return (f"tier-2 migration divergence at seed={seed} "
+                    f"args={prog.main_args}:\n{diff}\n"
+                    f"--- minimized program ---\n{small.render()}\n")
+    if checked == 0:
+        return (f"tier-2 migration fuzz checked 0/{count} programs "
+                f"(every capture point skipped) — generator drift?")
     return None
 
 
@@ -815,6 +968,32 @@ def run_fuzz(base_seed: int, count: int,
             if diff is not None:
                 small = shrink(prog, build)
                 return (f"fast/legacy divergence at seed={seed} "
+                        f"args={prog.main_args} build={build}:\n{diff}\n"
+                        f"--- minimized program ---\n{small.render()}\n")
+    return None
+
+
+def run_tier2_fuzz(base_seed: int, count: int,
+                   faulting_every: int = 5) -> Optional[str]:
+    """The tier-2 differential over ``count`` generated programs (every
+    ``faulting_every``-th also on the faulting build).  Returns None,
+    or a failure report with the minimized program."""
+    for i in range(count):
+        seed = base_seed + i
+        prog = generate(seed)
+        source = prog.render()
+        builds = ["original"]
+        if i % faulting_every == 0:
+            builds.append("faulting")
+        for build in builds:
+            diff = tier2_divergence(source, prog.main_args, build)
+            if diff == SKIPPED:
+                break
+            if diff is not None:
+                small = shrink(
+                    prog,
+                    check=lambda s, a: tier2_divergence(s, a, build))
+                return (f"tier2/legacy divergence at seed={seed} "
                         f"args={prog.main_args} build={build}:\n{diff}\n"
                         f"--- minimized program ---\n{small.render()}\n")
     return None

@@ -1,0 +1,261 @@
+"""Tier-2 specializing JIT: compile, OSR, deopt, and namespace hygiene.
+
+The broad semantic net is the tier2-vs-legacy differential fuzzer
+(``minilang_fuzz.py``); these tests pin the tier-up *mechanics*: when
+compilation fires, that OSR catches single-activation loops, that
+guard bails and deopts are counted and harmless, that compiled maps
+are per-namespace and reclaimed with the namespace, and that a full
+serving run leaves no decoded/compiled cache growth behind.
+"""
+
+from __future__ import annotations
+
+import math
+
+import repro.serve.scheduler as scheduler_mod
+import repro.vm.jit as jit_mod
+from repro.lang import compile_source
+from repro.preprocess import preprocess_program
+from repro.serve import serve_mix
+from repro.vm.machine import Machine
+from repro.workloads.mixes import MIXES
+
+LOOP_SRC = """
+class P {
+  static int s;
+  static int work(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc + i * 3 + P.s) % 100003;
+      P.s = P.s + 1;
+    }
+    return acc;
+  }
+  static int caller(int n) {
+    int t = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      t = (t + P.work(4)) % 100003;
+    }
+    return t;
+  }
+}
+"""
+
+VIRT_SRC = """
+class V { int tag; int f(int a) { return a + this.tag; } }
+class VA extends V { int f(int a) { return a * 2 + this.tag; } }
+class VB extends VA { int f(int a) { return a - this.tag; } }
+class P {
+  static int call(V r, int a) { return r.f(a); }
+  static int mega(int n) {
+    V x = new V();
+    V y = new VA();
+    V z = new VB();
+    x.tag = 1; y.tag = 2; z.tag = 3;
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = acc + P.call(x, i) + P.call(y, i) + P.call(z, i);
+    }
+    return acc;
+  }
+}
+"""
+
+
+def _classes(src=LOOP_SRC, build="original"):
+    return preprocess_program(compile_source(src), build)
+
+
+def _pair(src, cls, meth, args, build="original"):
+    """(tier-1 result machine, tier-2 result machine) for one call."""
+    classes = _classes(src, build)
+    m1 = Machine(classes, jit=False)
+    r1 = m1.call(cls, meth, list(args))
+    m2 = Machine(classes, jit=True)
+    r2 = m2.call(cls, meth, list(args))
+    return (m1, r1), (m2, r2)
+
+
+def test_hot_method_tiers_up_and_matches_tier1():
+    """Repeated activations cross JIT_THRESHOLD, the method compiles,
+    and result / instr_count / clock agree with tier-1 exactly."""
+    (m1, r1), (m2, r2) = _pair(LOOP_SRC, "P", "caller", [64])
+    assert r2 == r1
+    assert m2.instr_count == m1.instr_count
+    assert math.isclose(m2.clock, m1.clock, rel_tol=1e-9, abs_tol=1e-12)
+    assert m2.jit_compiles > 0 and m2._compiled
+    assert m1.jit_compiles == 0 and not m1._compiled
+
+
+def test_osr_compiles_single_activation_loop():
+    """One activation, many back-edges: the loop tiers up at the
+    backward jump (on-stack replacement), not only at frame entry."""
+    classes = _classes()
+    m = Machine(classes, jit=True)
+    r = m.call("P", "work", [2000])
+    assert m.jit_compiles > 0
+    ref = Machine(classes, jit=False).call("P", "work", [2000])
+    assert r == ref
+
+
+def test_megamorphic_call_site_counts_guard_bails():
+    """Three receiver classes rotating through one virtual call site:
+    the compiled inline-cache guard misses, the bail is counted, and
+    the rebind path still computes the tier-1 result."""
+    (m1, r1), (m2, r2) = _pair(VIRT_SRC, "P", "mega", [200])
+    assert r2 == r1 and m2.instr_count == m1.instr_count
+    assert m2.jit_guard_bails > 0
+
+
+def test_quantum_preemption_inside_compiled_code():
+    """A compiled loop still honors the scheduler quantum: the run
+    preempts at safepoints with bounded overshoot, resumes from the
+    materialized frame, and total accounting matches a solo run."""
+    classes = _classes()
+    ref_m = Machine(classes, jit=False)
+    ref = ref_m.call("P", "work", [3000])
+    m = Machine(classes, jit=True)
+    t = m.spawn("P", "work", [3000])
+    preemptions = 0
+    while not t.finished:
+        if m.run(t, quantum=500) == "preempted":
+            preemptions += 1
+    assert t.result == ref
+    assert preemptions >= 5  # the quantum actually bit mid-loop
+    assert m.jit_compiles > 0
+    assert m.max_quantum_overshoot < 2000
+    assert m.instr_count == ref_m.instr_count
+    assert math.isclose(m.clock, ref_m.clock, rel_tol=1e-9, abs_tol=1e-12)
+
+
+def test_repro_jit_env_toggle(monkeypatch):
+    classes = _classes()
+    monkeypatch.setenv("REPRO_JIT", "0")
+    assert Machine(classes).jit is False
+    monkeypatch.setenv("REPRO_JIT", "1")
+    assert Machine(classes).jit is True
+    # explicit argument beats the environment
+    assert Machine(classes, jit=False).jit is False
+    # the JIT rides the fast dispatcher only
+    assert Machine(classes, dispatch="legacy", jit=True).jit is False
+
+
+def test_precompile_skips_the_warmup():
+    """`precompile` makes the closure available before any activation,
+    and the first run already executes tier-2 (no further compiles)."""
+    classes = _classes()
+    m = Machine(classes, jit=True)
+    assert m.precompile("P", "work") is True
+    compiles = m.jit_compiles
+    ref = Machine(classes, jit=False).call("P", "work", [500])
+    assert m.call("P", "work", [500]) == ref
+    assert m.jit_compiles == compiles  # ran the precompiled closure
+    assert m.precompile("P", "nosuch") is False
+    assert Machine(classes, jit=False).precompile("P", "work") is False
+
+
+def test_refused_code_is_not_retried(monkeypatch):
+    """A method the compiler refuses is marked once and interpreted
+    forever after — the tier-up driver must not re-attempt it on every
+    activation."""
+    classes = _classes()
+    m = Machine(classes, jit=True)
+    calls = []
+    orig = jit_mod.compile_code
+
+    def counting(machine, code):
+        calls.append(code.qualname)
+        return None  # refuse everything
+
+    monkeypatch.setattr(jit_mod, "compile_code", counting)
+    ref = Machine(classes, jit=False).call("P", "caller", [64])
+    assert m.call("P", "caller", [64]) == ref
+    assert m.jit_compiles == 0
+    for code, entry in m._compiled.items():
+        assert entry is False
+    assert len(calls) == len(set(calls))  # one attempt per code object
+    monkeypatch.setattr(jit_mod, "compile_code", orig)
+
+
+# -- namespaces ----------------------------------------------------------------
+
+
+def test_namespaced_threads_compile_into_their_own_map(monkeypatch):
+    monkeypatch.setattr(jit_mod, "JIT_THRESHOLD", 1)
+    classes = _classes()
+    m = Machine(classes, jit=True)
+    ta = m.spawn("P", "work", [50], namespace="a")
+    m.run(ta)
+    troot = m.spawn("P", "work", [50])
+    m.run(troot)
+    assert ta.result == troot.result
+    # the namespace compiled against its own static cells, the root
+    # against the root's: separate closures in separate maps
+    assert m._compiled_ns["a"] and m._compiled
+    ns_codes = set(m._compiled_ns["a"])
+    root_codes = set(m._compiled)
+    assert ns_codes and root_codes
+    for code in ns_codes & root_codes:
+        a, b = m._compiled_ns["a"][code], m._compiled[code]
+        if a and b:
+            assert a[0] is not b[0]
+
+
+def test_drop_namespace_reclaims_compiled_map(monkeypatch):
+    monkeypatch.setattr(jit_mod, "JIT_THRESHOLD", 1)
+    m = Machine(_classes(), jit=True)
+    t = m.spawn("P", "work", [50], namespace="gone")
+    m.run(t)
+    assert m._compiled_ns["gone"]
+    m.drop_namespace("gone")
+    assert "gone" not in m._compiled_ns
+    assert "gone" not in m._decoded_ns
+    assert not m.has_namespace("gone")
+
+
+def test_invalidate_caches_drops_compiled_closures():
+    m = Machine(_classes(), jit=True)
+    m.precompile("P", "work")
+    assert m._compiled
+    m.invalidate_caches()
+    assert not m._compiled
+
+
+def test_serve_run_namespace_and_cache_maps_return_to_baseline():
+    """The reclamation regression test: after a completed serving run
+    of an isolation-heavy mix with the JIT on, every host's namespace
+    count and per-namespace decoded/compiled cache maps are back to
+    baseline (empty) — long serving runs must not pin dead req{rid}
+    state."""
+    from repro.cluster import serve_cluster
+    from repro.serve import ClusterScheduler, LoadGenerator
+    from repro.workloads.mixes import serve_classpath
+
+    mix = MIXES["paper"]
+    n = 12
+    sched = ClusterScheduler(serve_cluster(3),
+                             serve_classpath(mix.programs()))
+    rep = sched.serve(LoadGenerator(mix, n, seed=11))
+    assert rep.served == rep.correct == n
+    assert rep.stats["isolated"] > 0
+    assert rep.stats["tier2_compiles"] > 0  # the JIT actually ran
+    for h in sched.engine.hosts.values():
+        mach = h.machine
+        assert not mach._namespaces
+        assert not mach._decoded_ns
+        assert not mach._compiled_ns
+    # root-namespace caches may legitimately hold shared-program state;
+    # engine-level per-request bookkeeping must be gone
+    assert not sched.engine._ns_home and not sched.engine._ns_sites
+
+
+def test_work_profile_drives_precompilation(monkeypatch):
+    """Once the profile knows a program is heavy, later requests of it
+    tier up at spawn (tier2_precompiles > 0 in the report stats)."""
+    monkeypatch.setattr(scheduler_mod, "PRECOMPILE_INSTRS", 1_000)
+    # spaced arrivals: early requests complete (seeding the profile)
+    # before later ones spawn — back-to-back arrivals all spawn first
+    rep = serve_mix("parallel", n_nodes=2, n_requests=10, seed=3,
+                    interarrival=0.05)
+    assert rep.served == rep.correct == 10
+    assert rep.stats["tier2_precompiles"] > 0

@@ -267,6 +267,32 @@ def test_minilang_fuzz_generates_switch_and_virtual_dispatch():
     assert sum("float f" in s for s in sources) >= 5
 
 
+def test_minilang_fuzz_differential_tier2_vs_legacy():
+    """Differential fuzz of the *tier-2 JIT*: both jit modes (fused and
+    unfused) against the legacy oracle on stdout / result / uncaught /
+    instr_count / clock, with the hotness threshold dropped to 1 so the
+    generated programs' methods actually compile into closures."""
+    from minilang_fuzz import run_tier2_fuzz
+
+    count = int(os.environ.get("REPRO_FUZZ_T2_COUNT", "120"))
+    failure = run_tier2_fuzz(FUZZ_SEED, count)
+    assert failure is None, failure
+
+
+def test_minilang_fuzz_tier2_deopt_at_capture_and_migration():
+    """Forced deopt mid-compiled-region: each program runs with the JIT
+    on and is frozen by a scheduler quantum at a seeded-random cut —
+    the quantum is polled at safepoints *inside* compiled closures, so
+    the freeze deoptimizes live tier-2 frames — then the deoptimized
+    frames are SOD-migrated to a second node, completed home, and
+    result/uncaught/stdout compared against the straight-line oracle."""
+    from minilang_fuzz import run_tier2_migration_fuzz
+
+    count = int(os.environ.get("REPRO_FUZZ_T2MIG_COUNT", "40"))
+    failure = run_tier2_migration_fuzz(FUZZ_SEED, count)
+    assert failure is None, failure
+
+
 def test_minilang_fuzz_migration_at_random_capture_points():
     """Differential fuzz of the *migration* path: every generated
     program is frozen at a seeded-random instruction count, its top
