@@ -93,6 +93,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     from repro.serve import serve_mix
     from repro.workloads import MIXES
+    if args.replay:
+        from repro.chaos import (read_trace, replay_trace, trace_divergence,
+                                 traces_equal, write_trace)
+        recorded = read_trace(args.replay)
+        new, rep = replay_trace(recorded)
+        if traces_equal(recorded, new):
+            print(f"replay of {args.replay}: byte-identical "
+                  f"({len(new['events'])} events, "
+                  f"served {rep.served}/{rep.submitted}, "
+                  f"correct {rep.correct})")
+            if args.record:
+                write_trace(args.record, new)
+            return 0
+        print(f"replay of {args.replay}: DIVERGED")
+        print(f"  {trace_divergence(recorded, new)}")
+        if args.record:
+            write_trace(args.record, new)
+        return 1
     if args.mix not in MIXES:
         print(f"unknown mix {args.mix!r}; known: {sorted(MIXES)}",
               file=sys.stderr)
@@ -110,14 +128,45 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.shed_at is not None:
         from repro.serve import ShedWhenSaturated
         admission = ShedWhenSaturated(max_node_load=args.shed_at)
-    rep = serve_mix(args.mix, n_nodes=args.nodes, n_requests=args.requests,
-                    seed=args.seed, quantum=args.quantum,
-                    interarrival=args.interarrival,
-                    placement=args.placement, offload=offload,
-                    rack_size=args.rack_size, staleness=staleness,
-                    isolation=args.isolation, admission=admission)
+    from repro.chaos.trace import DEFAULT_HORIZON
+    horizon = (DEFAULT_HORIZON if args.chaos_horizon is None
+               else args.chaos_horizon)
+    plan = None
+    if args.chaos is not None:
+        from repro.chaos import random_plan
+        plan = random_plan([f"node{i}" for i in range(args.nodes)],
+                           args.chaos, horizon=horizon)
+        for ev in plan:
+            print(f"fault @ {ev.at:.6f}s: {ev.label()}")
+    if args.record:
+        from repro.chaos import run_recorded, write_trace
+        trace, rep = run_recorded({
+            "mix": args.mix, "n_nodes": args.nodes,
+            "n_requests": args.requests, "seed": args.seed,
+            "quantum": args.quantum, "interarrival": args.interarrival,
+            "placement": args.placement, "offload": args.offload,
+            "max_seg_hops": args.max_seg_hops,
+            "rack_size": args.rack_size, "staleness": args.staleness,
+            "isolation": args.isolation, "shed_at": args.shed_at,
+            "chaos_seed": args.chaos,
+            "chaos_horizon": horizon,
+        })
+        write_trace(args.record, trace)
+        print(f"recorded {len(trace['events'])} events -> {args.record}")
+    else:
+        rep = serve_mix(args.mix, n_nodes=args.nodes,
+                        n_requests=args.requests,
+                        seed=args.seed, quantum=args.quantum,
+                        interarrival=args.interarrival,
+                        placement=args.placement, offload=offload,
+                        rack_size=args.rack_size, staleness=staleness,
+                        isolation=args.isolation, admission=admission,
+                        fault_plan=plan)
+    # Under injected faults a request may legitimately fail (bounded
+    # retries exhausted); what must never happen is a wrong answer or
+    # a vanished request.
     ok = (rep.correct == rep.served and rep.unserved == 0
-          and rep.failed == 0)
+          and (args.chaos is not None or rep.failed == 0))
     if args.json:
         print(_json.dumps(rep.to_dict(), indent=2))
         return 0 if ok else 1
@@ -142,6 +191,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"({s['tier2_precompiles']} profile-driven), "
           f"{s['tier2_deopts']} deopts, "
           f"{s['tier2_guard_bails']} guard bails")
+    if (args.chaos is not None or s["crashes"] or s["link_failures"]
+            or s["straggles"]):
+        print(f"chaos: {s['crashes']} crashes, {s['link_failures']} link "
+              f"faults, {s['straggles']} stragglers; {s['retries']} "
+              f"retries, {s['seg_recoveries']} segment recoveries "
+              f"({s['home_requeues']} from home state), "
+              f"{s['cancelled_segments']} cancelled, "
+              f"{s['delivery_drops']} delivery drops, "
+              f"{s['dropped_messages']} messages lost, "
+              f"{rep.failed} requests failed")
     per_dec = s["decision_ops"] / s["decisions"] if s["decisions"] else 0.0
     print(f"decisions={s['decisions']} "
           f"(index ops/decision={per_dec:.1f}) "
@@ -229,6 +288,20 @@ def main(argv: list[str] | None = None) -> int:
                    help="front-door admission: shed requests when the "
                         "gossip digest shows every rack's lightest "
                         "node at/above this weighted load")
+    p.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                   help="inject a seeded random fault schedule (node "
+                        "crashes, link failures, stragglers); same "
+                        "seed = same disaster")
+    p.add_argument("--chaos-horizon", type=float, default=None,
+                   help="virtual seconds within which chaos faults "
+                        "land (default 0.01)")
+    p.add_argument("--record", metavar="PATH", default=None,
+                   help="record the run's event trace (config, faults, "
+                        "scheduling decisions, completions) to PATH")
+    p.add_argument("--replay", metavar="PATH", default=None,
+                   help="re-execute a recorded trace from its embedded "
+                        "config and verify byte-identical events "
+                        "(other serve flags are ignored)")
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=_cmd_serve)
 

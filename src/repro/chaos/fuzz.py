@@ -1,0 +1,99 @@
+"""The fault-schedule fuzzer: random disasters vs solo oracles.
+
+Each fuzz run derives a random :class:`FaultPlan` from a seed, serves a
+request mix under it, and checks the recovery invariants that must hold
+under *any* crash/partition/straggle schedule:
+
+* **zero incorrect responses** — every served result equals the
+  request's solo oracle (``expected_request_result``): recovery may
+  re-execute or fail a request, but never corrupt one;
+* **nothing vanishes** — every submitted request reaches a terminal
+  state (done/failed/shed); unserved == 0;
+* **failures are honest** — a failed request carries a known fault
+  reason and exhausted its bounded retry budget (a fault-free run, by
+  the same token, must fail nothing);
+* **no zombies** — when the run ends, no segment is still registered
+  as live.
+
+A violation dict names the seed, so any disaster the fuzzer finds is
+one ``run_config`` (or ``serve --chaos <seed>``) away from a
+deterministic re-run under a debugger.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.chaos.faults import random_plan
+from repro.chaos.trace import DEFAULT_HORIZON
+
+#: failure reasons the recovery paths are allowed to surface
+FAULT_REASONS = {"node-crash", "dependency-crash", "delivery-failed"}
+
+
+def fuzz_one(seed: int, mix: str = "parallel", n_nodes: int = 4,
+             n_requests: int = 24, horizon: float = DEFAULT_HORIZON,
+             max_retries: int = 3, **plan_kw: Any) -> Dict[str, Any]:
+    """One fuzz run: serve ``mix`` under ``random_plan(seed)`` and
+    return ``{"seed", "plan", "report", "violations"}``."""
+    from repro.serve.scheduler import build_serving
+
+    names = [f"node{i}" for i in range(n_nodes)]
+    plan = random_plan(names, seed, horizon=horizon, **plan_kw)
+    sched, load = build_serving(mix=mix, n_nodes=n_nodes,
+                                n_requests=n_requests,
+                                fault_plan=plan, max_retries=max_retries)
+    rep = sched.serve(load)
+    violations: List[str] = []
+    if rep.correct != rep.served:
+        violations.append(
+            f"incorrect responses: {rep.served - rep.correct} of "
+            f"{rep.served} served results diverge from the solo oracle")
+    if rep.unserved != 0:
+        violations.append(f"{rep.unserved} requests vanished "
+                          f"(no terminal state)")
+    for r in sched.finished:
+        if r.state == "failed":
+            if r.error not in FAULT_REASONS:
+                violations.append(
+                    f"req {r.rid} failed with non-fault reason "
+                    f"{r.error!r}")
+            elif r.retries <= max_retries:
+                violations.append(
+                    f"req {r.rid} failed after only {r.retries} "
+                    f"retries (budget {max_retries} not exhausted)")
+    if sched.active_segments:
+        violations.append(
+            f"zombie segments at end of run: "
+            f"{sorted(sched.active_segments)}")
+    return {"seed": seed, "plan": plan.to_dict(),
+            "report": rep.to_dict(), "violations": violations}
+
+
+def fuzz(n_runs: int, start_seed: int = 0,
+         **kw: Any) -> Dict[str, Any]:
+    """Run ``n_runs`` fuzz seeds; returns an aggregate with every
+    violation found (an empty ``violations`` list is a pass)."""
+    runs = []
+    violations: List[Dict[str, Any]] = []
+    recovered = 0
+    crashes = 0
+    for seed in range(start_seed, start_seed + n_runs):
+        out = fuzz_one(seed, **kw)
+        sched_stats = out["report"]["sched"]
+        recovered += sched_stats.get("seg_recoveries", 0) \
+            + sched_stats.get("retries", 0)
+        crashes += sched_stats.get("crashes", 0)
+        runs.append({"seed": seed,
+                     "served": out["report"]["served"],
+                     "correct": out["report"]["correct"],
+                     "failed": out["report"]["failed"],
+                     "crashes": sched_stats.get("crashes", 0),
+                     "violations": out["violations"]})
+        if out["violations"]:
+            violations.append({"seed": seed,
+                               "violations": out["violations"],
+                               "plan": out["plan"]})
+    return {"n_runs": n_runs, "start_seed": start_seed,
+            "crashes": crashes, "recoveries": recovered,
+            "violations": violations, "runs": runs}

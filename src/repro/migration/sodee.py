@@ -413,6 +413,24 @@ class SODEngine:
             led = self._ledgers[key] = TransferLedger()
         return led
 
+    def crash_host(self, name: str) -> None:
+        """Node ``name`` died (chaos layer): its JVM process — machine,
+        caches, object manager, restored segments — is gone, and so is
+        every transfer-ledger epoch it participated in.  Ledgers where
+        the dead node was the *worker* describe state that no longer
+        exists; ledgers where it was the *home* describe fingerprints
+        nobody can verify against anymore.  Both sides drop, so a
+        post-recovery re-offload over the same pair starts from a
+        from-scratch shipment instead of trusting markers for cells
+        that evaporated.  Namespace site records shed the dead node so
+        later :meth:`forget_namespace` sweeps stay exact."""
+        self.hosts.pop(name, None)
+        for key in [k for k in self._ledgers
+                    if k[0] == name or k[1] == name]:
+            del self._ledgers[key]
+        for sites in self._ns_sites.values():
+            sites.discard(name)
+
     def note_namespace_site(self, tag: str, node_name: str) -> None:
         """Record that ``node_name`` materialized namespace ``tag``
         (the scheduler calls this at spawn; restores record their own

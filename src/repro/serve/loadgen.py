@@ -64,6 +64,13 @@ class Request:
     #: for segments: the request whose frames these are, and how many
     parent: Optional["Request"] = None
     nframes: int = 0
+    #: chaos layer: times this request was restarted from scratch after
+    #: a fault (bounded by the scheduler's ``max_retries``)
+    retries: int = 0
+    #: chaos layer: set on a segment whose parent was recovered
+    #: elsewhere — whoever holds it next discards it instead of
+    #: running/completing it (the exactly-once recovery arbiter)
+    cancelled: bool = False
 
     @property
     def depth(self) -> int:

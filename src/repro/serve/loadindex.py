@@ -78,6 +78,16 @@ class LoadIndex:
         #: the node's current version, so at most ONE entry per node is
         #: ever valid and toggling loads cannot breed duplicates
         self._version: Dict[str, int] = {n: 0 for n in names}
+        #: crashed nodes (chaos layer): retired nodes keep their
+        #: counters (the scheduler's -1 bumps must stay balanced while
+        #: it drains the dead queue) but never re-enter the heaps — a
+        #: retirement bumps the version so stale entries die lazily on
+        #: the next pop-skip, and ``add`` stops pushing fresh ones
+        self._retired: set = set()
+        #: live members per rack (a fully-dead rack drops out of the
+        #: gossip digest and the saturation vote)
+        self._rack_live: Dict[str, int] = {
+            r: len(members) for r, members in self.racks.items()}
         #: per-rack lazy-deletion heaps of (load, node, version)
         self._heaps: Dict[str, List[Tuple[float, str, int]]] = {
             r: [(0.0, n, 0) for n in sorted(members)]
@@ -119,8 +129,26 @@ class LoadIndex:
         self.rack_count[rack] += delta
         v = self._version[node] + 1
         self._version[node] = v
+        if node in self._retired:
+            return  # counters stay exact; a dead node never re-enters
         heappush(self._heaps[rack], (load, node, v))
         self.ops += 1
+
+    def retire(self, node: str) -> None:
+        """Remove a crashed node from every future load answer: its
+        heap entries go stale (version bump) and are lazily purged on
+        the next pop-skip, the gossip digest stops counting its rack
+        seat, and :meth:`pick_underloaded` will never return it.  The
+        runnable counters keep working so the scheduler can drain the
+        dead node's queue with balanced ±1 bumps."""
+        if node in self._retired:
+            return
+        self._retired.add(node)
+        self._version[node] += 1
+        self._rack_live[self.rack_of[node]] -= 1
+
+    def is_live(self, node: str) -> bool:
+        return node not in self._retired
 
     def rack_load(self, rack: str) -> float:
         """Aggregate rack load: runnable threads per unit of the rack's
@@ -165,8 +193,9 @@ class LoadIndex:
         self.gossip_rounds += 1
         for rack in self._heaps:
             m = self.rack_min(rack)
-            if m is None:  # pragma: no cover - racks are never empty
+            if m is None:  # every member crashed: no digest seat
                 self._summary.pop(rack, None)
+                self._summary_version.pop(rack, None)
                 continue
             v = self._summary_version.get(rack, 0) + 1
             self._summary_version[rack] = v
@@ -214,6 +243,8 @@ class LoadIndex:
         cluster scan."""
         self._maybe_gossip(now)
         for rack in self.racks:
+            if self._rack_live.get(rack, 1) <= 0:
+                continue  # a fully-crashed rack cannot veto shedding
             m = self._summary.get(rack)
             if m is None or m[0] < threshold:
                 return False
@@ -238,6 +269,12 @@ class LoadIndex:
         ``min_gap`` weighted threads below ``src_load``."""
         local = self.rack_min(self.rack_of[src], exclude=src)
         remote = self.remote_min(now, self.rack_of[src])
+        if remote is not None and remote[1] in self._retired:
+            # The digest is allowed to be stale, but a crashed node is
+            # never a target: the probe that follows would read its
+            # frozen (attractive) load, so the candidacy dies here and
+            # the entry is purged at the next gossip round.
+            remote = None
         if remote is not None:
             remote = (self._load[remote[1]], remote[1])  # probe: fresh load
         if local is not None and (remote is None or local[0] <= remote[0]):
@@ -269,7 +306,7 @@ def naive_pick(index: LoadIndex, src: str, src_load: float,
     src_rack = index.rack_of[src]
     local: Optional[Tuple[float, str]] = None
     for n in index.racks[src_rack]:
-        if n == src:
+        if n == src or not index.is_live(n):
             continue
         key = (index.load(n), n)
         if local is None or key < local:
@@ -278,7 +315,10 @@ def naive_pick(index: LoadIndex, src: str, src_load: float,
     for rack, members in index.racks.items():
         if rack == src_rack:
             continue
-        m = min((index.load(n), n) for n in members)
+        live = [(index.load(n), n) for n in members if index.is_live(n)]
+        if not live:
+            continue
+        m = min(live)
         key = (m[0], rack, m[1])
         if remote is None or key < remote:
             remote = key

@@ -30,6 +30,22 @@ offload storm queues on the wire instead of transferring for free.
 Everything runs under the discrete-event kernel with deterministic
 tie-breaking, so a serving run is a pure function of (cluster, mix,
 seed, knobs) and replays bit-identically in CI.
+
+Faults and recovery (the chaos layer, :mod:`repro.chaos`): a node may
+*crash* mid-run (:meth:`ClusterScheduler.crash_node`) and links may
+fail, so every delivery carries a bounded retry/backoff budget with a
+requeue-at-origin fallback, and lost work is recovered from clean
+state: a first-hop segment lost with its worker is *re-executed from
+home state* (the home thread kept its full stack, and release
+consistency means the dead worker's dirty writes never landed — they
+are discarded atomically with the machine), while a chain-hop segment
+(whose earlier hops already flushed partial effects home) or a request
+whose *home* died is retried from scratch under a fresh namespace,
+bounded by ``max_retries``.  Because requests are pure functions of
+their spec and recovery only ever discards un-published state, a
+completed response under any fault schedule still matches its solo
+oracle.  Faults arrive as deterministic kernel events, so chaos runs
+replay byte-identically too.
 """
 
 from __future__ import annotations
@@ -64,6 +80,12 @@ DESCRIPTOR_BYTES = 192
 
 #: sentinel shutting down a node process
 _STOP = object()
+
+#: base backoff before a failed delivery is retransmitted (doubles per
+#: attempt) — long enough that a healed blip succeeds on retry, short
+#: enough that the requeue-at-origin fallback fires well inside one
+#: request's service time
+DELIVERY_BACKOFF = 250e-6
 
 #: queued threads one offload decision may examine when gathering batch
 #: victims: keeps the decision cost independent of queue depth (a
@@ -128,7 +150,10 @@ class ClusterScheduler:
                  front: Optional[str] = None,
                  staleness: float = DEFAULT_STALENESS,
                  isolation: str = "auto",
-                 admission: Optional[ShedWhenSaturated] = None):
+                 admission: Optional[ShedWhenSaturated] = None,
+                 tracer: Optional[Any] = None,
+                 max_retries: int = 3,
+                 delivery_retries: int = 2):
         if isolation not in ("auto", "all", "off"):
             raise ClusterError(f"unknown isolation mode {isolation!r}")
         if not cluster.nodes:
@@ -143,6 +168,13 @@ class ClusterScheduler:
         self.engine = SODEngine(
             cluster, classes,
             cost=cost or sodee_model(SERVE_INSTR_SECONDS))
+        # Fresh tier-up profile per serving run: classpaths are cached
+        # (lru) across runs in one process, and hotness carried over
+        # from an earlier run would tier methods up at different times
+        # — breaking the byte-identical record/replay contract.
+        for cf in classes.values():
+            for code in cf.methods.values():
+                code.hotness = 0
         self.quantum = quantum
         self.placement = placement or WeightedRoundRobinPlacement()
         self.offload = offload
@@ -180,18 +212,45 @@ class ClusterScheduler:
         self.decision_seconds: float = 0.0
         self.requests: List[Request] = []
         self.finished: List[Request] = []
+        #: chaos-layer state: an event tracer (duck-typed ``emit(now,
+        #: kind, fields)``; None = tracing off), the per-request retry
+        #: budget, and the per-delivery retransmission budget
+        self.tracer = tracer
+        self.max_retries = max_retries
+        self.delivery_retries = delivery_retries
+        #: permanently crashed nodes (their processes idle forever)
+        self.dead: set = set()
+        #: bumped by :meth:`crash_node`; a node process compares the
+        #: epoch before and after a quantum's virtual span to learn its
+        #: machine died under the running request
+        self.crash_epoch: Dict[str, int] = {n: 0 for n in self.node_names}
+        #: segments whose parent is still ``"remote"``, keyed by rid —
+        #: a dict (not a set) so recovery iteration order is insertion
+        #: order, never id-hash order (replay determinism)
+        self.active_segments: Dict[int, Request] = {}
         self.stats: Dict[str, int] = {
             "quanta": 0, "handoffs": 0, "sod_offloads": 0,
             "batched_threads": 0, "offload_aborts": 0, "completions": 0,
             "failed": 0, "decisions": 0, "decision_ops": 0,
             "victim_vetoes": 0, "seg_rehops": 0, "shed": 0,
             "isolated": 0, "tier2_precompiles": 0,
+            "crashes": 0, "link_failures": 0, "straggles": 0,
+            "retries": 0, "seg_recoveries": 0, "home_requeues": 0,
+            "cancelled_segments": 0, "fault_aborts": 0,
+            "delivery_retries": 0, "delivery_drops": 0,
+            "requeued_home": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
         self._stopped = False
         for n in self.node_names:
             self.env.process(self._node_proc(n), name=f"node:{n}")
+
+    def _trace(self, kind: str, **fields: Any) -> None:
+        """Emit one trace event at the current virtual time (no-op
+        without a tracer, so fault-free runs pay nothing)."""
+        if self.tracer is not None:
+            self.tracer.emit(self.env.now, kind, fields)
 
     # -- admission ---------------------------------------------------------
 
@@ -206,10 +265,13 @@ class ClusterScheduler:
             req.state = "shed"
             req.finished_at = self.env.now
             self.stats["shed"] += 1
+            self._trace("shed", rid=req.rid, program=spec.program)
             self.finished.append(req)
             self._maybe_stop()
             return req
-        self._enqueue(req, self.placement.place(self, req))
+        node = self._place_live(req)
+        self._trace("submit", rid=req.rid, program=spec.program, node=node)
+        self._enqueue(req, node)
         return req
 
     def serve(self, load: LoadGenerator) -> ServeReport:
@@ -260,18 +322,37 @@ class ClusterScheduler:
             if req is _STOP:
                 break
             self._bump(name, -1)  # left the queue; in hand now
+            if req.kind == "segment" and req.cancelled:
+                # Its parent was recovered elsewhere while this segment
+                # sat queued: void it, never run it.
+                self._discard_segment(name, req)
+                continue
             if (policy is not None and req.kind == "request"
                     and req.thread is None and req.hops < policy.max_hops):
                 target = policy.handoff_target(self, name)
                 if target is not None:
                     req.hops += 1
                     self.stats["handoffs"] += 1
+                    self._trace("handoff", rid=req.rid, src=name,
+                                dst=target)
                     self._dispatch_handoff(req, name, target)
                     continue
+            epoch = self.crash_epoch[name]
             self.running[name] = req
             self._bump(name, +1)
             req.state = "running"
-            dt, status = self._run_quantum(name, req)
+            try:
+                dt, status = self._run_quantum(name, req)
+            except MigrationError as e:
+                # A dependency crashed out from under the running guest
+                # (e.g. an object's home host died mid-fetch): the
+                # thread state is beyond saving — recover from clean
+                # state instead.
+                self.running[name] = None
+                self._bump(name, -1)
+                self.stats["fault_aborts"] += 1
+                self._recover_faulted(name, req, str(e))
+                continue
             self.stats["quanta"] += 1
             self.cpu_used[name] += dt
             self.cpu_total += dt
@@ -281,6 +362,15 @@ class ClusterScheduler:
                 yield env.timeout(dt)
             self.running[name] = None
             self._bump(name, -1)
+            if self.crash_epoch[name] != epoch:
+                # The machine died under this quantum.  The crash
+                # handler already recovered (or cancelled) the request
+                # in the running slot, and even a "finished" status is
+                # void — the response never left the dying node.
+                continue
+            if req.kind == "segment" and req.cancelled:
+                self._discard_segment(name, req)
+                continue
             if status == "finished":
                 done_dt = self._on_finished(name, req)
                 if done_dt > 0:
@@ -353,11 +443,35 @@ class ClusterScheduler:
     def _handoff_proc(self, req: Request, src: str, target: str):
         """Request descriptor in flight: rides the (src, target) link —
         queueing FIFO behind any transfer already on the wire — and
-        becomes runnable when delivered (the source keeps serving)."""
-        yield from self.network.transfer_proc(src, target, DESCRIPTOR_BYTES)
+        becomes runnable when delivered (the source keeps serving).
+
+        Delivery is leased, not assumed: a drop (link down, endpoint
+        crashed) is retransmitted after an exponential backoff up to
+        ``delivery_retries`` times, then the descriptor is requeued at
+        its origin — the request is never lost, only its trip."""
+        env = self.env
+        attempt = 0
+        while True:
+            ok = yield from self.network.transfer_proc(
+                src, target, DESCRIPTOR_BYTES)
+            if ok and target not in self.dead:
+                self.pending[target] -= 1
+                self._bump(target, -1)
+                self._enqueue(req, target)
+                return
+            if target in self.dead or attempt >= self.delivery_retries:
+                break  # a dead peer never acks; stop retransmitting
+            attempt += 1
+            self.stats["delivery_retries"] += 1
+            yield env.timeout(DELIVERY_BACKOFF * (2 ** (attempt - 1)))
         self.pending[target] -= 1
         self._bump(target, -1)
-        self._enqueue(req, target)
+        self.stats["delivery_drops"] += 1
+        self.stats["requeued_home"] += 1
+        fallback = src if src not in self.dead else self._place_live(req)
+        self._trace("delivery_failed", rid=req.rid, src=src, dst=target,
+                    fallback=fallback)
+        self._enqueue(req, fallback)
 
     def _dispatch_bulk(self, src: str, target: str,
                        segs: List[Tuple[Request, float]],
@@ -376,8 +490,34 @@ class ClusterScheduler:
         target) link for its wire time — an offload storm serializes on
         the link instead of transferring for free — then the worker
         restores segments sequentially (each ``restored_at`` offset is
-        the cumulative restore time after the message lands)."""
-        yield from self.network.occupy_proc(src, target, bulk_wire)
+        the cumulative restore time after the message lands).
+
+        Like handoffs, the bulk message retries with backoff on a drop;
+        when the retry budget is exhausted (or the target died) every
+        segment in it is *lost in flight* and recovered — the restored
+        worker threads are abandoned (live target) or died with the
+        machine (dead target), and each parent re-executes from clean
+        state."""
+        env = self.env
+        attempt = 0
+        delivered = False
+        while True:
+            ok = yield from self.network.occupy_proc(src, target, bulk_wire)
+            if ok and target not in self.dead:
+                delivered = True
+                break
+            if target in self.dead or attempt >= self.delivery_retries:
+                break
+            attempt += 1
+            self.stats["delivery_retries"] += 1
+            yield env.timeout(DELIVERY_BACKOFF * (2 ** (attempt - 1)))
+        if not delivered:
+            self.stats["delivery_drops"] += 1
+            for seg, _restored_at in segs:
+                self.pending[target] -= 1
+                self._bump(target, -1)
+                self._lost_delivery(seg, target)
+            return
         done = 0.0
         for seg, restored_at in segs:
             if restored_at > done:
@@ -385,7 +525,14 @@ class ClusterScheduler:
                 done = restored_at
             self.pending[target] -= 1
             self._bump(target, -1)
-            self._enqueue(seg, target)
+            if target in self.dead:
+                # The node died between the message landing and this
+                # segment's restore completing.
+                self._lost_delivery(seg, target)
+            elif seg.cancelled:
+                self._discard_segment(target, seg)
+            else:
+                self._enqueue(seg, target)
 
     # -- completion --------------------------------------------------------
 
@@ -395,6 +542,7 @@ class ClusterScheduler:
         req.finished_at = self.env.now
         t = req.thread
         if t.uncaught is not None:
+            self._trace("fail", rid=req.rid, error=t.uncaught.class_name)
             self._fail(req, t.uncaught.class_name)
         else:
             req.state = "done"
@@ -402,6 +550,8 @@ class ClusterScheduler:
             if req.spec is not None:
                 self.profile.observe(req.spec.program, req.instrs)
             self._drop_namespace(req)
+            self._trace("complete", rid=req.rid, node=node,
+                        result=repr(req.result))
             self.finished.append(req)
             self._maybe_stop()
         return 0.0
@@ -410,16 +560,20 @@ class ClusterScheduler:
         """A migrated segment finished on ``node``: write results back
         to the parent's home and requeue the residual stack there."""
         parent = seg.parent
+        self.active_segments.pop(seg.rid, None)
         parent.instrs += seg.instrs  # remote work done on parent's behalf
         if seg.thread.uncaught is not None:
             self.engine.abandon_segment(self._host(node), seg.thread)
             parent.finished_at = self.env.now
+            self._trace("fail", rid=parent.rid,
+                        error=seg.thread.uncaught.class_name)
             self._fail(parent, seg.thread.uncaught.class_name)
             return 0.0
         dt = self.engine.complete_segment(
             self._host(node), seg.thread,
             self._host(parent.host_node), parent.thread, seg.nframes)
         self.stats["completions"] += 1
+        self._trace("seg_complete", rid=parent.rid, seg=seg.rid, node=node)
         self._enqueue(parent, parent.host_node)
         return dt
 
@@ -445,6 +599,193 @@ class ClusterScheduler:
             self._stopped = True
             for store in self.stores.values():
                 store.put(_STOP)
+
+    # -- faults and recovery (the chaos layer's seams) ---------------------
+
+    def crash_node(self, name: str) -> None:
+        """Kill ``name`` permanently: its guest threads, worker caches,
+        and ledger epochs die with the machine, in-flight transfers
+        touching it fail, and every piece of work it held is recovered
+        from clean state elsewhere.
+
+        Ownership of recovery is split to make it exactly-once: this
+        handler owns (a) the dead run queue's items, (b) the running
+        slot, and (c) requests *homed* here whose frames are off on
+        remote workers; delivery processes own segments in flight; the
+        ``cancelled`` flag arbitrates the overlap — a cancelled segment
+        is only ever discarded, never recovered a second time."""
+        if name == self.front:
+            raise ClusterError("cannot crash the front node "
+                               "(ingress + classpath home)")
+        if name in self.dead:
+            return
+        self.dead.add(name)
+        self.crash_epoch[name] += 1
+        self.stats["crashes"] += 1
+        self._trace("fault", fault="crash", node=name)
+        self.network.crash_node(name)
+        self.load_index.retire(name)
+        # 1. Drain the dead run queue.  The node's process is blocked in
+        #    get() or mid-quantum; it learns of the crash from its epoch
+        #    and settles its own slot accounting.
+        store = self.stores[name]
+        victims = [r for r in list(store.items) if r is not _STOP]
+        for r in victims:
+            store.remove(r)
+            self._bump(name, -1)
+        run = self.running[name]
+        if run is not None:
+            victims.append(run)
+        # 2. The engine forgets the host: worker caches, restored
+        #    threads, and *both sides* of every ledger it was party to
+        #    go (a later re-offload to a reborn name would start cold).
+        self.engine.crash_host(name)
+        # 3. Recover every victim.
+        for r in victims:
+            if r.kind == "segment":
+                self.active_segments.pop(r.rid, None)
+                if r.cancelled:
+                    r.state = "cancelled"
+                    self.stats["cancelled_segments"] += 1
+                else:
+                    self._recover_parent(r, "node-crash")
+            elif r.thread is None:
+                # A descriptor: nothing started, nothing lost — just
+                # place it somewhere alive.
+                self._trace("recover", rid=r.rid, mode="replace")
+                self._enqueue(r, self._place_live(r))
+            else:
+                self._retry(r, "node-crash")
+        # 4. Requests homed here whose residual stacks just died while
+        #    their top frames run on remote workers: the home state is
+        #    gone, so the whole request restarts (and its live segments
+        #    become cancelled zombies wherever they are).
+        for r in self.requests:
+            if (r.kind == "request" and r.state == "remote"
+                    and r.host_node == name):
+                self._retry(r, "node-crash")
+
+    def _recover_faulted(self, name: str, req: Request, err: str) -> None:
+        """A quantum aborted because a dependency host died mid-fetch:
+        discard the poisoned thread state and recover."""
+        self._trace("fault_abort", rid=req.rid, node=name, error=err)
+        if req.kind == "segment":
+            self.active_segments.pop(req.rid, None)
+            if req.cancelled:
+                req.state = "cancelled"
+                self.stats["cancelled_segments"] += 1
+                if name not in self.dead and req.thread is not None:
+                    self.engine.abandon_segment(self._host(name), req.thread)
+                return
+            if name not in self.dead and req.thread is not None:
+                self.engine.abandon_segment(self._host(name), req.thread)
+            req.state = "lost"
+            self._recover_parent(req, "dependency-crash")
+        else:
+            self._retry(req, "dependency-crash")
+
+    def _recover_parent(self, seg: Request, reason: str) -> None:
+        """A segment is gone (crashed node, failed delivery): resume
+        its parent without it.  A first-hop segment re-executes from
+        home state — the home thread kept its full (stale-above-MSP)
+        stack at migrate time, and the dead worker's dirty writes were
+        never flushed, so requeueing the parent replays exactly the
+        offloaded frames with no double-applied effects.  A chain-hop
+        segment's earlier hops *did* flush partial effects home
+        (rehop's release fence), so only a from-scratch retry under a
+        fresh namespace is safe."""
+        self.active_segments.pop(seg.rid, None)
+        seg.state = "lost"
+        parent = seg.parent
+        if parent.state != "remote":
+            return  # another recovery path already owns the parent
+        self.stats["seg_recoveries"] += 1
+        if (seg.hops == 0 and parent.host_node is not None
+                and parent.host_node not in self.dead):
+            self.stats["home_requeues"] += 1
+            self._trace("recover", rid=parent.rid, seg=seg.rid,
+                        mode="home-requeue", reason=reason)
+            self._enqueue(parent, parent.host_node)
+        else:
+            self._trace("recover", rid=parent.rid, seg=seg.rid,
+                        mode="retry", reason=reason)
+            self._retry(parent, reason)
+
+    def _lost_delivery(self, seg: Request, target: str) -> None:
+        """A segment delivery never (usably) arrived.  The engine
+        restored the worker thread eagerly when the message was built,
+        so a *live* target holds state that must be abandoned (epochs
+        released, ledger staging invalidated on both ends); a dead
+        target lost it with the machine either way."""
+        if seg.cancelled:
+            self._discard_segment(target, seg)
+            return
+        self.active_segments.pop(seg.rid, None)
+        if target not in self.dead and seg.thread is not None:
+            self.engine.abandon_segment(self._host(target), seg.thread)
+        seg.state = "lost"
+        self._recover_parent(seg, "delivery-failed")
+
+    def _discard_segment(self, node: str, seg: Request) -> None:
+        """A cancelled segment surfaced on a live node: its parent was
+        already recovered elsewhere, so release the worker-side state
+        and ship nothing."""
+        self.active_segments.pop(seg.rid, None)
+        seg.state = "cancelled"
+        self.stats["cancelled_segments"] += 1
+        if seg.thread is not None and node not in self.dead:
+            self.engine.abandon_segment(self._host(node), seg.thread)
+        self._trace("discard_segment", rid=seg.rid, node=node)
+
+    def _cancel_segment(self, seg: Request) -> None:
+        """Void a live segment of a recovered parent: wherever it is
+        (queued, running, riding a delivery), its holder discards it on
+        next touch; if it is queued on a live node, pull it out now."""
+        seg.cancelled = True
+        node = seg.host_node
+        if node is not None and node not in self.dead:
+            store = self.stores.get(node)
+            if store is not None and store.remove(seg):
+                self._bump(node, -1)
+                self._discard_segment(node, seg)
+
+    def _retry(self, req: Request, reason: str) -> None:
+        """Restart ``req`` from scratch on a live node: cancel its live
+        segments, drop its namespace (both the fresh spawn and any
+        zombie worker state re-key under a clean ``req{rid}``), reset
+        the execution state, and requeue — bounded by ``max_retries``,
+        after which the request fails visibly rather than looping."""
+        for seg in [s for s in self.active_segments.values()
+                    if s.parent is req]:
+            self._cancel_segment(seg)
+        req.retries += 1
+        if req.retries > self.max_retries:
+            req.finished_at = self.env.now
+            self._trace("fail", rid=req.rid, error=reason)
+            self._fail(req, reason)
+            return
+        self.stats["retries"] += 1
+        self._drop_namespace(req)
+        req.thread = None
+        req.namespace = None
+        req.host_node = None
+        req.hops = 0
+        req.instrs = 0
+        target = self._place_live(req)
+        self._trace("retry", rid=req.rid, attempt=req.retries,
+                    reason=reason, node=target)
+        self._enqueue(req, target)
+
+    def _place_live(self, req: Request) -> str:
+        """Placement that never lands on a dead node: re-ask the policy
+        (its cursor keeps advancing deterministically) a bounded number
+        of times, then fall back to the front — which cannot crash."""
+        node = self.placement.place(self, req)
+        for _ in range(len(self.node_names)):
+            if node not in self.dead:
+                return node
+            node = self.placement.place(self, req)
+        return self.front
 
     # -- SOD offload -------------------------------------------------------
 
@@ -538,7 +879,10 @@ class ClusterScheduler:
             seg = Request(rid=self._take_rid(), kind="segment", parent=r,
                           arrival=self.env.now, thread=wt,
                           host_node=target, nframes=nframes)
+            self.active_segments[seg.rid] = seg
             segs.append((seg, restored))
+        self._trace("offload", src=node, dst=target,
+                    segs=[(s.rid, s.parent.rid) for s, _ in segs])
         self._dispatch_bulk(node, target, segs, bulk_wire)
         return capture_dt
 
@@ -582,6 +926,10 @@ class ClusterScheduler:
                       parent=seg.parent, arrival=self.env.now, thread=wt,
                       host_node=target, nframes=seg.nframes,
                       hops=seg.hops + 1, instrs=seg.instrs)
+        self.active_segments.pop(seg.rid, None)
+        self.active_segments[hop.rid] = hop
+        self._trace("rehop", src=node, dst=target, seg=hop.rid,
+                    rid=seg.parent.rid, hops=hop.hops)
         self._dispatch_bulk(
             node, target,
             [(hop, rec.restore_time + rec.worker_spawn_time)],
@@ -596,6 +944,16 @@ class ClusterScheduler:
         return rid
 
     def _enqueue(self, req: Request, node: str) -> None:
+        if node in self.dead:
+            # Central guard: no delivery path ever queues work onto a
+            # crashed node.  A descriptor just re-places; a started
+            # request's frames lived on a specific machine, so a dead
+            # destination means its state is gone — full retry.
+            if req.thread is None:
+                node = self._place_live(req)
+            else:
+                self._retry(req, "node-crash")
+                return
         req.state = "queued"
         if req.thread is None:
             req.host_node = node
@@ -635,6 +993,8 @@ class ClusterScheduler:
             }
         stats = dict(self.stats)
         stats["gossip_rounds"] = self.load_index.gossip_rounds
+        # Chaos layer: messages lost to injected faults.
+        stats["dropped_messages"] = self.network.total_dropped()
         # Migration fast path: bytes the transfer caches kept off the
         # wire, and object revalidation hits across all workers.
         stats["bytes_saved"] = self.network.total_saved()
@@ -681,20 +1041,26 @@ _OFFLOADS = {
 }
 
 
-def serve_mix(mix: str = "parallel", n_nodes: int = 4,
-              n_requests: int = 32, seed: int = 7,
-              quantum: int = 2500, interarrival: float = 0.0,
-              placement: Union[str, Placement] = "round-robin",
-              offload: Union[str, OffloadPolicy, None] = "queue-depth",
-              cpu_weights: Optional[List[float]] = None,
-              cost: Optional[CostModel] = None,
-              rack_size: int = 4,
-              staleness: float = DEFAULT_STALENESS,
-              isolation: str = "auto",
-              admission: Optional[ShedWhenSaturated] = None) -> ServeReport:
-    """Serve ``n_requests`` drawn from a named mix on a fresh
-    ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
-    same arguments, same report."""
+def build_serving(mix: str = "parallel", n_nodes: int = 4,
+                  n_requests: int = 32, seed: int = 7,
+                  quantum: int = 2500, interarrival: float = 0.0,
+                  placement: Union[str, Placement] = "round-robin",
+                  offload: Union[str, OffloadPolicy, None] = "queue-depth",
+                  cpu_weights: Optional[List[float]] = None,
+                  cost: Optional[CostModel] = None,
+                  rack_size: int = 4,
+                  staleness: float = DEFAULT_STALENESS,
+                  isolation: str = "auto",
+                  admission: Optional[ShedWhenSaturated] = None,
+                  fault_plan: Optional[Any] = None,
+                  tracer: Optional[Any] = None,
+                  max_retries: int = 3) -> Tuple["ClusterScheduler",
+                                                 LoadGenerator]:
+    """Build a ready-to-run (scheduler, load generator) pair for a
+    named mix on a fresh ``serve_cluster(n_nodes)`` — the shared
+    construction path of :func:`serve_mix` and the chaos layer's
+    record/replay runner (which needs the scheduler itself for the
+    per-request summary, not just the report)."""
     mixobj = MIXES[mix]
     cluster = serve_cluster(n_nodes, cpu_weights=cpu_weights,
                             rack_size=rack_size)
@@ -706,9 +1072,42 @@ def serve_mix(mix: str = "parallel", n_nodes: int = 4,
                              cost=cost, quantum=quantum,
                              placement=placement, offload=offload,
                              staleness=staleness, isolation=isolation,
-                             admission=admission)
+                             admission=admission, tracer=tracer,
+                             max_retries=max_retries)
+    if fault_plan is not None:
+        # Imported lazily: repro.chaos imports this module for the
+        # trace runner, so a top-level import would be circular.
+        from repro.chaos.injector import ChaosInjector
+        ChaosInjector(sched, fault_plan).start()
     load = LoadGenerator(mixobj, n_requests, seed=seed,
                          interarrival=interarrival)
+    return sched, load
+
+
+def serve_mix(mix: str = "parallel", n_nodes: int = 4,
+              n_requests: int = 32, seed: int = 7,
+              quantum: int = 2500, interarrival: float = 0.0,
+              placement: Union[str, Placement] = "round-robin",
+              offload: Union[str, OffloadPolicy, None] = "queue-depth",
+              cpu_weights: Optional[List[float]] = None,
+              cost: Optional[CostModel] = None,
+              rack_size: int = 4,
+              staleness: float = DEFAULT_STALENESS,
+              isolation: str = "auto",
+              admission: Optional[ShedWhenSaturated] = None,
+              fault_plan: Optional[Any] = None,
+              tracer: Optional[Any] = None,
+              max_retries: int = 3) -> ServeReport:
+    """Serve ``n_requests`` drawn from a named mix on a fresh
+    ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
+    same arguments (fault plan included), same report."""
+    sched, load = build_serving(
+        mix=mix, n_nodes=n_nodes, n_requests=n_requests, seed=seed,
+        quantum=quantum, interarrival=interarrival, placement=placement,
+        offload=offload, cpu_weights=cpu_weights, cost=cost,
+        rack_size=rack_size, staleness=staleness, isolation=isolation,
+        admission=admission, fault_plan=fault_plan, tracer=tracer,
+        max_retries=max_retries)
     rep = sched.serve(load)
     rep.mix = mix
     rep.seed = seed
