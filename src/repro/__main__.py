@@ -124,8 +124,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         policy_cls = (ClockPressurePolicy if offload == "clock-pressure"
                       else QueueDepthPolicy)
         offload = policy_cls(max_seg_hops=args.max_seg_hops)
+    tenants = None
+    if args.tenants:
+        from repro.serve import parse_tenants
+        tenants = parse_tenants(args.tenants)
     admission = None
-    if args.shed_at is not None:
+    if args.admission == "adaptive":
+        from repro.serve import AdaptiveShed
+        kw = {}
+        if args.slo is not None:
+            kw["slo"] = args.slo
+        if args.shed_at is not None:
+            kw["init_load"] = args.shed_at
+        admission = AdaptiveShed(**kw)
+    elif args.shed_at is not None:
         from repro.serve import ShedWhenSaturated
         admission = ShedWhenSaturated(max_node_load=args.shed_at)
     from repro.chaos.trace import DEFAULT_HORIZON
@@ -150,6 +162,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             "isolation": args.isolation, "shed_at": args.shed_at,
             "chaos_seed": args.chaos,
             "chaos_horizon": horizon,
+            "tenants": tenants.to_dict() if tenants else None,
+            "arrival_rate": args.arrival_rate,
+            "admission": (args.admission
+                          if args.admission != "none" else None),
+            "slo": args.slo,
         })
         write_trace(args.record, trace)
         print(f"recorded {len(trace['events'])} events -> {args.record}")
@@ -161,7 +178,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         placement=args.placement, offload=offload,
                         rack_size=args.rack_size, staleness=staleness,
                         isolation=args.isolation, admission=admission,
-                        fault_plan=plan)
+                        fault_plan=plan, tenants=tenants,
+                        arrival_rate=args.arrival_rate)
     # Under injected faults a request may legitimately fail (bounded
     # retries exhausted); what must never happen is a wrong answer or
     # a vanished request.
@@ -187,6 +205,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
           f"max quantum overshoot {s['max_quantum_overshoot']} instrs")
     print(f"static isolation: {s['isolated']} requests in per-request "
           f"namespaces; admission shed {s['shed']}")
+    if s.get("pool_leases"):
+        print(f"namespace pool: {s['pool_leases']} leases "
+              f"({s['pool_reuses']} warm reuses, "
+              f"{s['pool_cells_reset']} static cells re-virginized, "
+              f"{s['pool_exhausted']} pool-exhausted fallbacks, "
+              f"{s['pool_retired']} retired)")
+    if "adaptive_threshold" in s:
+        print(f"adaptive admission: threshold={s['adaptive_threshold']:.2f} "
+              f"({s['adaptive_down']} down / {s['adaptive_up']} up "
+              f"adjustments, {s['fair_sheds']} fair-share sheds)")
+    for tname, block in rep.tenants.items():
+        tl = block["latency_s"]
+        print(f"  tenant {tname}: admitted={block['admitted']}/"
+              f"{block['submitted']} shed={block['shed']} "
+              f"done={block['done']} failed={block['failed']} "
+              f"quanta={block['quanta']} "
+              f"p50={tl['p50'] * 1e3:.1f}ms p95={tl['p95'] * 1e3:.1f}ms")
     print(f"tier-2 jit: {s['tier2_compiles']} compiles "
           f"({s['tier2_precompiles']} profile-driven), "
           f"{s['tier2_deopts']} deopts, "
@@ -287,7 +322,33 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--shed-at", type=float, default=None,
                    help="front-door admission: shed requests when the "
                         "gossip digest shows every rack's lightest "
-                        "node at/above this weighted load")
+                        "node at/above this weighted load (with "
+                        "--admission adaptive this seeds the initial "
+                        "threshold instead)")
+    p.add_argument("--tenants", default=None, metavar="SPEC",
+                   help="multi-tenant QoS: comma-separated "
+                        "name[:key=val]* entries with keys w/weight "
+                        "(fair-queueing share), p/priority (0 = shed "
+                        "last), slo, pool (warm namespace pool bound), "
+                        "r/rate (arrival-rate factor) — e.g. "
+                        "'gold:w=3,free:w=1:p=2:r=10'; requires "
+                        "--arrival-rate")
+    p.add_argument("--arrival-rate", type=float, default=None,
+                   help="open-loop Poisson arrivals at this rate "
+                        "(requests per virtual second; per tenant it "
+                        "is scaled by the tenant's rate factor) — "
+                        "offered load keeps coming past saturation, "
+                        "unlike --interarrival's fixed gaps")
+    p.add_argument("--admission", default="none",
+                   choices=["none", "static", "adaptive"],
+                   help="admission control: static = shed at the fixed "
+                        "--shed-at threshold; adaptive = learn the "
+                        "latency/goodput knee online (AIMD on the "
+                        "observed P95 vs --slo), shedding per tenant "
+                        "by priority with hysteresis")
+    p.add_argument("--slo", type=float, default=None,
+                   help="adaptive admission's end-to-end P95 latency "
+                        "target, virtual seconds (default 0.1)")
     p.add_argument("--chaos", type=int, default=None, metavar="SEED",
                    help="inject a seeded random fault schedule (node "
                         "crashes, link failures, stragglers); same "

@@ -12,6 +12,14 @@ under *any* crash/partition/straggle schedule:
 * **failures are honest** — a failed request carries a known fault
   reason and exhausted its bounded retry budget (a fault-free run, by
   the same token, must fail nothing);
+* **sheds are honest** — with admission control installed (the
+  ``shed_at``/``admission`` knobs), a refused request is classified
+  ``shed``, never lost or incorrect: it is terminal, it never started,
+  it carries no result — *including* requests shed because dead racks
+  shrank the cluster's capacity under them;
+* **tenant accounting balances** — every per-tenant runnable counter
+  returns to zero once the run drains, even when crash-retirement
+  recovered work across nodes mid-flight;
 * **no zombies** — when the run ends, no segment is still registered
   as live.
 
@@ -33,16 +41,41 @@ FAULT_REASONS = {"node-crash", "dependency-crash", "delivery-failed"}
 
 def fuzz_one(seed: int, mix: str = "parallel", n_nodes: int = 4,
              n_requests: int = 24, horizon: float = DEFAULT_HORIZON,
-             max_retries: int = 3, **plan_kw: Any) -> Dict[str, Any]:
+             max_retries: int = 3, shed_at: Optional[float] = None,
+             admission: Optional[str] = None,
+             tenants: Optional[Any] = None,
+             arrival_rate: Optional[float] = None,
+             slo: Optional[float] = None, **plan_kw: Any) -> Dict[str, Any]:
     """One fuzz run: serve ``mix`` under ``random_plan(seed)`` and
-    return ``{"seed", "plan", "report", "violations"}``."""
+    return ``{"seed", "plan", "report", "violations"}``.
+
+    The overload knobs compose with the fault schedule: ``shed_at``
+    installs the static :class:`~repro.serve.policies.ShedWhenSaturated`
+    (``admission="adaptive"`` upgrades it to the learning controller,
+    seeded from ``shed_at``/``slo``), and ``tenants`` +
+    ``arrival_rate`` drive per-tenant open-loop Poisson arrivals — the
+    combined chaos+overload case where capacity collapses under an
+    offered load that never lets up."""
+    from repro.serve.policies import AdaptiveShed, ShedWhenSaturated
     from repro.serve.scheduler import build_serving
 
+    adm: Any = None
+    if admission == "adaptive":
+        kw: Dict[str, Any] = {}
+        if slo is not None:
+            kw["slo"] = slo
+        if shed_at is not None:
+            kw["init_load"] = shed_at
+        adm = AdaptiveShed(**kw)
+    elif shed_at is not None:
+        adm = ShedWhenSaturated(max_node_load=shed_at)
     names = [f"node{i}" for i in range(n_nodes)]
     plan = random_plan(names, seed, horizon=horizon, **plan_kw)
     sched, load = build_serving(mix=mix, n_nodes=n_nodes,
                                 n_requests=n_requests,
-                                fault_plan=plan, max_retries=max_retries)
+                                fault_plan=plan, max_retries=max_retries,
+                                admission=adm, tenants=tenants,
+                                arrival_rate=arrival_rate)
     rep = sched.serve(load)
     violations: List[str] = []
     if rep.correct != rep.served:
@@ -62,6 +95,29 @@ def fuzz_one(seed: int, mix: str = "parallel", n_nodes: int = 4,
                 violations.append(
                     f"req {r.rid} failed after only {r.retries} "
                     f"retries (budget {max_retries} not exhausted)")
+    shed = [r for r in sched.requests if r.state == "shed"]
+    for r in shed:
+        # Shed attribution: a refused request is an admission
+        # *decision* — terminal on arrival, never executed, never a
+        # result.  Anything else means a shed was mislabelled (or a
+        # lost request was laundered as one).
+        if r.started_at is not None or r.result is not None \
+                or r.thread is not None:
+            violations.append(
+                f"req {r.rid} classified shed but carries execution "
+                f"state (started={r.started_at}, result={r.result!r})")
+        elif r.finished_at is None or r not in sched.finished:
+            violations.append(
+                f"req {r.rid} shed but not terminal")
+    if len(shed) != rep.stats["shed"]:
+        violations.append(
+            f"shed count drift: {len(shed)} shed requests vs "
+            f"stats[shed]={rep.stats['shed']}")
+    leftover = {t: c for t, c in sched.load_index.tenant_count.items() if c}
+    if leftover:
+        violations.append(
+            f"per-tenant runnable counters nonzero after drain: "
+            f"{leftover}")
     if sched.active_segments:
         violations.append(
             f"zombie segments at end of run: "

@@ -42,6 +42,12 @@ CONFIG_DEFAULTS: Dict[str, Any] = {
     "staleness": None, "isolation": "auto", "shed_at": None,
     "max_retries": 3, "chaos_seed": None, "chaos_horizon": DEFAULT_HORIZON,
     "fault_plan": None,
+    # Multi-tenant QoS / overload control: the tenant set (as
+    # Tenant.to_dict rows), the open-loop Poisson base arrival rate,
+    # the admission controller ("static" reads shed_at; "adaptive"
+    # learns the threshold, seeded from shed_at, steering to slo), and
+    # the adaptive controller's P95 latency target.
+    "tenants": None, "arrival_rate": None, "admission": None, "slo": None,
 }
 
 
@@ -79,9 +85,10 @@ def run_recorded(config: Optional[Dict[str, Any]] = None
     Returns ``(trace, report)``: the JSON-ready trace document and the
     live :class:`~repro.serve.scheduler.ServeReport`."""
     from repro.serve.loadindex import DEFAULT_STALENESS
-    from repro.serve.policies import (ClockPressurePolicy, QueueDepthPolicy,
-                                      ShedWhenSaturated)
+    from repro.serve.policies import (AdaptiveShed, ClockPressurePolicy,
+                                      QueueDepthPolicy, ShedWhenSaturated)
     from repro.serve.scheduler import build_serving
+    from repro.serve.tenants import TenantSet
 
     cfg = resolve_config(config)
     plan = (FaultPlan.from_dict(cfg["fault_plan"])
@@ -91,8 +98,18 @@ def run_recorded(config: Optional[Dict[str, Any]] = None
         policy_cls = (ClockPressurePolicy if offload == "clock-pressure"
                       else QueueDepthPolicy)
         offload = policy_cls(max_seg_hops=cfg["max_seg_hops"])
-    admission = (ShedWhenSaturated(max_node_load=cfg["shed_at"])
-                 if cfg["shed_at"] is not None else None)
+    if cfg["admission"] == "adaptive":
+        kw: Dict[str, Any] = {}
+        if cfg["slo"] is not None:
+            kw["slo"] = cfg["slo"]
+        if cfg["shed_at"] is not None:
+            kw["init_load"] = cfg["shed_at"]
+        admission: Any = AdaptiveShed(**kw)
+    elif cfg["shed_at"] is not None:
+        admission = ShedWhenSaturated(max_node_load=cfg["shed_at"])
+    else:
+        admission = None
+    tenants = TenantSet.from_dict(cfg["tenants"])
     tracer = TraceRecorder()
     sched, load = build_serving(
         mix=cfg["mix"], n_nodes=cfg["n_nodes"],
@@ -103,7 +120,8 @@ def run_recorded(config: Optional[Dict[str, Any]] = None
         staleness=(DEFAULT_STALENESS if cfg["staleness"] is None
                    else cfg["staleness"]),
         isolation=cfg["isolation"], admission=admission,
-        max_retries=cfg["max_retries"], fault_plan=plan, tracer=tracer)
+        max_retries=cfg["max_retries"], fault_plan=plan, tracer=tracer,
+        tenants=tenants, arrival_rate=cfg["arrival_rate"])
     rep = sched.serve(load)
     rep.mix = cfg["mix"]
     rep.seed = cfg["seed"]
@@ -111,6 +129,7 @@ def run_recorded(config: Optional[Dict[str, Any]] = None
         "rid": r.rid,
         "program": r.spec.program if r.spec is not None else None,
         "state": r.state,
+        "tenant": r.tenant,
         "result": repr(r.result),
         "error": r.error,
         "arrival": r.arrival,

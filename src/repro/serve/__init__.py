@@ -10,17 +10,23 @@ underloaded nodes mid-run.
 * :mod:`repro.serve.loadindex` — the incremental O(log n) load indexes
   (event-driven counters, per-rack heaps, gossip digest, work profile).
 * :mod:`repro.serve.policies` — admission placement and offload policies.
+* :mod:`repro.serve.tenants` — tenants: the unit of multi-tenant QoS.
+* :mod:`repro.serve.wfq` — weighted fair run queues (stride scheduling).
 * :mod:`repro.serve.scheduler` — the cluster scheduler itself.
 """
 
 from repro.serve.loadgen import LoadGenerator, Request
 from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile,
                                    naive_pick, recompute_load)
-from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
-                                  OffloadPolicy, Placement, QueueDepthPolicy,
+from repro.serve.policies import (AdaptiveShed, ClockPressurePolicy,
+                                  FrontDoorPlacement, OffloadPolicy,
+                                  Placement, QueueDepthPolicy,
                                   ShedWhenSaturated,
                                   WeightedRoundRobinPlacement)
-from repro.serve.scheduler import ClusterScheduler, ServeReport, serve_mix
+from repro.serve.scheduler import (ClusterScheduler, ServeReport,
+                                   build_serving, serve_mix)
+from repro.serve.tenants import Tenant, TenantSet, parse_tenants
+from repro.serve.wfq import FairStore
 
 __all__ = [
     "LoadGenerator", "Request",
@@ -28,6 +34,7 @@ __all__ = [
     "naive_pick", "recompute_load",
     "Placement", "FrontDoorPlacement", "WeightedRoundRobinPlacement",
     "OffloadPolicy", "QueueDepthPolicy", "ClockPressurePolicy",
-    "ShedWhenSaturated",
-    "ClusterScheduler", "ServeReport", "serve_mix",
+    "ShedWhenSaturated", "AdaptiveShed",
+    "Tenant", "TenantSet", "parse_tenants", "FairStore",
+    "ClusterScheduler", "ServeReport", "build_serving", "serve_mix",
 ]

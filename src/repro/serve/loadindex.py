@@ -65,6 +65,16 @@ class LoadIndex:
         self.racks: Dict[str, List[str]] = cluster.racks()
         #: runnable-or-imminent threads per node (the event-driven counter)
         self.count: Dict[str, int] = {n: 0 for n in names}
+        #: runnable-or-imminent threads per *tenant* across the whole
+        #: cluster — the admission controller's fair-share signal.
+        #: Only tenant-tagged work is counted (segments bill to their
+        #: parent's tenant), so legacy single-tenant runs keep this
+        #: empty and pay nothing.
+        self.tenant_count: Dict[str, int] = {}
+        #: summed cpu_weight of *live* nodes — the denominator of a
+        #: tenant's fair share; shrinks when a node crash-retires so
+        #: fair shares track the capacity that actually remains
+        self.live_capacity: float = sum(self.weights.values())
         #: per-rack aggregates: runnable threads and static capacity
         #: (summed cpu_weight, from the topology) — rack_load() is the
         #: coarse signal admission control / dashboards read without
@@ -115,14 +125,23 @@ class LoadIndex:
             return self._load[node] + extra / self.weights[node]
         return self._load[node]
 
-    def add(self, node: str, delta: int) -> None:
+    def add(self, node: str, delta: int,
+            tenant: Optional[str] = None) -> None:
         """Apply a runnable-count change (enqueue/dequeue/run/finish/
-        delivery ±1); O(log n) for the heap entry."""
+        delivery ±1); O(log n) for the heap entry.  ``tenant`` bills
+        the same change to a tenant's cluster-wide counter."""
         c = self.count[node] + delta
         if c < 0:
             raise ClusterError(
                 f"load index underflow on {node}: {self.count[node]}{delta:+d}")
         self.count[node] = c
+        if tenant is not None:
+            t = self.tenant_count.get(tenant, 0) + delta
+            if t < 0:
+                raise ClusterError(
+                    f"tenant load underflow for {tenant!r}: "
+                    f"{self.tenant_count.get(tenant, 0)}{delta:+d}")
+            self.tenant_count[tenant] = t
         load = c / self.weights[node]
         self._load[node] = load
         rack = self.rack_of[node]
@@ -146,6 +165,7 @@ class LoadIndex:
         self._retired.add(node)
         self._version[node] += 1
         self._rack_live[self.rack_of[node]] -= 1
+        self.live_capacity -= self.weights[node]
 
     def is_live(self, node: str) -> bool:
         return node not in self._retired

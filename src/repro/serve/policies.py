@@ -17,8 +17,8 @@ exactly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 # -- load accounting -----------------------------------------------------------
 
@@ -172,6 +172,141 @@ class ShedWhenSaturated:
     def admit(self, sched, req) -> bool:
         return not sched.load_index.saturated(
             sched.env.now, self.max_node_load)
+
+
+@dataclass
+class AdaptiveShed:
+    """Adaptive overload control: learn the latency/goodput knee
+    online and shed per-tenant by priority with hysteresis.
+
+    The static stub has to be told ``max_node_load`` — picked wrong it
+    either sheds work a healthy cluster could serve or admits until
+    queueing delay destroys every SLO.  This controller *learns* the
+    threshold from observed end-to-end latency, AIMD-style:
+
+    * every completed request's sojourn time feeds a sliding window;
+      each full ``window``, the exact windowed P95 is compared to the
+      ``slo`` target — above it the admit threshold multiplies down
+      (``decrease``), comfortably below it (``margin * slo``) the
+      threshold multiplies back up (``increase``), bounded to
+      ``[min_load, max_load]``.  Multiplicative decrease finds the
+      knee in a few windows even when the initial guess is far off;
+      the gentle increase reclaims capacity after the storm passes.
+      (The long-horizon P² :class:`~repro.serve.loadindex.
+      StreamingQuantile` tracks the *whole-run* P95 for reporting; the
+      control loop needs a windowed estimate that forgets the past, so
+      it keeps an exact small window instead.)
+    * shedding is **per-tenant by priority**: a tenant at priority
+      rank ``r`` is shed once the digest reports saturation at
+      ``threshold * priority_scale**r`` — lower-priority tenants
+      (larger rank) are refused earlier, so as overload deepens the
+      cluster degrades gracefully tier by tier instead of collapsing
+      for everyone at once.
+    * each tier's shed decision carries **hysteresis**: once tier
+      ``r`` sheds, it keeps shedding until load falls below
+      ``hysteresis`` times its bar — without the band, load hovering
+      at the threshold flaps admit/shed on alternating requests.
+    * a **fair-share cap** bounds any single tenant to ``fair_factor``
+      times its weight-share of the cluster's runnable capacity
+      (``threshold * live_capacity`` weighted threads), floored at
+      ``min_tenant_slots`` so small tenants always get a foothold.
+      This is what an abusive tenant hits: its own backlog saturates
+      its cap and *its* requests shed while everyone else's latency
+      stays at the knee.  (``fair_factor`` > 1 keeps the cluster
+      work-conserving when others are idle.)
+
+    All state is a deterministic function of the completed-request
+    sequence, so runs replay bit-identically.
+    """
+
+    #: end-to-end (arrival -> completion) P95 latency target, virtual
+    #: seconds — the knee the controller steers the cluster to
+    slo: float = 0.1
+    #: initial per-node weighted-load admit threshold (the stub's knob;
+    #: the controller moves it from here)
+    init_load: float = 8.0
+    min_load: float = 1.0
+    max_load: float = 64.0
+    #: completed requests per control window
+    window: int = 32
+    #: multiplicative decrease / increase applied to the threshold
+    decrease: float = 0.7
+    increase: float = 1.15
+    #: the windowed P95 must fall below ``margin * slo`` before the
+    #: threshold is allowed back up (a dead band against breathing)
+    margin: float = 0.8
+    #: a shedding tier readmits only below ``hysteresis`` * its bar
+    hysteresis: float = 0.8
+    #: per-priority-rank threshold scaling (rank r's bar is
+    #: ``threshold * priority_scale**r``)
+    priority_scale: float = 0.7
+    #: fair-share cap multiplier (> 1 = work-conserving headroom)
+    fair_factor: float = 2.0
+    #: every tenant may always hold at least this many runnable slots
+    min_tenant_slots: int = 4
+
+    #: current admit threshold (mutated by the control loop)
+    threshold: float = field(init=False)
+    #: control-loop activity counters (reported in run stats)
+    adjust_down: int = field(init=False, default=0)
+    adjust_up: int = field(init=False, default=0)
+    fair_sheds: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.threshold = self.init_load
+        self._lat: List[float] = []
+        #: priority ranks currently shedding (the hysteresis state)
+        self._shedding: Dict[int, bool] = {}
+
+    # -- the admit decision -------------------------------------------------
+
+    def admit(self, sched, req) -> bool:
+        tenants = getattr(sched, "tenants", None)
+        tenant = tenants.get(req.tenant) if tenants else None
+        index = sched.load_index
+        if tenant is not None and tenants.total_weight > 0:
+            cap = max(float(self.min_tenant_slots),
+                      self.fair_factor * tenants.share(tenant.name)
+                      * self.threshold * index.live_capacity)
+            if index.tenant_count.get(tenant.name, 0) >= cap:
+                self.fair_sheds += 1
+                return False
+        rank = tenant.priority if tenant is not None else 0
+        bar = self.threshold * (self.priority_scale ** rank)
+        now = sched.env.now
+        if self._shedding.get(rank):
+            if index.saturated(now, bar * self.hysteresis):
+                return False
+            self._shedding[rank] = False
+            return True
+        if index.saturated(now, bar):
+            self._shedding[rank] = True
+            return False
+        return True
+
+    # -- the control loop ---------------------------------------------------
+
+    def observe(self, sched, req) -> None:
+        """Fold one *served* request's end-to-end latency into the
+        control window (the scheduler calls this on completion; shed
+        and failed requests never reach it — they carry no service
+        latency)."""
+        self._lat.append(req.finished_at - req.arrival)
+        if len(self._lat) < self.window:
+            return
+        xs = sorted(self._lat)
+        self._lat.clear()
+        p95 = xs[min(len(xs) - 1, int(0.95 * (len(xs) - 1) + 0.5))]
+        if p95 > self.slo:
+            new = max(self.min_load, self.threshold * self.decrease)
+            if new != self.threshold:
+                self.adjust_down += 1
+            self.threshold = new
+        elif p95 < self.margin * self.slo:
+            new = min(self.max_load, self.threshold * self.increase)
+            if new != self.threshold:
+                self.adjust_up += 1
+            self.threshold = new
 
 
 # -- offload policies ----------------------------------------------------------

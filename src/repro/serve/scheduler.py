@@ -50,7 +50,7 @@ replay byte-identically too.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Any, Dict, List, Optional, Tuple, Union
 
@@ -60,10 +60,13 @@ from repro.migration.segments import max_migratable
 from repro.migration.sodee import Host, SODEngine
 from repro.serve.loadgen import LoadGenerator, Request
 from repro.serve.loadindex import (DEFAULT_STALENESS, LoadIndex, WorkProfile)
-from repro.serve.policies import (ClockPressurePolicy, FrontDoorPlacement,
-                                  OffloadPolicy, Placement, QueueDepthPolicy,
+from repro.serve.policies import (AdaptiveShed, ClockPressurePolicy,
+                                  FrontDoorPlacement, OffloadPolicy,
+                                  Placement, QueueDepthPolicy,
                                   ShedWhenSaturated,
                                   WeightedRoundRobinPlacement)
+from repro.serve.tenants import TenantSet
+from repro.serve.wfq import FairStore
 from repro.sim.kernel import Store
 from repro.vm.costmodel import CostModel, sodee_model
 from repro.workloads.mixes import (MIXES, expected_request_result,
@@ -121,9 +124,12 @@ class ServeReport:
     quantum: int
     mix: str = ""
     seed: int = 0
+    #: per-tenant outcome blocks (admitted/shed/done, P50/P95, quanta);
+    #: empty in single-tenant runs
+    tenants: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        d = {
             "mix": self.mix, "seed": self.seed, "n_nodes": self.n_nodes,
             "quantum": self.quantum, "submitted": self.submitted,
             "served": self.served, "failed": self.failed,
@@ -137,6 +143,11 @@ class ServeReport:
             "per_node": self.per_node,
             "sched": dict(self.stats),
         }
+        # Only multi-tenant runs carry the block: a tenant-free run's
+        # dict stays byte-identical to pre-tenant builds.
+        if self.tenants:
+            d["tenants"] = self.tenants
+        return d
 
 
 class ClusterScheduler:
@@ -150,10 +161,11 @@ class ClusterScheduler:
                  front: Optional[str] = None,
                  staleness: float = DEFAULT_STALENESS,
                  isolation: str = "auto",
-                 admission: Optional[ShedWhenSaturated] = None,
+                 admission: Optional[Any] = None,
                  tracer: Optional[Any] = None,
                  max_retries: int = 3,
-                 delivery_retries: int = 2):
+                 delivery_retries: int = 2,
+                 tenants: Optional[TenantSet] = None):
         if isolation not in ("auto", "all", "off"):
             raise ClusterError(f"unknown isolation mode {isolation!r}")
         if not cluster.nodes:
@@ -186,9 +198,39 @@ class ClusterScheduler:
         self.isolation = isolation
         #: front-door admission control (None = admit everything)
         self.admission = admission
-        #: per-node run queues (Store exposes .items for load inspection)
-        self.stores: Dict[str, Store] = {
-            n: Store(self.env, name=f"runq:{n}") for n in self.node_names}
+        #: the tenant tier (None/empty = legacy single-tenant mode:
+        #: plain FIFO queues, no per-tenant accounting, no pooling —
+        #: structurally the pre-tenant code paths, byte-identical runs)
+        self.tenants = tenants if tenants else None
+        #: per-node run queues (both expose .items for load inspection);
+        #: with tenants configured each queue is a weighted fair store —
+        #: stride scheduling over Tenant.weight, so one tenant's backlog
+        #: cannot starve another's quanta on any node it shares
+        if self.tenants:
+            tw = {t.name: t.weight for t in self.tenants}
+            self.stores: Dict[str, Any] = {
+                n: FairStore(self.env, name=f"runq:{n}", weights=tw)
+                for n in self.node_names}
+        else:
+            self.stores = {
+                n: Store(self.env, name=f"runq:{n}") for n in self.node_names}
+        #: per-tenant namespace pools: free (warm) tags ready to lease,
+        #: live tag counts against Tenant.pool, and a monotonic mint
+        #: sequence (a retired tag's index is never reissued — a zombie
+        #: segment of the old lease may still invalidate entries under
+        #: the old tag name)
+        self._ns_free: Dict[str, List[str]] = {}
+        self._ns_live: Dict[str, int] = {}
+        self._ns_seq: Dict[str, int] = {}
+        #: per-tenant outcome counters + served latencies (report fuel)
+        self.tenant_stats: Dict[str, Dict[str, int]] = {}
+        self._tenant_lat: Dict[str, List[float]] = {}
+        if self.tenants:
+            for t in self.tenants:
+                self.tenant_stats[t.name] = {
+                    "submitted": 0, "admitted": 0, "shed": 0,
+                    "done": 0, "failed": 0, "quanta": 0}
+                self._tenant_lat[t.name] = []
         #: the request currently holding each node's CPU (or None)
         self.running: Dict[str, Optional[Request]] = {
             n: None for n in self.node_names}
@@ -239,6 +281,8 @@ class ClusterScheduler:
             "cancelled_segments": 0, "fault_aborts": 0,
             "delivery_retries": 0, "delivery_drops": 0,
             "requeued_home": 0,
+            "pool_leases": 0, "pool_reuses": 0, "pool_cells_reset": 0,
+            "pool_exhausted": 0, "pool_retired": 0,
         }
         self._expected: Optional[int] = None
         self._next_rid = 0
@@ -254,25 +298,50 @@ class ClusterScheduler:
 
     # -- admission ---------------------------------------------------------
 
-    def submit(self, spec) -> Request:
+    def submit(self, spec, tenant: Optional[str] = None) -> Request:
         """Admit one request now; placement picks its first queue.
-        With admission control installed and the gossip digest showing
-        every rack saturated, the request is *shed* instead: finished
-        on arrival with state ``"shed"`` and counted, never queued."""
-        req = Request(rid=self._take_rid(), spec=spec, arrival=self.env.now)
+        With admission control installed and the controller refusing it
+        (digest saturation, or the tenant over its fair share), the
+        request is *shed* instead: finished on arrival with state
+        ``"shed"`` and counted, never queued — the client got a fast
+        overload signal rather than an unbounded queueing delay."""
+        req = Request(rid=self._take_rid(), spec=spec, arrival=self.env.now,
+                      tenant=tenant)
         self.requests.append(req)
+        tstat = self._tstat(tenant)
+        if tstat is not None:
+            tstat["submitted"] += 1
         if self.admission is not None and not self.admission.admit(self, req):
             req.state = "shed"
             req.finished_at = self.env.now
             self.stats["shed"] += 1
-            self._trace("shed", rid=req.rid, program=spec.program)
+            if tstat is not None:
+                tstat["shed"] += 1
+            self._trace("shed", rid=req.rid, program=spec.program,
+                        tenant=tenant)
             self.finished.append(req)
             self._maybe_stop()
             return req
+        if tstat is not None:
+            tstat["admitted"] += 1
         node = self._place_live(req)
         self._trace("submit", rid=req.rid, program=spec.program, node=node)
         self._enqueue(req, node)
         return req
+
+    def _tstat(self, tenant: Optional[str]) -> Optional[Dict[str, int]]:
+        """The tenant's outcome counters (created on demand for names
+        submitted outside the configured set); None in legacy mode or
+        for untagged requests."""
+        if tenant is None:
+            return None
+        st = self.tenant_stats.get(tenant)
+        if st is None:
+            st = self.tenant_stats[tenant] = {
+                "submitted": 0, "admitted": 0, "shed": 0,
+                "done": 0, "failed": 0, "quanta": 0}
+            self._tenant_lat[tenant] = []
+        return st
 
     def serve(self, load: LoadGenerator) -> ServeReport:
         """Admit ``load``'s stream, run to completion, report.
@@ -291,9 +360,14 @@ class ClusterScheduler:
 
     # -- the load index ----------------------------------------------------
 
-    def _bump(self, node: str, delta: int) -> None:
-        """Apply a runnable-count change to the incremental index."""
-        self.load_index.add(node, delta)
+    def _bump(self, node: str, delta: int,
+              req: Optional[Request] = None) -> None:
+        """Apply a runnable-count change to the incremental index,
+        billing ``req``'s tenant when it carries one (segments carry
+        their parent's tenant, so offloaded work keeps billing to the
+        tenant that caused it)."""
+        self.load_index.add(node, delta,
+                            tenant=req.tenant if req is not None else None)
 
     def pick_underloaded(self, src: str, src_load: float,
                          min_gap: float) -> Optional[str]:
@@ -321,7 +395,7 @@ class ClusterScheduler:
             req = yield store.get()
             if req is _STOP:
                 break
-            self._bump(name, -1)  # left the queue; in hand now
+            self._bump(name, -1, req)  # left the queue; in hand now
             if req.kind == "segment" and req.cancelled:
                 # Its parent was recovered elsewhere while this segment
                 # sat queued: void it, never run it.
@@ -339,7 +413,7 @@ class ClusterScheduler:
                     continue
             epoch = self.crash_epoch[name]
             self.running[name] = req
-            self._bump(name, +1)
+            self._bump(name, +1, req)
             req.state = "running"
             try:
                 dt, status = self._run_quantum(name, req)
@@ -349,11 +423,13 @@ class ClusterScheduler:
                 # thread state is beyond saving — recover from clean
                 # state instead.
                 self.running[name] = None
-                self._bump(name, -1)
+                self._bump(name, -1, req)
                 self.stats["fault_aborts"] += 1
                 self._recover_faulted(name, req, str(e))
                 continue
             self.stats["quanta"] += 1
+            if req.tenant is not None:
+                self._tstat(req.tenant)["quanta"] += 1
             self.cpu_used[name] += dt
             self.cpu_total += dt
             if dt > 0:
@@ -361,7 +437,7 @@ class ClusterScheduler:
                 # so other nodes' load probes see this CPU occupied.
                 yield env.timeout(dt)
             self.running[name] = None
-            self._bump(name, -1)
+            self._bump(name, -1, req)
             if self.crash_epoch[name] != epoch:
                 # The machine died under this quantum.  The crash
                 # handler already recovered (or cancelled) the request
@@ -414,8 +490,12 @@ class ClusterScheduler:
                 # loader namespace — fresh static cells here and on
                 # every node a migrated segment of it lands on (the
                 # captured state carries the tag).  Reentrant programs
-                # skip this entirely and share the root cells.
-                req.namespace = f"req{req.rid}"
+                # skip this entirely and share the root cells.  With a
+                # tenant pool, the namespace is *leased*: a recycled
+                # tag keeps its linked classes, decoded streams, and
+                # tier-2 closures warm instead of re-linking from
+                # scratch on every request.
+                req.namespace, req.pooled = self._lease_namespace(req)
                 self.engine.note_namespace_site(req.namespace, node)
                 self.stats["isolated"] += 1
             req.thread = machine.spawn(cls, meth, list(req.spec.args),
@@ -436,7 +516,7 @@ class ClusterScheduler:
         """Start a descriptor handoff toward ``target``, counted as
         pending load immediately (before the wire time elapses)."""
         self.pending[target] += 1
-        self._bump(target, +1)
+        self._bump(target, +1, req)
         self.env.process(self._handoff_proc(req, src, target),
                          name=f"handoff:{req.rid}")
 
@@ -456,7 +536,7 @@ class ClusterScheduler:
                 src, target, DESCRIPTOR_BYTES)
             if ok and target not in self.dead:
                 self.pending[target] -= 1
-                self._bump(target, -1)
+                self._bump(target, -1, req)
                 self._enqueue(req, target)
                 return
             if target in self.dead or attempt >= self.delivery_retries:
@@ -465,7 +545,7 @@ class ClusterScheduler:
             self.stats["delivery_retries"] += 1
             yield env.timeout(DELIVERY_BACKOFF * (2 ** (attempt - 1)))
         self.pending[target] -= 1
-        self._bump(target, -1)
+        self._bump(target, -1, req)
         self.stats["delivery_drops"] += 1
         self.stats["requeued_home"] += 1
         fallback = src if src not in self.dead else self._place_live(req)
@@ -479,8 +559,8 @@ class ClusterScheduler:
         """Start one bulk segment message toward ``target``; every
         segment counts as pending load immediately."""
         self.pending[target] += len(segs)
-        for _ in segs:
-            self._bump(target, +1)
+        for seg, _restored_at in segs:
+            self._bump(target, +1, seg)
         self.env.process(self._bulk_proc(src, target, segs, bulk_wire),
                          name=f"bulk:{src}->{target}")
 
@@ -515,7 +595,7 @@ class ClusterScheduler:
             self.stats["delivery_drops"] += 1
             for seg, _restored_at in segs:
                 self.pending[target] -= 1
-                self._bump(target, -1)
+                self._bump(target, -1, seg)
                 self._lost_delivery(seg, target)
             return
         done = 0.0
@@ -524,7 +604,7 @@ class ClusterScheduler:
                 yield self.env.timeout(restored_at - done)
                 done = restored_at
             self.pending[target] -= 1
-            self._bump(target, -1)
+            self._bump(target, -1, seg)
             if target in self.dead:
                 # The node died between the message landing and this
                 # segment's restore completing.
@@ -549,6 +629,16 @@ class ClusterScheduler:
             req.result = t.result
             if req.spec is not None:
                 self.profile.observe(req.spec.program, req.instrs)
+            if req.tenant is not None:
+                self._tstat(req.tenant)["done"] += 1
+                self._tenant_lat[req.tenant].append(
+                    req.finished_at - req.arrival)
+            observe = getattr(self.admission, "observe", None)
+            if observe is not None:
+                # Adaptive overload control learns from every served
+                # request's end-to-end latency (static admission has no
+                # observe hook and pays nothing).
+                observe(self, req)
             self._drop_namespace(req)
             self._trace("complete", rid=req.rid, node=node,
                         result=repr(req.result))
@@ -581,17 +671,63 @@ class ClusterScheduler:
         req.state = "failed"
         req.error = error
         self.stats["failed"] += 1
-        self._drop_namespace(req)
+        if req.tenant is not None:
+            self._tstat(req.tenant)["failed"] += 1
+        self._drop_namespace(req, retire=True)
         self.finished.append(req)
         self._maybe_stop()
 
-    def _drop_namespace(self, req: Request) -> None:
-        """A request's life is over: its per-request namespace (linked
-        classes, decoded streams, ledger views) is garbage on every
-        host it migrated through — reclaim it so thousands of isolated
-        requests don't accumulate per-node state."""
-        if req.namespace is not None:
-            self.engine.forget_namespace(req.namespace)
+    def _lease_namespace(self, req: Request) -> Tuple[str, bool]:
+        """The namespace an isolated request runs in: a warm tag from
+        its tenant's bounded pool when one is available (re-virginized
+        lazily, right here at lease time — a tag that sits in the pool
+        unleased never pays a reset), a newly minted pool tag while the
+        tenant is under its ``Tenant.pool`` bound, else the legacy
+        throwaway ``req{rid}`` namespace."""
+        t = self.tenants.get(req.tenant) if self.tenants else None
+        if t is None or t.pool <= 0:
+            return f"req{req.rid}", False
+        self.stats["pool_leases"] += 1
+        free = self._ns_free.get(t.name)
+        if free:
+            tag = free.pop()
+            self.stats["pool_reuses"] += 1
+            self.stats["pool_cells_reset"] += \
+                self.engine.recycle_namespace(tag)
+            return tag, True
+        live = self._ns_live.get(t.name, 0)
+        if live < t.pool:
+            self._ns_live[t.name] = live + 1
+            seq = self._ns_seq.get(t.name, 0)
+            self._ns_seq[t.name] = seq + 1
+            return f"t:{t.name}:{seq}", True
+        self.stats["pool_exhausted"] += 1
+        return f"req{req.rid}", False
+
+    def _drop_namespace(self, req: Request, retire: bool = False) -> None:
+        """A request's life is over.  A *pooled* namespace that ends
+        cleanly goes back to its tenant's free list, still warm (linked
+        classes, decoded streams, tier-2 closures); the reset of its
+        dirty statics is deferred to the next lease.  A throwaway
+        ``req{rid}`` namespace — or a pooled one on the ``retire`` path
+        (retry/failure: cancelled zombie segments may still invalidate
+        ledger entries under this tag later, so it must never be
+        re-leased) — is forgotten on every host it migrated through, so
+        thousands of isolated requests don't accumulate per-node
+        state."""
+        tag = req.namespace
+        if tag is None:
+            return
+        if req.pooled:
+            req.pooled = False
+            if not retire:
+                self._ns_free.setdefault(req.tenant, []).append(tag)
+                return
+            # Retired tags give their pool seat back; the sequence
+            # counter never reissues the tag name itself.
+            self._ns_live[req.tenant] -= 1
+            self.stats["pool_retired"] += 1
+        self.engine.forget_namespace(tag)
 
     def _maybe_stop(self) -> None:
         if (self._expected is not None and not self._stopped
@@ -632,7 +768,7 @@ class ClusterScheduler:
         victims = [r for r in list(store.items) if r is not _STOP]
         for r in victims:
             store.remove(r)
-            self._bump(name, -1)
+            self._bump(name, -1, r)
         run = self.running[name]
         if run is not None:
             victims.append(run)
@@ -746,7 +882,7 @@ class ClusterScheduler:
         if node is not None and node not in self.dead:
             store = self.stores.get(node)
             if store is not None and store.remove(seg):
-                self._bump(node, -1)
+                self._bump(node, -1, seg)
                 self._discard_segment(node, seg)
 
     def _retry(self, req: Request, reason: str) -> None:
@@ -765,7 +901,7 @@ class ClusterScheduler:
             self._fail(req, reason)
             return
         self.stats["retries"] += 1
-        self._drop_namespace(req)
+        self._drop_namespace(req, retire=True)
         req.thread = None
         req.namespace = None
         req.host_node = None
@@ -827,7 +963,7 @@ class ClusterScheduler:
         batch = [req]
         for cand in candidates:
             store.remove(cand)
-            self._bump(node, -1)
+            self._bump(node, -1, cand)
             batch.append(cand)
         nframes = max(1, min(
             policy.mig_frames,
@@ -859,7 +995,7 @@ class ClusterScheduler:
                 else:
                     r.state = "queued"
                     requeue.append(r)
-                    self._bump(node, +1)
+                    self._bump(node, +1, r)
             store.put_many(requeue)
             return machine.clock - t0 + done_dt
         capture_dt = machine.clock - t0
@@ -878,7 +1014,8 @@ class ClusterScheduler:
             restored += rec.restore_time + rec.worker_spawn_time
             seg = Request(rid=self._take_rid(), kind="segment", parent=r,
                           arrival=self.env.now, thread=wt,
-                          host_node=target, nframes=nframes)
+                          host_node=target, nframes=nframes,
+                          tenant=r.tenant)
             self.active_segments[seg.rid] = seg
             segs.append((seg, restored))
         self._trace("offload", src=node, dst=target,
@@ -914,7 +1051,7 @@ class ClusterScheduler:
                 done_dt = self._on_finished(node, seg)
             else:
                 seg.state = "queued"
-                self._bump(node, +1)
+                self._bump(node, +1, seg)
                 self.stores[node].put(seg)
             return machine.clock - t0 + done_dt
         capture_dt = machine.clock - t0
@@ -925,7 +1062,8 @@ class ClusterScheduler:
         hop = Request(rid=self._take_rid(), kind="segment",
                       parent=seg.parent, arrival=self.env.now, thread=wt,
                       host_node=target, nframes=seg.nframes,
-                      hops=seg.hops + 1, instrs=seg.instrs)
+                      hops=seg.hops + 1, instrs=seg.instrs,
+                      tenant=seg.tenant)
         self.active_segments.pop(seg.rid, None)
         self.active_segments[hop.rid] = hop
         self._trace("rehop", src=node, dst=target, seg=hop.rid,
@@ -957,7 +1095,7 @@ class ClusterScheduler:
         req.state = "queued"
         if req.thread is None:
             req.host_node = node
-        self._bump(node, +1)
+        self._bump(node, +1, req)
         self.stores[node].put(req)
 
     def _host(self, node: str) -> Host:
@@ -1012,6 +1150,28 @@ class ClusterScheduler:
         stats["tier2_deopts"] = sum(h.machine.jit_deopts for h in hosts)
         stats["tier2_guard_bails"] = sum(
             h.machine.jit_guard_bails for h in hosts)
+        if isinstance(self.admission, AdaptiveShed):
+            # Control-loop telemetry (static admission adds no keys, so
+            # pre-tenant reports keep their exact shape).
+            stats["adaptive_threshold"] = self.admission.threshold
+            stats["adaptive_down"] = self.admission.adjust_down
+            stats["adaptive_up"] = self.admission.adjust_up
+            stats["fair_sheds"] = self.admission.fair_sheds
+        tenant_blocks: Dict[str, Dict[str, Any]] = {}
+        for name in self.tenant_stats:
+            tlat = sorted(self._tenant_lat.get(name, []))
+
+            def tpct(p: float) -> float:
+                return tlat[int(p * (len(tlat) - 1))] if tlat else 0.0
+
+            block: Dict[str, Any] = dict(self.tenant_stats[name])
+            block["latency_s"] = {
+                "mean": sum(tlat) / len(tlat) if tlat else 0.0,
+                "p50": tpct(0.50), "p95": tpct(0.95),
+                "max": tlat[-1] if tlat else 0.0,
+            }
+            tenant_blocks[name] = block
+
         def pct(p: float) -> float:
             return lat[int(p * (len(lat) - 1))] if lat else 0.0
         return ServeReport(
@@ -1024,7 +1184,7 @@ class ClusterScheduler:
             latency_p50=pct(0.50), latency_p95=pct(0.95),
             latency_max=lat[-1] if lat else 0.0,
             per_node=per_node, stats=stats,
-            quantum=self.quantum)
+            quantum=self.quantum, tenants=tenant_blocks)
 
 
 # -- one-call sweep entry ------------------------------------------------------
@@ -1051,11 +1211,13 @@ def build_serving(mix: str = "parallel", n_nodes: int = 4,
                   rack_size: int = 4,
                   staleness: float = DEFAULT_STALENESS,
                   isolation: str = "auto",
-                  admission: Optional[ShedWhenSaturated] = None,
+                  admission: Optional[Any] = None,
                   fault_plan: Optional[Any] = None,
                   tracer: Optional[Any] = None,
-                  max_retries: int = 3) -> Tuple["ClusterScheduler",
-                                                 LoadGenerator]:
+                  max_retries: int = 3,
+                  tenants: Optional[TenantSet] = None,
+                  arrival_rate: Optional[float] = None
+                  ) -> Tuple["ClusterScheduler", LoadGenerator]:
     """Build a ready-to-run (scheduler, load generator) pair for a
     named mix on a fresh ``serve_cluster(n_nodes)`` — the shared
     construction path of :func:`serve_mix` and the chaos layer's
@@ -1073,14 +1235,15 @@ def build_serving(mix: str = "parallel", n_nodes: int = 4,
                              placement=placement, offload=offload,
                              staleness=staleness, isolation=isolation,
                              admission=admission, tracer=tracer,
-                             max_retries=max_retries)
+                             max_retries=max_retries, tenants=tenants)
     if fault_plan is not None:
         # Imported lazily: repro.chaos imports this module for the
         # trace runner, so a top-level import would be circular.
         from repro.chaos.injector import ChaosInjector
         ChaosInjector(sched, fault_plan).start()
     load = LoadGenerator(mixobj, n_requests, seed=seed,
-                         interarrival=interarrival)
+                         interarrival=interarrival,
+                         tenants=tenants, arrival_rate=arrival_rate)
     return sched, load
 
 
@@ -1094,20 +1257,22 @@ def serve_mix(mix: str = "parallel", n_nodes: int = 4,
               rack_size: int = 4,
               staleness: float = DEFAULT_STALENESS,
               isolation: str = "auto",
-              admission: Optional[ShedWhenSaturated] = None,
+              admission: Optional[Any] = None,
               fault_plan: Optional[Any] = None,
               tracer: Optional[Any] = None,
-              max_retries: int = 3) -> ServeReport:
+              max_retries: int = 3,
+              tenants: Optional[TenantSet] = None,
+              arrival_rate: Optional[float] = None) -> ServeReport:
     """Serve ``n_requests`` drawn from a named mix on a fresh
     ``serve_cluster(n_nodes)`` and return the report.  Deterministic:
-    same arguments (fault plan included), same report."""
+    same arguments (fault plan and tenant set included), same report."""
     sched, load = build_serving(
         mix=mix, n_nodes=n_nodes, n_requests=n_requests, seed=seed,
         quantum=quantum, interarrival=interarrival, placement=placement,
         offload=offload, cpu_weights=cpu_weights, cost=cost,
         rack_size=rack_size, staleness=staleness, isolation=isolation,
         admission=admission, fault_plan=fault_plan, tracer=tracer,
-        max_retries=max_retries)
+        max_retries=max_retries, tenants=tenants, arrival_rate=arrival_rate)
     rep = sched.serve(load)
     rep.mix = mix
     rep.seed = seed

@@ -429,3 +429,70 @@ def test_serving_with_admission_survives_node_loss():
                     fault_plan=plan)
     _assert_sound(rep)
     assert rep.served + rep.failed + rep.stats["shed"] == rep.submitted
+
+
+# -- chaos x multi-tenant overload ---------------------------------------------
+
+
+def test_chaos_plus_overload_fuzz():
+    """The combined disaster: per-tenant open-loop Poisson overload
+    *while* the fault schedule kills nodes.  Capacity collapses under
+    an offered load that never lets up — every fuzz invariant must
+    still hold (oracle-correct, nothing lost, sheds honest, tenant
+    accounting balanced)."""
+    from repro.serve import parse_tenants
+    out = fuzz(4, mix="parallel", n_requests=24,
+               admission="adaptive", shed_at=6.0, slo=0.05,
+               tenants=parse_tenants("gold:w=2,free:p=1:r=4"),
+               arrival_rate=400.0)
+    assert out["violations"] == []
+    assert out["crashes"] > 0                      # faults actually fired
+    assert any(r["served"] < 24 for r in out["runs"])  # overload actually bit
+
+
+def test_dead_rack_sheds_are_attributed_not_lost():
+    """A whole rack dies under tenant overload: requests refused
+    because the dead rack shrank capacity are classified ``shed`` —
+    terminal, never started, no result — and the per-tenant books
+    still balance."""
+    from repro.serve import AdaptiveShed, parse_tenants
+    cluster_nodes = [f"node{i}" for i in range(4, 8)]
+    plan = FaultPlan([FaultEvent(at=0.002, kind="crash", node=n)
+                      for n in cluster_nodes])
+    sched, load = build_serving(
+        mix="parallel", n_nodes=8, n_requests=48, rack_size=4,
+        admission=AdaptiveShed(slo=0.02, init_load=4.0),
+        tenants=parse_tenants("gold:w=2,free:p=1:r=6"),
+        arrival_rate=600.0, fault_plan=plan)
+    rep = sched.serve(load)
+    assert rep.correct == rep.served and rep.unserved == 0
+    assert rep.stats["shed"] > 0
+    shed = [r for r in sched.requests if r.state == "shed"]
+    for r in shed:
+        assert r.started_at is None and r.result is None
+        assert r.thread is None and r.finished_at is not None
+    assert len(shed) == rep.stats["shed"]
+    for name, block in rep.tenants.items():
+        assert block["submitted"] == block["admitted"] + block["shed"]
+    assert not any(sched.load_index.tenant_count.values())
+
+
+def test_record_replay_with_tenants_and_chaos():
+    """Tenant QoS config rides the trace: a recorded run with tenants,
+    Poisson arrivals, adaptive admission *and* a fault schedule
+    replays byte-identically, and the summary attributes every request
+    to its tenant."""
+    cfg = {"mix": "parallel", "n_nodes": 4, "n_requests": 24, "seed": 5,
+           "tenants": [{"name": "gold", "weight": 2.0, "priority": 0,
+                        "slo": None, "pool": 4, "rate_factor": 1.0},
+                       {"name": "free", "weight": 1.0, "priority": 1,
+                        "slo": None, "pool": 2, "rate_factor": 3.0}],
+           "arrival_rate": 300.0, "admission": "adaptive", "slo": 0.05,
+           "chaos_seed": 11}
+    t1, rep1 = run_recorded(cfg)
+    t2, rep2 = replay_trace(t1)
+    assert trace_divergence(t1, t2) is None
+    assert traces_equal(t1, t2)
+    rows = t1["summary"]["requests"]
+    assert {r["tenant"] for r in rows} == {"gold", "free"}
+    assert len(rows) == 24
