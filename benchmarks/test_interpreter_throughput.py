@@ -19,6 +19,14 @@ trajectory of the VM hot path is tracked from this PR on.  Two asserted
 floors: geomean fast-vs-legacy >= 3x (the PR 1 dispatch rebuild bar)
 and geomean tier2-vs-tier1 >= 2x (this PR's bar).
 
+JSON layout convention: host-dependent wall-clock measurements
+(ips rates, speedup ratios) live under ``"wall"`` subkeys — per
+workload and at top level — while everything outside ``"wall"`` is
+deterministic (instruction counts, compile counts, fused sites) and
+must be byte-stable across regenerations on any host.  Diffs touching
+only ``"wall"`` blocks are timing noise; anything else is a real
+behavior change.
+
 Run directly (``python benchmarks/test_interpreter_throughput.py``) to
 print the JSON report to stdout; ``--one <workload>`` runs a single
 child measurement.
@@ -137,23 +145,29 @@ def run_throughput() -> dict:
         speedups.append(speedup)
         t2_speedups.append(t2_speedup)
         report["workloads"][name] = {
+            # deterministic: identical on every host, every run
             "instr_count": best["instr_count"],
-            "before_ips": round(best["before_ips"]),
-            "after_ips": round(best["after_ips"]),
-            "tier2_ips": round(best["tier2_ips"]),
-            "tier2_warm_ips": round(best["tier2_warm_ips"]),
-            "speedup": round(speedup, 2),
-            "tier2_speedup": round(t2_speedup, 2),
             "jit_compiles": best["jit_compiles"],
             "jit_guard_bails": best["jit_guard_bails"],
             "fused_sites": best["fused_sites"],
+            # host-dependent wall-clock noise, quarantined
+            "wall": {
+                "before_ips": round(best["before_ips"]),
+                "after_ips": round(best["after_ips"]),
+                "tier2_ips": round(best["tier2_ips"]),
+                "tier2_warm_ips": round(best["tier2_warm_ips"]),
+                "speedup": round(speedup, 2),
+                "tier2_speedup": round(t2_speedup, 2),
+            },
         }
 
     def geomean(xs):
         return round(math.exp(sum(map(math.log, xs)) / len(xs)), 2)
 
-    report["geomean_speedup"] = geomean(speedups)
-    report["geomean_tier2_speedup"] = geomean(t2_speedups)
+    report["wall"] = {
+        "geomean_speedup": geomean(speedups),
+        "geomean_tier2_speedup": geomean(t2_speedups),
+    }
     return report
 
 
@@ -164,27 +178,28 @@ def test_interpreter_throughput_vs_legacy(benchmark):
     BENCH_JSON.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\ninterpreter throughput ({report['unit']}):")
     for name, row in report["workloads"].items():
-        print(f"  {name:4s} before={row['before_ips'] / 1e6:6.2f}M/s "
-              f"after={row['after_ips'] / 1e6:6.2f}M/s "
-              f"tier2={row['tier2_ips'] / 1e6:6.2f}M/s "
-              f"(warm {row['tier2_warm_ips'] / 1e6:6.2f}M/s) "
-              f"x{row['speedup']:.2f}/x{row['tier2_speedup']:.2f} "
+        w = row["wall"]
+        print(f"  {name:4s} before={w['before_ips'] / 1e6:6.2f}M/s "
+              f"after={w['after_ips'] / 1e6:6.2f}M/s "
+              f"tier2={w['tier2_ips'] / 1e6:6.2f}M/s "
+              f"(warm {w['tier2_warm_ips'] / 1e6:6.2f}M/s) "
+              f"x{w['speedup']:.2f}/x{w['tier2_speedup']:.2f} "
               f"compiles={row['jit_compiles']} "
               f"bails={row['jit_guard_bails']}")
-    print(f"  geomean: fast/legacy {report['geomean_speedup']:.2f}x, "
-          f"tier2/fast {report['geomean_tier2_speedup']:.2f}x "
+    print(f"  geomean: fast/legacy {report['wall']['geomean_speedup']:.2f}x, "
+          f"tier2/fast {report['wall']['geomean_tier2_speedup']:.2f}x "
           f"-> {BENCH_JSON.name}")
     # acceptance floors: >= 3x dispatch rebuild, >= 2x tier-2 on top —
     # on a quiet machine; shared CI runners override via the env vars
     # so a noisy-neighbour timing dip cannot fail unrelated PRs
     floor = float(os.environ.get("BENCH_MIN_SPEEDUP", "3.0"))
-    assert report["geomean_speedup"] >= floor
+    assert report["wall"]["geomean_speedup"] >= floor
     # and every workload individually benefits substantially
-    assert all(r["speedup"] >= floor * 2 / 3
+    assert all(r["wall"]["speedup"] >= floor * 2 / 3
                for r in report["workloads"].values())
     t2_floor = float(os.environ.get("BENCH_MIN_T2_SPEEDUP", "2.0"))
-    assert report["geomean_tier2_speedup"] >= t2_floor
-    assert all(r["tier2_speedup"] >= 1.0
+    assert report["wall"]["geomean_tier2_speedup"] >= t2_floor
+    assert all(r["wall"]["tier2_speedup"] >= 1.0
                for r in report["workloads"].values())
 
 

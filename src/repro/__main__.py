@@ -88,6 +88,80 @@ def _cmd_migrate(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _serve_real_backend(args: argparse.Namespace) -> int:
+    """``serve --backend real``: multiprocess wall-clock mode.
+
+    Virtual-time-only features (chaos schedules, trace record/replay,
+    admission control, offload policies) are refused up front — they
+    are defined in terms of the modeled clock.  The virtual backend
+    remains the correctness oracle: ``--crosscheck`` re-serves the
+    same seed there and compares request by request.
+    """
+    import json as _json
+
+    from repro.runtime.real import available_cores, serve_real
+
+    refused = [flag for flag, val in [
+        ("--chaos", args.chaos), ("--record", args.record),
+        ("--replay", args.replay), ("--shed-at", args.shed_at),
+        ("--slo", args.slo)] if val is not None]
+    if args.admission != "none":
+        refused.append("--admission")
+    if refused:
+        print(f"--backend real is wall-clock mode; {', '.join(refused)} "
+              f"only make sense in virtual time (run them on the "
+              f"virtual oracle)", file=sys.stderr)
+        return 2
+    tenants = None
+    if args.tenants:
+        from repro.serve import parse_tenants
+        tenants = parse_tenants(args.tenants)
+    rep = serve_real(mix=args.mix, n_requests=args.requests,
+                     seed=args.seed,
+                     procs=args.procs or min(4, available_cores()),
+                     interarrival=args.interarrival, tenants=tenants,
+                     arrival_rate=args.arrival_rate)
+    check = None
+    if args.crosscheck:
+        from repro.runtime.crosscheck import (CrosscheckError,
+                                              crosscheck_real_vs_virtual)
+        try:
+            check = crosscheck_real_vs_virtual(
+                rep, tenants=tenants, arrival_rate=args.arrival_rate)
+        except CrosscheckError as e:
+            print(f"CROSSCHECK FAILED:\n{e}", file=sys.stderr)
+            return 1
+    ok = rep["correct"] == rep["served"] and rep["unserved"] == 0 \
+        and rep["failed"] == 0
+    if args.json:
+        out = dict(rep)
+        if check is not None:
+            out["crosscheck"] = check
+        print(_json.dumps(out, indent=2))
+        return 0 if ok else 1
+    s = rep["sched"]
+    w = rep["wall"]
+    print(f"backend=real mix={rep['mix']} procs={rep['procs']} "
+          f"served={rep['served']}/{rep['submitted']} "
+          f"correct={rep['correct']}")
+    print(f"wall={w['seconds']:.3f}s  throughput={w['throughput_rps']:.1f} "
+          f"req/s  usable cores={w['cores']}")
+    print(f"steals={s['steals']} migrations={s['migrations']} "
+          f"(image {s['image_bytes']} B, class tokens {s['token_bytes']} B, "
+          f"{s['statics_elided']} statics elided, {s['bytes_saved']} B "
+          f"kept off the wire)")
+    if s["crashes"]:
+        print(f"chaos: {s['crashes']} worker crashes, "
+              f"{s['retries']} retries")
+    for tname, block in rep.get("tenants", {}).items():
+        print(f"  tenant {tname}: served={block['served']} "
+              f"correct={block['correct']}")
+    if check is not None:
+        print(f"crosscheck vs virtual oracle: {check['compared']} "
+              f"compared, {check['virtual_shed']} virtual-shed — OK")
+    return 0 if ok else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -115,6 +189,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"unknown mix {args.mix!r}; known: {sorted(MIXES)}",
               file=sys.stderr)
         return 2
+    if args.backend == "real":
+        return _serve_real_backend(args)
     from repro.serve import DEFAULT_STALENESS
     staleness = (DEFAULT_STALENESS if args.staleness is None
                  else args.staleness)
@@ -295,6 +371,24 @@ def main(argv: list[str] | None = None) -> int:
 
     p = sub.add_parser("serve", help="run the elastic cluster scheduler")
     p.add_argument("--mix", default="parallel")
+    p.add_argument("--backend", default="virtual",
+                   choices=["virtual", "real"],
+                   help="execution backend: virtual = the deterministic "
+                        "discrete-event kernel (the correctness oracle "
+                        "and CI merge gate); real = wall-clock mode, "
+                        "each node an OS process and every migration "
+                        "actual bytes over pipes — results are held to "
+                        "the virtual oracle (see --crosscheck), timings "
+                        "are hardware facts")
+    p.add_argument("--procs", type=int, default=None,
+                   help="worker-process count for --backend real "
+                        "(default min(4, usable cores); the virtual "
+                        "backend sizes with --nodes as always)")
+    p.add_argument("--crosscheck", action="store_true",
+                   help="after a --backend real run, re-serve the same "
+                        "seed on the virtual oracle and compare "
+                        "request-by-request (results, correctness, "
+                        "tenant attribution; timings excluded)")
     p.add_argument("--nodes", type=int, default=4)
     p.add_argument("--requests", type=int, default=32)
     p.add_argument("--seed", type=int, default=7)

@@ -21,7 +21,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import MigrationError
 from repro.migration.state import (CACHED_TAG, CapturedFrame, CapturedState,
                                    _enc_bytes, CACHED_MARKER_BYTES,
-                                   encode_value, fingerprint)
+                                   FRAME_MARKER_BYTES, FrameMarker,
+                                   encode_value, fingerprint,
+                                   frame_fingerprint)
 from repro.vm.frames import ThreadState
 from repro.vm.machine import Machine
 from repro.vm.vmti import VMTI
@@ -114,6 +116,38 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
     # segment's static state.  Against a baseline ledger, values the
     # destination already holds collapse to fingerprint markers (delta
     # snapshot).
+    # Delta frames (stack analogue of the statics delta): an unchanged
+    # deep prefix of a re-shipped stack rides as fingerprint markers.
+    # The ledger retains the previous shipment's records outermost-
+    # first; a frame is elided only while every frame beneath it also
+    # matched (a changed deep frame invalidates everything above it —
+    # restore order would otherwise splice stale callers under fresh
+    # callees).  The top frame always ships in full: it is the one
+    # frame guaranteed to have advanced, and the restore drivers key
+    # class shipment off it.
+    cached_frames = 0
+    frame_saved = 0
+    frame_fps = getattr(baseline, "frame_fps", None)
+    if frame_fps is not None and nframes > 1:
+        known_fps = frame_fps(thread.name)
+        staged = []
+        out_frames: List[object] = []
+        in_prefix = True
+        for i, fr in enumerate(frames):
+            fp = frame_fingerprint(fr)
+            staged.append((fp, fr))
+            if (in_prefix and i < len(frames) - 1 and i < len(known_fps)
+                    and known_fps[i] == fp
+                    and fr.state_bytes() > FRAME_MARKER_BYTES):
+                out_frames.append(FrameMarker(fp))
+                cached_frames += 1
+                frame_saved += fr.state_bytes() - FRAME_MARKER_BYTES
+            else:
+                in_prefix = False
+                out_frames.append(fr)
+        baseline.stage_frames(thread.name, staged)
+        frames = out_frames
+
     known = baseline.statics if baseline is not None else None
     loader = machine.namespace(thread.namespace)
     statics: Dict[Tuple[str, str], object] = {}
@@ -150,4 +184,5 @@ def capture_segment(vmti: VMTI, thread: ThreadState, nframes: int,
         frames=frames, statics=statics, class_names=sorted(class_names),
         home_node=home_node, return_to=return_to or home_node,
         thread_name=thread.name, namespace=thread.namespace,
-        cached_statics=cached, saved_bytes=saved)
+        cached_statics=cached, cached_frames=cached_frames,
+        saved_bytes=saved + frame_saved)

@@ -24,7 +24,8 @@ from repro.migration.capture import capture_segment, run_to_msp
 from repro.migration.object_manager import (HomeObjectServer,
                                             WorkerObjectManager)
 from repro.migration.restore import RestoreDriver, java_level_restore
-from repro.migration.state import (CapturedState, encode_value, fingerprint,
+from repro.migration.state import (CapturedState, FrameMarker, encode_value,
+                                   fingerprint, frame_fingerprint,
                                    is_cached_marker)
 from repro.preprocess.sizes import class_size
 from repro.vm.costmodel import CostModel, SystemCosts, sodee_model
@@ -76,6 +77,26 @@ class TransferLedger:
         self.stamp: Dict[Tuple[str, str], int] = {}
         #: per-namespace (statics, stamp) views; root lives above
         self._ns: Dict[str, Tuple[Dict, Dict]] = {}
+        #: delta frames: per-(namespace, thread) retained activation
+        #: records from the last committed shipment, outermost-first as
+        #: ``(fingerprint, CapturedFrame)`` pairs.  A re-offload of the
+        #: same thread to this worker elides an unchanged deep prefix
+        #: as markers; the engine rehydrates them from here at restore.
+        self.frames: Dict[Tuple[Optional[str], str],
+                          List[Tuple[int, Any]]] = {}
+
+    def frame_view(self, ns: Optional[str],
+                   thread_name: str) -> List[Tuple[int, Any]]:
+        """Retained (fingerprint, record) pairs for one thread's last
+        committed shipment (empty if none)."""
+        return self.frames.get((ns, thread_name), [])
+
+    def record_frames(self, ns: Optional[str], thread_name: str,
+                      entries: List[Tuple[int, Any]]) -> None:
+        """The restore succeeded: the worker now retains exactly these
+        activation records for ``thread_name`` (wholesale replacement —
+        markers in the shipment referenced records already present)."""
+        self.frames[(ns, thread_name)] = list(entries)
 
     def view(self, ns: Optional[str]) -> Tuple[Dict, Dict]:
         """The (statics, stamp) dicts for namespace ``ns``."""
@@ -109,6 +130,8 @@ class TransferLedger:
         """Forget a namespace's view (its request completed and the
         worker dropped the cells the fingerprints described)."""
         self._ns.pop(ns, None)
+        for key in [k for k in self.frames if k[0] == ns]:
+            del self.frames[key]
 
 
 class CaptureBaseline:
@@ -129,6 +152,27 @@ class CaptureBaseline:
         #: the fingerprint view capture_segment reads
         self.statics: Dict[Tuple[str, str], int] = dict(led.view(ns)[0])
         self._fresh: List[Tuple[Tuple[str, str], Any]] = []
+        #: delta frames staged per thread name (committed with statics)
+        self._frames: Dict[str, List[Tuple[int, Any]]] = {}
+
+    def frame_fps(self, thread_name: str) -> List[int]:
+        """Fingerprints of the destination's retained activation
+        records for ``thread_name``, outermost-first — what a delta
+        capture may elide an unchanged deep prefix against."""
+        return [fp for fp, _rec in
+                self.led.frame_view(self.ns, thread_name)]
+
+    def frame_record(self, thread_name: str, index: int):
+        """The retained record behind a shipped frame marker (from the
+        *durable* ledger — staged entries are not restorable yet)."""
+        view = self.led.frame_view(self.ns, thread_name)
+        return view[index][1] if index < len(view) else None
+
+    def stage_frames(self, thread_name: str,
+                     entries: List[Tuple[int, Any]]) -> None:
+        """Stage one capture's full frame-record list (elided frames
+        included — their content is identical to the retained copy)."""
+        self._frames[thread_name] = entries
 
     def stage(self, state: "CapturedState") -> None:
         """Overlay one capture's fresh-shipped statics."""
@@ -145,6 +189,8 @@ class CaptureBaseline:
         self.led.epoch += 1
         for key, enc in self._fresh:
             self.led.record(key, enc, self.ns)
+        for thread_name, entries in self._frames.items():
+            self.led.record_frames(self.ns, thread_name, entries)
 
 
 @dataclass
@@ -163,10 +209,12 @@ class MigrationRecord:
     class_bytes: int = 0
     worker_spawn_time: float = 0.0
     #: transfer-cache outcome: did the class collapse to a digest token,
-    #: how many statics rode as @cached markers, and the payload bytes
-    #: the delta kept off the wire vs. a from-scratch capture
+    #: how many statics rode as @cached markers, how many deep frames
+    #: rode as FrameMarkers, and the payload bytes the delta kept off
+    #: the wire vs. a from-scratch capture
     cached_class: bool = False
     cached_statics: int = 0
+    cached_frames: int = 0
     saved_bytes: int = 0
 
     @property
@@ -658,6 +706,7 @@ class SODEngine:
         # -- transfer (serialized sizes go on the wire) --
         rec.state_bytes = state.state_bytes()
         rec.cached_statics = state.cached_statics
+        rec.cached_frames = state.cached_frames
         rec.saved_bytes = state.saved_bytes
         if base is not None:
             base.stage(state)
@@ -702,6 +751,7 @@ class SODEngine:
                 + self.sys.java_restore_per_frame * nframes)
             worker.machine.charge(worker.machine.cost.deserialize_cost(
                 rec.state_bytes))
+            self._rehydrate_frames(state, base)
             worker_thread = java_level_restore(
                 worker.machine, state,
                 static_fallback=self._static_fallback(worker, src_host,
@@ -775,6 +825,7 @@ class SODEngine:
             rec.capture_time = machine.clock - t0
             rec.state_bytes = state.state_bytes()
             rec.cached_statics = state.cached_statics
+            rec.cached_frames = state.cached_frames
             rec.saved_bytes = state.saved_bytes
             if base is not None:
                 base.stage(state)
@@ -917,6 +968,7 @@ class SODEngine:
 
         rec.state_bytes = state.state_bytes()
         rec.cached_statics = state.cached_statics
+        rec.cached_frames = state.cached_frames
         rec.saved_bytes = state.saved_bytes
         if base is not None:
             base.stage(state)
@@ -1069,6 +1121,25 @@ class SODEngine:
 
         return fetch
 
+    @staticmethod
+    def _rehydrate_frames(state: CapturedState,
+                          base: Optional[CaptureBaseline]) -> None:
+        """Replace delta-capture :class:`FrameMarker`\\ s with the
+        destination ledger's retained activation records (digest-
+        verified) so the restore drivers only see full frames.  Runs
+        *after* transfer pricing — the whole point is that markers,
+        not frames, crossed the wire."""
+        for i, f in enumerate(state.frames):
+            if not isinstance(f, FrameMarker):
+                continue
+            rec = base.frame_record(state.thread_name, i) \
+                if base is not None else None
+            if rec is None or frame_fingerprint(rec) != f.fp:
+                raise MigrationError(
+                    f"frame marker {i} of {state.thread_name} does not "
+                    f"match the retained record (ledger out of sync)")
+            state.frames[i] = rec
+
     def _restore_segment(self, worker: Host, state: CapturedState,
                          nframes: int, home: Host,
                          rec: MigrationRecord,
@@ -1076,6 +1147,7 @@ class SODEngine:
         """Shared VMTI restore tail: cost charges, the breakpoint-dance
         restore (with delta-marker fallback wired to ``home``), epoch
         registration, and ``rec.restore_time``."""
+        self._rehydrate_frames(state, base)
         if state.namespace is not None:
             self._ns_home[state.namespace] = home.node_name
             self.note_namespace_site(state.namespace, worker.node_name)

@@ -43,6 +43,10 @@ CACHED_MARKER_BYTES = 6
 #: TransferLedger)
 CACHED_TAG = "@cached"
 
+#: wire size of a delta-capture frame marker: the 4-byte content digest
+#: of the elided activation record plus framing (tag + stack index)
+FRAME_MARKER_BYTES = 10
+
 
 def fingerprint(enc: Any) -> int:
     """Deterministic content hash of an *encoded* value or payload.
@@ -123,6 +127,33 @@ class CapturedFrame:
         return total
 
 
+@dataclass
+class FrameMarker:
+    """A frame elided from a delta capture: the destination's transfer
+    ledger retains the identical activation record from the previous
+    shipment of this thread, so only the content digest rides the wire
+    (the stack-frame analogue of the ``@cached`` statics marker).
+
+    Only an unchanged *deep prefix* of the re-offloaded stack is ever
+    elided — a suspended caller that has not run since the last
+    shipment — and never the top frame.  The engine rehydrates markers
+    from the ledger before restore, so the restore drivers only ever
+    see full :class:`CapturedFrame` records.
+    """
+
+    fp: int
+
+    def state_bytes(self) -> int:
+        return FRAME_MARKER_BYTES
+
+
+def frame_fingerprint(frame: CapturedFrame) -> int:
+    """Content digest of one captured activation record (method
+    identity, both pcs, and every encoded local)."""
+    return fingerprint((frame.class_name, frame.method_name, frame.pc,
+                        frame.raw_pc, tuple(frame.locals)))
+
+
 def _enc_bytes(enc: Any) -> int:
     if isinstance(enc, tuple) and enc and enc[0] == "@ref":
         return REF_DESC_BYTES
@@ -152,9 +183,11 @@ class CapturedState:
     return_to: str = ""
     thread_name: str = "main"
     namespace: Optional[str] = None
-    #: statics elided as ``@cached`` markers by a delta capture, and the
-    #: payload bytes that elision kept off the wire (vs. a full capture)
+    #: statics elided as ``@cached`` markers / frames elided as
+    #: :class:`FrameMarker`\ s by a delta capture, and the payload bytes
+    #: those elisions kept off the wire (vs. a full capture)
     cached_statics: int = 0
+    cached_frames: int = 0
     saved_bytes: int = 0
 
     def nframes(self) -> int:

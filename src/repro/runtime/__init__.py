@@ -1,0 +1,12 @@
+"""Execution backends behind one seam (see :mod:`repro.runtime.base`).
+
+``virtual`` — the discrete-event kernel, deterministic, the
+correctness oracle and CI merge gate.  ``real`` — multiprocess
+wall-clock mode, every cluster node an OS process, every migration
+actual serialized bytes over pipes, cross-checked request-by-request
+against the oracle (:mod:`repro.runtime.crosscheck`).
+"""
+
+from repro.runtime.base import BACKENDS, Runtime, get_runtime
+
+__all__ = ["BACKENDS", "Runtime", "get_runtime"]

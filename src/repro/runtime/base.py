@@ -1,0 +1,100 @@
+"""The runtime seam: one interface, two execution backends.
+
+Everything above this layer — scheduler, policies, transfer ledgers,
+WFQ, chaos — is written against four primitives: *spawn* an activity,
+arm a *timer*, queue work through a *store*, and *transfer* bytes
+between named nodes.  The two implementations differ in what a second
+means:
+
+* :class:`~repro.runtime.virtual.VirtualRuntime` — the discrete-event
+  kernel (``sim/kernel.py``) and modeled network
+  (``cluster/network.py``), byte-for-byte the pre-seam behavior.
+  Deterministic, bit-reproducible, and therefore the **correctness
+  oracle**: every differential/fuzz suite and every merge-gating CI
+  job runs here.
+* :class:`~repro.runtime.real.RealRuntime` — wall-clock mode: each
+  cluster node is an OS process, transfers are real serialized bytes
+  over pipes, and elapsed time is whatever the hardware delivers.
+  Nondeterministic in *timing* (never in results — the cross-checker
+  in :mod:`repro.runtime.crosscheck` holds it to the virtual oracle
+  request by request).
+
+``get_runtime("virtual"|"real")`` is the factory the serve CLI's
+``--backend`` flag resolves through.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["Runtime", "get_runtime", "BACKENDS"]
+
+
+class Runtime(ABC):
+    """Execution-backend interface (spawn / timer / store / transfer).
+
+    A runtime also knows how to serve a request mix end to end
+    (:meth:`serve`): the virtual backend delegates to the existing
+    ``ClusterScheduler`` stack unchanged; the real backend drives its
+    multiprocess control plane.  Keeping ``serve`` on the runtime is
+    what lets the CLI and benchmarks switch backends with one flag.
+    """
+
+    #: backend name ("virtual" / "real")
+    name: str = ""
+
+    # -- kernel primitives -------------------------------------------------
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time in this backend's seconds (virtual or wall)."""
+
+    @abstractmethod
+    def spawn(self, fn: Callable, *args: Any) -> Any:
+        """Start an activity.  Virtual: a generator becomes a kernel
+        process; real: the callable runs on its own OS worker."""
+
+    @abstractmethod
+    def timer(self, delay: float, fn: Callable[[Any], None],
+              arg: Any = None) -> None:
+        """Arm a one-shot timer: ``fn(arg)`` after ``delay`` seconds."""
+
+    @abstractmethod
+    def store(self) -> Any:
+        """A FIFO work queue usable from spawned activities."""
+
+    @abstractmethod
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:
+        """Account ``nbytes`` moving src→dst; returns the transfer
+        latency in this backend's seconds (virtual: modeled from the
+        link spec; real: measured)."""
+
+    # -- the serving entry -------------------------------------------------
+
+    @abstractmethod
+    def serve(self, **kw: Any) -> Dict[str, Any]:
+        """Serve a request mix under this backend and return a
+        JSON-friendly report dict (``serve_mix`` keyword surface)."""
+
+
+def get_runtime(backend: str = "virtual",
+                procs: Optional[int] = None) -> Runtime:
+    """Resolve a backend name to a runtime instance.
+
+    ``procs`` is the real backend's worker-process count (ignored by
+    the virtual backend, whose node count is the ``n_nodes`` serve
+    argument as always).
+    """
+    if backend == "virtual":
+        from repro.runtime.virtual import VirtualRuntime
+        return VirtualRuntime()
+    if backend == "real":
+        from repro.runtime.real import RealRuntime
+        return RealRuntime(procs=procs)
+    raise ValueError(
+        f"unknown backend {backend!r} (expected one of {sorted(BACKENDS)})")
+
+
+#: the valid ``--backend`` values
+BACKENDS = ("virtual", "real")

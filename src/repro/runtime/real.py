@@ -1,0 +1,709 @@
+"""Real-parallel execution backend: every node is an OS process.
+
+Wall-clock mode for the serving stack.  The parent process is the
+control plane (placement, work stealing, crash recovery, accounting);
+each worker process owns one VM — its own ``Machine`` over a locally
+rebuilt classpath — and serves requests in preemptible quanta exactly
+like a virtual node does.  Everything that crosses a process boundary
+crosses as canonical :mod:`repro.runtime.wire` bytes over OS pipes:
+
+* **request dispatch** — (rid, program, args) rows;
+* **SOD images** — when the control plane steals a *running* request
+  from a loaded worker for an idle one, the victim captures the thread
+  at a quantum boundary into an eager self-contained image (frames +
+  operand stacks + reachable object graph + namespace statics, the
+  G-JavaMPI-style whole-segment encoding) and the image bytes are
+  restored on the thief;
+* **class-digest tokens** — an image never carries class files; it
+  carries :func:`repro.runtime.wire.class_token` digests, and the
+  receiver verifies them against its own deterministically-built
+  classpath (the transfer ledger's "ship once, then tokens" behavior,
+  with "once" collapsed to zero because every worker builds the same
+  classpath from the mix name);
+* **ledger deltas** — statics still holding their class-file defaults
+  ride as ``("@cached", fingerprint)`` markers; the receiver verifies
+  the fingerprint against its own freshly-linked cells and keeps the
+  identical copy.
+
+Determinism contract: requests are pure functions of their spec, so
+*results* are reproducible and cross-checked request-by-request
+against the same-seed virtual-time run
+(:mod:`repro.runtime.crosscheck`); *timings and placement* are
+wall-clock facts and excluded.  The virtual backend remains the
+correctness oracle and the merge gate — this backend exists to turn
+simulated speedup into hardware speedup.
+
+Crash semantics mirror the chaos layer's ``crash_node``: a worker
+process dying (detected via its sentinel, never by hanging on a pipe)
+requeues everything it still owed onto the survivors, counted under
+``crashes``/``retries`` like a chaos recovery.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+from collections import deque
+from multiprocessing import connection, get_context
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runtime import wire
+from repro.runtime.base import Runtime
+
+__all__ = ["RealRuntime", "serve_real", "available_cores",
+           "REAL_QUANTUM"]
+
+#: preemption budget per quantum in the real backend, in guest
+#: instructions.  Bigger than the virtual default (2500): between
+#: quanta a worker makes a real ``poll()`` syscall to look for control
+#: messages, so the budget trades steal latency against poll overhead.
+REAL_QUANTUM = 100_000
+
+#: namespace used only to read pristine class-file static defaults
+_DEFAULTS_NS = "___defaults"
+
+
+def available_cores() -> int:
+    """CPU cores this process may actually run on (affinity-aware —
+    a cgroup-limited container reports what it can truly use)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+# -- wire helpers shared by both ends ------------------------------------------
+
+
+def _classfile_payload(cf) -> bytes:
+    """Canonical byte rendering of one class definition, the input to
+    :func:`repro.runtime.wire.class_token`.  Derived only from compiled
+    structure, so two processes building the same mix get identical
+    tokens."""
+    methods = []
+    for mname in sorted(cf.methods):
+        code = cf.methods[mname]
+        methods.append((mname, code.nparams, code.max_locals,
+                        code.is_static,
+                        [(i.op, i.a, i.b) for i in code.instrs],
+                        tuple(code.line_table), repr(code.exc_table)))
+    fields = [(f.name, f.is_static, f.type_name) for f in cf.fields]
+    return wire.encode((cf.name, cf.superclass, fields, methods))
+
+
+def _send(conn_, msg: Any) -> int:
+    """Ship one control message as wire bytes; returns the byte count
+    (the real-backend analogue of ``Network.bytes_moved``)."""
+    data = wire.encode(msg)
+    conn_.send_bytes(data)
+    return len(data)
+
+
+def _recv(conn_) -> Any:
+    return wire.decode(conn_.recv_bytes())
+
+
+def _encode_result(value: Any) -> Any:
+    """Guest results are primitives for every registry program; anything
+    exotic degrades to a tagged repr so the pipe never breaks."""
+    try:
+        wire.encode(value)
+        return value
+    except wire.WireError:
+        return ("@repr", repr(value))
+
+
+# -- worker process ------------------------------------------------------------
+
+
+class _Worker:
+    """One cluster node: a VM over a locally built classpath, serving a
+    local FIFO of requests in quanta and answering control messages."""
+
+    def __init__(self, conn_, name: str, mix: str, quantum: int):
+        from repro.vm.machine import Machine
+        from repro.workloads.mixes import MIXES, serve_classpath
+
+        self.conn = conn_
+        self.name = name
+        self.quantum = quantum
+        self.classes = serve_classpath(MIXES[mix].programs())
+        self.machine = Machine(self.classes)
+        #: deterministic token per class — what migrations verify
+        self.tokens: Dict[str, bytes] = {
+            cname: wire.class_token(cname, _classfile_payload(cf))
+            for cname, cf in self.classes.items()}
+        self.queue: deque = deque()   # (rid, program, args)
+        self.running: Optional[Tuple[int, Any]] = None  # (rid, thread)
+        self.instr_mark = 0
+        self._default_fps: Dict[Tuple[str, str], int] = {}
+
+    # -- statics delta (ledger markers across the process boundary) -----
+
+    def _default_fp(self, cname: str, fname: str) -> Optional[int]:
+        """Fingerprint of a static's pristine class-file default (the
+        value a fresh namespace cell holds right after linking)."""
+        from repro.migration.state import fingerprint
+        key = (cname, fname)
+        if key not in self._default_fps:
+            cls = self.machine.namespace(_DEFAULTS_NS).load(cname)
+            home = cls.find_static_home(fname)
+            v = home.statics.get(fname)
+            self._default_fps[key] = (
+                fingerprint(v)
+                if isinstance(v, (int, float, str, bool, type(None)))
+                else None)
+        return self._default_fps[key]
+
+    # -- eager image capture/restore ------------------------------------
+
+    def capture_image(self, rid: int, thread) -> bytes:
+        """Whole-segment eager capture at a quantum boundary: frames +
+        operand stacks + reachable graph + namespace statics, with
+        unmodified statics elided as ``@cached`` fingerprint markers."""
+        from repro.migration.state import GraphEncoder, fingerprint
+
+        enc = GraphEncoder(this_node="", eager=True)
+        frames = [(f.code.class_name, f.code.name, f.pc,
+                   [enc.encode(v) for v in f.locals],
+                   [enc.encode(v) for v in f.stack])
+                  for f in thread.frames]
+        statics: Dict[Tuple[str, str], Any] = {}
+        elided = 0
+        elided_bytes = 0
+        ns_loader = self.machine.namespace(thread.namespace)
+        for cls in ns_loader.loaded_classes().values():
+            for fname, v in cls.statics.items():
+                if isinstance(v, (int, float, str, bool, type(None))):
+                    fp = fingerprint(v)
+                    if fp == self._default_fp(cls.name, fname):
+                        full = len(wire.encode(v))
+                        statics[(cls.name, fname)] = ("@cached", fp)
+                        elided += 1
+                        elided_bytes += max(
+                            0, full - len(wire.encode(("@cached", fp))))
+                        continue
+                statics[(cls.name, fname)] = enc.encode(v)
+        class_names = sorted({f[0] for f in frames}
+                             | {c for (c, _f) in statics})
+        image = {
+            "rid": rid,
+            "thread": thread.name,
+            "frames": frames,
+            "graph": enc.graph,
+            "statics": statics,
+            "classes": [(c, self.tokens[c]) for c in class_names],
+            "elided": elided,
+            "elided_bytes": elided_bytes,
+        }
+        return wire.encode(image)
+
+    def restore_image(self, data: bytes):
+        """Rebuild a shipped thread on this VM, in a fresh namespace:
+        verify every class token against the local classpath, decode
+        the graph, apply statics (markers verified against pristine
+        cells), then rebuild frames with locals/stacks/pc."""
+        from repro.errors import MigrationError
+        from repro.migration.state import GraphDecoder, fingerprint
+        from repro.vm.frames import Frame, ThreadState
+
+        image = wire.decode(data)
+        rid = image["rid"]
+        for cname, token in image["classes"]:
+            local = self.tokens.get(cname)
+            if local != token:
+                raise MigrationError(
+                    f"class token mismatch for {cname} on {self.name}: "
+                    f"classpaths diverged")
+        ns = f"mig{rid}@{self.name}"
+        loader = self.machine.namespace(ns)
+        dec = GraphDecoder(self.machine.heap, loader, this_node="",
+                           graph=image["graph"])
+        for (cname, fname), e in image["statics"].items():
+            home = loader.load(cname).find_static_home(fname)
+            if isinstance(e, tuple) and len(e) == 2 and e[0] == "@cached":
+                current = home.statics.get(fname)
+                if fingerprint(current) != e[1]:
+                    raise MigrationError(
+                        f"static marker mismatch for {cname}.{fname} on "
+                        f"{self.name}: default cell diverged")
+                continue  # keep the identical freshly-linked default
+            home.statics[fname] = dec.decode(e)
+        thread = ThreadState(image["thread"], namespace=ns)
+        for cname, mname, pc, locs, stk in image["frames"]:
+            code = loader.load(cname).find_method(mname)
+            if code is None:
+                raise MigrationError(f"no method {cname}.{mname}")
+            nf = Frame(code)
+            nf.locals = [dec.decode(e) for e in locs]
+            nf.stack = [dec.decode(e) for e in stk]
+            nf.pc = pc
+            thread.frames.append(nf)
+        return rid, thread
+
+    # -- main loop -------------------------------------------------------
+
+    def _start_next(self) -> None:
+        rid, program, args = self.queue.popleft()
+        from repro.workloads.mixes import RequestSpec
+        spec = RequestSpec(program, tuple(args))
+        thread = self.machine.spawn(spec.main[0], spec.main[1],
+                                    list(spec.args),
+                                    thread_name=f"req{rid}",
+                                    namespace=f"rq{rid}@{self.name}")
+        self.instr_mark = self.machine.instr_count
+        self.running = (rid, thread)
+
+    def _finish(self, rid: int, thread) -> None:
+        instrs = self.machine.instr_count - self.instr_mark
+        if thread.uncaught is not None:
+            _send(self.conn, ("fail", rid,
+                              getattr(thread.uncaught, "class_name",
+                                      "GuestError"), instrs))
+        else:
+            _send(self.conn, ("done", rid, _encode_result(thread.result),
+                              instrs))
+        self.running = None
+
+    def _handle(self, msg: Any) -> bool:
+        """One control message; returns False on ``stop``."""
+        kind = msg[0]
+        if kind == "run":
+            self.queue.extend((rid, prog, tuple(args))
+                              for rid, prog, args in msg[1])
+        elif kind == "giveback":
+            k = min(msg[1], len(self.queue))
+            rows = [self.queue.pop() for _ in range(k)]  # tail first
+            _send(self.conn, ("gaveback",
+                              [(rid, prog, list(args))
+                               for rid, prog, args in reversed(rows)]))
+        elif kind == "capture":
+            rid = msg[1]
+            if self.running is not None and self.running[0] == rid:
+                _rid, thread = self.running
+                image = self.capture_image(rid, thread)
+                self.running = None
+                _send(self.conn, ("image", rid, image))
+            else:
+                _send(self.conn, ("nocapture", rid))
+        elif kind == "restore":
+            rid, thread = self.restore_image(msg[1])
+            # stolen work runs ahead of the local queue
+            self.instr_mark = self.machine.instr_count
+            self.running = (rid, thread)
+        elif kind == "stop":
+            return False
+        return True
+
+    def loop(self) -> None:
+        idle_sent = False
+        while True:
+            # Drain any pending control traffic without blocking.
+            while self.conn.poll(0):
+                if not self._handle(_recv(self.conn)):
+                    return
+            if self.running is None and self.queue:
+                self._start_next()
+                idle_sent = False
+            if self.running is not None:
+                rid, thread = self.running
+                status = self.machine.run(thread, quantum=self.quantum)
+                if status == "finished":
+                    self._finish(rid, thread)
+                continue
+            if not idle_sent:
+                _send(self.conn, ("idle",))
+                idle_sent = True
+            # Nothing to do: block until the control plane speaks.
+            if not self._handle(_recv(self.conn)):
+                return
+
+
+def _worker_main(conn_, name: str, mix: str, quantum: int) -> None:
+    try:
+        _Worker(conn_, name, mix, quantum).loop()
+    except (EOFError, OSError):  # parent went away
+        pass
+    finally:
+        try:
+            conn_.close()
+        except OSError:
+            pass
+
+
+# -- control plane -------------------------------------------------------------
+
+
+class _WorkerHandle:
+    def __init__(self, proc, conn_, name: str):
+        self.proc = proc
+        self.conn = conn_
+        self.name = name
+        #: parent-side model of what the worker still owes, dispatch
+        #: order (head ≈ running): rid -> (program, args, tenant)
+        self.owed: "dict[int, Tuple[str, tuple, Optional[str]]]" = {}
+        self.idle = False
+        self.alive = True
+        self.capture_pending = False
+
+
+def serve_real(mix: str = "paper", n_requests: int = 32, seed: int = 7,
+               procs: int = 2, quantum: int = REAL_QUANTUM,
+               interarrival: float = 0.0,
+               tenants: Optional[Any] = None,
+               arrival_rate: Optional[float] = None,
+               steal: bool = True,
+               fault_plan: Optional[Dict[str, int]] = None,
+               deadline_s: float = 600.0,
+               runtime: Optional["RealRuntime"] = None) -> Dict[str, Any]:
+    """Serve ``n_requests`` of ``mix`` across ``procs`` worker
+    processes and return a report dict.
+
+    The request stream is the *same* one the virtual backend serves:
+    ``LoadGenerator.schedule()`` is a pure function of (mix,
+    n_requests, seed, tenants), so row *i* here is request *i* there —
+    the alignment the cross-checker relies on.  Arrival times are
+    ignored (wall-clock pacing of virtual arrivals is meaningless;
+    the stream is served as fast as the hardware allows).
+
+    ``fault_plan`` (test hook, chaos vocabulary): ``{"kill_worker": i,
+    "after_done": k}`` SIGKILLs worker ``i`` once ``k`` requests have
+    completed; its owed requests requeue onto the survivors exactly
+    like a chaos ``crash_node`` recovery.  ``deadline_s`` bounds the
+    whole run — a wedged worker surfaces as a loud error with the
+    in-flight rids listed, never as a hang.
+    """
+    from repro.serve.loadgen import LoadGenerator
+    from repro.workloads.mixes import MIXES, expected_request_result
+
+    if procs < 1:
+        raise ValueError(f"need at least one worker process, got {procs}")
+    rt = runtime or RealRuntime(procs=procs)
+    load = LoadGenerator(MIXES[mix], n_requests, seed=seed,
+                         interarrival=interarrival, tenants=tenants,
+                         arrival_rate=arrival_rate)
+    rows = [(rid, tenant, spec)
+            for rid, (_when, tenant, spec) in enumerate(load.schedule())]
+
+    ctx = get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    workers: List[_WorkerHandle] = []
+    for i in range(procs):
+        parent_conn, child_conn = ctx.Pipe()
+        name = f"proc{i}"
+        proc = ctx.Process(target=_worker_main,
+                           args=(child_conn, name, mix, quantum),
+                           name=f"repro-{name}", daemon=True)
+        proc.start()
+        child_conn.close()
+        workers.append(_WorkerHandle(proc, parent_conn, name))
+
+    stats = {"migrations": 0, "steals": 0, "crashes": 0, "retries": 0,
+             "image_bytes": 0, "token_bytes": 0, "statics_elided": 0,
+             "bytes_saved": 0, "control_bytes": 0, "instrs": 0}
+    results: Dict[int, Dict[str, Any]] = {}
+    killed = False
+    t0 = time.perf_counter()
+
+    def send(w: _WorkerHandle, msg: Any) -> None:
+        n = _send(w.conn, msg)
+        stats["control_bytes"] += n
+        rt.transfer("control", w.name, n)
+
+    def dispatch(w: _WorkerHandle,
+                 batch: List[Tuple[int, Optional[str], Any]]) -> None:
+        if not batch:
+            return
+        for rid, tenant, spec in batch:
+            w.owed[rid] = (spec.program, tuple(spec.args), tenant)
+        send(w, ("run", [(rid, spec.program, list(spec.args))
+                         for rid, _tenant, spec in batch]))
+        w.idle = False
+
+    # Initial placement: equal-weight round robin in schedule order —
+    # the virtual default placement, minus load feedback (which the
+    # stealing path supplies at run time instead).
+    shards: List[List[Tuple[int, Optional[str], Any]]] = \
+        [[] for _ in range(procs)]
+    for i, row in enumerate(rows):
+        shards[i % procs].append(row)
+    for w, shard in zip(workers, shards):
+        dispatch(w, shard)
+
+    spec_of = {rid: (tenant, spec) for rid, tenant, spec in rows}
+
+    def record_done(rid: int, result: Any, state: str, error: Optional[str],
+                    instrs: int, worker: str) -> None:
+        tenant, spec = spec_of[rid]
+        if isinstance(result, tuple) and len(result) == 2 \
+                and result[0] == "@repr":
+            ok = result[1] == repr(expected_request_result(spec))
+        else:
+            ok = (state == "done"
+                  and result == expected_request_result(spec))
+        prev = results.get(rid)
+        results[rid] = {
+            "rid": rid, "program": spec.program,
+            "args": list(spec.args), "tenant": tenant,
+            "result": result, "state": state, "error": error,
+            "correct": ok, "worker": worker, "instrs": instrs,
+            "migrated": bool(prev and prev.get("migrated")),
+            "retries": (prev["retries"] if prev else 0),
+        }
+        stats["instrs"] += instrs
+
+    def requeue(dead: _WorkerHandle) -> None:
+        """Chaos ``crash_node`` recovery: everything the dead worker
+        still owed re-executes from scratch on the survivors."""
+        owed = list(dead.owed.items())
+        dead.owed.clear()
+        if not owed:
+            return
+        stats["retries"] += len(owed)
+        live = [w for w in workers if w.alive]
+        if not live:
+            raise RuntimeError(
+                "all workers dead with requests outstanding")
+        for i, (rid, (program, args, tenant)) in enumerate(owed):
+            mark = results.get(rid)
+            results[rid] = {"retries": (mark["retries"] + 1 if mark
+                                        else 1), "migrated": False}
+            _tenant, spec = spec_of[rid]
+            dispatch(live[i % len(live)], [(rid, tenant, spec)])
+
+    def handle(w: _WorkerHandle, msg: Any) -> None:
+        kind = msg[0]
+        if kind == "done":
+            _k, rid, result, instrs = msg
+            w.owed.pop(rid, None)
+            record_done(rid, result, "done", None, instrs, w.name)
+        elif kind == "fail":
+            _k, rid, error, instrs = msg
+            w.owed.pop(rid, None)
+            record_done(rid, None, "failed", error, instrs, w.name)
+        elif kind == "idle":
+            w.idle = True
+        elif kind == "gaveback":
+            w.capture_pending = False
+            rows_back = [(rid, prog, tuple(args))
+                         for rid, prog, args in msg[1]]
+            for rid, _prog, _args in rows_back:
+                w.owed.pop(rid, None)
+            if rows_back:
+                # No idle thief anymore → hand the rows straight back
+                # to the victim (never drop admitted work).
+                thief = _pick_idle() or w
+                if thief is not w:
+                    stats["steals"] += len(rows_back)
+                dispatch(thief, [(rid, spec_of[rid][0], spec_of[rid][1])
+                                 for rid, _p, _a in rows_back])
+        elif kind == "image":
+            _k, rid, image = msg
+            w.capture_pending = False
+            w.owed.pop(rid, None)
+            meta = wire.decode(image)
+            thief = _pick_idle()
+            if thief is None:
+                thief = w  # nobody idle anymore: bounce it back
+            tenant, spec = spec_of[rid]
+            thief.owed[rid] = (spec.program, tuple(spec.args), tenant)
+            send(thief, ("restore", image))
+            thief.idle = False
+            stats["migrations"] += 1
+            stats["image_bytes"] += len(image)
+            stats["token_bytes"] += sum(len(t) for _c, t in meta["classes"])
+            stats["statics_elided"] += meta["elided"]
+            stats["bytes_saved"] += meta["elided_bytes"]
+            mark = results.get(rid) or {"retries": 0}
+            results[rid] = {**mark, "migrated": True}
+        elif kind == "nocapture":
+            w.capture_pending = False
+
+    def _pick_idle() -> Optional[_WorkerHandle]:
+        for w in workers:
+            if w.alive and w.idle and not w.owed:
+                return w
+        return None
+
+    def rebalance() -> None:
+        """An idle worker pulls work from the most-loaded one: queued
+        rows if the victim has a backlog, else (``steal``) the running
+        thread itself as a SOD image."""
+        thief = _pick_idle()
+        if thief is None:
+            return
+        victims = [w for w in workers
+                   if w.alive and w is not thief and w.owed
+                   and not w.capture_pending]
+        if not victims:
+            return
+        victim = max(victims, key=lambda w: len(w.owed))
+        if len(victim.owed) > 1:
+            victim.capture_pending = True
+            send(victim, ("giveback", max(1, len(victim.owed) // 2)))
+        elif steal:
+            rid = next(iter(victim.owed))
+            victim.capture_pending = True
+            send(victim, ("capture", rid))
+
+    # -- event loop ------------------------------------------------------
+    deadline = t0 + deadline_s
+    while len(results) < n_requests or any(
+            r.get("state") is None for r in results.values()):
+        done_count = sum(1 for r in results.values() if r.get("state"))
+        if done_count >= n_requests:
+            break
+        if (fault_plan and not killed
+                and done_count >= fault_plan.get("after_done", 0)):
+            victim = workers[fault_plan.get("kill_worker", 0) % procs]
+            if victim.alive:
+                killed = True
+                os.kill(victim.proc.pid, signal.SIGKILL)
+        waitables: List[Any] = []
+        for w in workers:
+            if w.alive:
+                waitables.append(w.conn)
+                waitables.append(w.proc.sentinel)
+        if not waitables:
+            raise RuntimeError("all workers dead with requests outstanding")
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            in_flight = sorted(rid for w in workers for rid in w.owed)
+            for w in workers:
+                if w.alive:
+                    w.proc.terminate()
+            raise RuntimeError(
+                f"real backend deadline ({deadline_s}s) exceeded with "
+                f"requests in flight: {in_flight}")
+        ready = connection.wait(waitables, timeout=min(remaining, 0.25))
+        for obj in ready:
+            w = next((w for w in workers
+                      if obj in (w.conn, w.proc.sentinel)), None)
+            if w is None:
+                continue
+            if obj is w.proc.sentinel:
+                if w.alive:
+                    w.alive = False
+                    stats["crashes"] += 1
+                    try:
+                        w.conn.close()
+                    except OSError:
+                        pass
+                    requeue(w)
+                continue
+            try:
+                while w.conn.poll(0):
+                    handle(w, _recv(w.conn))
+            except (EOFError, OSError):
+                pass  # the sentinel path owns crash handling
+        rebalance()
+
+    wall = time.perf_counter() - t0
+
+    for w in workers:
+        if w.alive:
+            try:
+                send(w, ("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+    for w in workers:
+        w.proc.join(timeout=5.0)
+        if w.proc.is_alive():  # pragma: no cover - defensive
+            w.proc.terminate()
+            w.proc.join(timeout=5.0)
+        try:
+            w.conn.close()
+        except OSError:
+            pass
+
+    rows_out = [results[rid] for rid in sorted(results)]
+    served = [r for r in rows_out if r["state"] == "done"]
+    failed = [r for r in rows_out if r["state"] == "failed"]
+    per_tenant: Dict[str, Dict[str, int]] = {}
+    for r in rows_out:
+        if r["tenant"] is not None:
+            t = per_tenant.setdefault(r["tenant"],
+                                      {"served": 0, "correct": 0})
+            if r["state"] == "done":
+                t["served"] += 1
+                t["correct"] += int(r["correct"])
+    report: Dict[str, Any] = {
+        "backend": "real", "mix": mix, "seed": seed, "procs": procs,
+        "quantum": quantum, "submitted": n_requests,
+        "served": len(served), "failed": len(failed),
+        "unserved": n_requests - len(rows_out),
+        "correct": sum(1 for r in served if r["correct"]),
+        "requests": rows_out,
+        "sched": stats,
+        "wall": {
+            "seconds": round(wall, 4),
+            "throughput_rps": round(len(served) / wall, 2) if wall else 0.0,
+            "cores": available_cores(),
+        },
+    }
+    if per_tenant:
+        report["tenants"] = per_tenant
+    return report
+
+
+class RealRuntime(Runtime):
+    """Wall-clock runtime over OS processes (see module docstring)."""
+
+    name = "real"
+
+    def __init__(self, procs: Optional[int] = None):
+        self.procs = procs or min(4, available_cores())
+        #: (src, dst) -> bytes actually shipped over pipes
+        self.bytes_moved: Dict[Tuple[str, str], int] = {}
+        self._timers: List[Any] = []
+
+    # -- kernel primitives -------------------------------------------------
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def spawn(self, fn: Callable, *args: Any) -> Any:
+        import threading
+        t = threading.Thread(target=fn, args=args, daemon=True)
+        t.start()
+        return t
+
+    def timer(self, delay: float, fn: Callable[[Any], None],
+              arg: Any = None) -> None:
+        import threading
+        t = threading.Timer(delay, fn, args=(arg,))
+        t.daemon = True
+        t.start()
+        self._timers.append(t)
+
+    def store(self) -> Any:
+        import queue
+        return queue.SimpleQueue()
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:
+        key = (src, dst)
+        self.bytes_moved[key] = self.bytes_moved.get(key, 0) + nbytes
+        return 0.0
+
+    # -- the serving entry -------------------------------------------------
+
+    def serve(self, **kw: Any) -> Dict[str, Any]:
+        """Accepts the ``serve_mix`` surface; virtual-only knobs that
+        cannot apply to wall-clock execution (placement/offload policy
+        objects, cost models, chaos traces) are rejected loudly rather
+        than silently ignored."""
+        unsupported = {k: v for k, v in kw.items()
+                       if k in ("fault_plan", "tracer", "cost", "admission")
+                       and v is not None}
+        if unsupported:
+            raise ValueError(
+                f"real backend does not support {sorted(unsupported)}; "
+                f"chaos/admission scenarios run on the virtual oracle")
+        allowed = ("mix", "n_requests", "seed", "interarrival",
+                   "tenants", "arrival_rate")
+        call = {k: v for k, v in kw.items() if k in allowed}
+        call.setdefault("quantum", REAL_QUANTUM)
+        return serve_real(procs=self.procs, runtime=self, **call)

@@ -1,0 +1,72 @@
+"""Virtual-time runtime: the discrete-event kernel behind the seam.
+
+This is a *thin adapter* — the kernel (``sim/kernel.py``) and the
+modeled network (``cluster/network.py``) are untouched and every
+serving run routed through here is byte-identical to the pre-seam
+code path.  That is the point: the virtual backend is the correctness
+oracle the real backend is cross-checked against, so it must not move
+when the seam lands.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.cluster.network import LinkSpec, Network
+from repro.runtime.base import Runtime
+from repro.sim.kernel import Environment, Store
+
+__all__ = ["VirtualRuntime"]
+
+
+class VirtualRuntime(Runtime):
+    """The existing deterministic backend, presented as a runtime.
+
+    May be constructed over an existing (env, network) pair — the
+    scheduler's — or standalone, in which case it owns fresh ones.
+    """
+
+    name = "virtual"
+
+    def __init__(self, env: Optional[Environment] = None,
+                 network: Optional[Network] = None):
+        self.env = env or Environment()
+        self.network = network or Network(LinkSpec())
+
+    # -- kernel primitives -------------------------------------------------
+
+    def now(self) -> float:
+        return self.env.now
+
+    def spawn(self, fn: Callable, *args: Any) -> Any:
+        """A generator function becomes a kernel process; a plain
+        callable runs as a zero-duration event at the current time."""
+        gen = fn(*args)
+        if hasattr(gen, "send"):
+            return self.env.process(gen)
+        return gen
+
+    def timer(self, delay: float, fn: Callable[[Any], None],
+              arg: Any = None) -> None:
+        self.env._schedule(self.env.now + delay, fn, arg)
+
+    def store(self) -> Store:
+        return Store(self.env)
+
+    def transfer(self, src: str, dst: str, nbytes: int) -> float:
+        return self.network.transfer_time(src, dst, nbytes)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Drive the event loop (exposed for primitive-level tests)."""
+        self.env.run(until)
+
+    # -- the serving entry -------------------------------------------------
+
+    def serve(self, **kw: Any) -> Dict[str, Any]:
+        """Delegate to the unchanged ``serve_mix`` stack and return its
+        report dict.  Accepts exactly the ``serve_mix`` surface."""
+        from repro.serve.scheduler import serve_mix
+        rep = serve_mix(**kw)
+        out = rep.to_dict()
+        out["backend"] = self.name
+        return out

@@ -1,0 +1,180 @@
+"""Delta frames: an unchanged deep stack prefix rides as markers.
+
+The stack analogue of the ``@cached`` statics delta (ROADMAP
+carry-over): when a thread whose segment was already shipped to a
+worker re-offloads with its suspended callers untouched, those deep
+frames travel as :class:`~repro.migration.state.FrameMarker`
+fingerprints instead of full activation records, and the receiver
+rehydrates them from the retained transfer-ledger copy.  The scheme is
+content-addressed — a marker is emitted only when the sender's
+recomputed fingerprint matches the retained record's — so correctness
+never depends on *why* the frames match, only that they do.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import gige_cluster
+from repro.errors import MigrationError
+from repro.lang import compile_source
+from repro.migration import SODEngine
+from repro.migration.capture import run_to_msp
+from repro.migration.state import (FRAME_MARKER_BYTES, CapturedFrame,
+                                   FrameMarker, frame_fingerprint)
+from repro.preprocess import preprocess_program
+
+#: three-deep call chain: ``main -> mid -> leaf``.  ``leaf`` loops
+#: through MSPs; the two suspended callers are byte-identical across
+#: same-argument spawns, which is what the delta elides.
+SRC = """
+class Q {
+  static int total;
+  static int leaf(int n) {
+    int acc = 0;
+    for (int i = 0; i < n; i = i + 1) {
+      acc = (acc * 31 + i + Q.total) % 100003;
+    }
+    Q.total = Q.total + 1;
+    return acc;
+  }
+  static int mid(int n) {
+    int r = Q.leaf(n + 3);
+    return r + 7;
+  }
+  static int main(int n) {
+    int out = Q.mid(n);
+    return out;
+  }
+}
+"""
+
+
+def _engine():
+    classes = preprocess_program(compile_source(SRC), "faulting")
+    return SODEngine(gige_cluster(2), classes, transfer_cache=True)
+
+
+def _spawn_frozen(eng, home, n, depth=3):
+    """Freeze a fresh ``main(n)`` thread at the first MSP reached at
+    call depth ``depth`` (inside ``leaf``) — a deterministic point, so
+    same-argument spawns freeze with identical stacks."""
+    t = eng.spawn(home, "Q", "main", [n])
+
+    def at_deep_msp(th):
+        return (len(th.frames) == depth
+                and th.frames[-1].pc in th.frames[-1].code.msps)
+
+    status = home.machine.run(t, stop=at_deep_msp, max_instrs=1_000_000)
+    assert status == "stopped", status
+    return t
+
+
+def _complete(eng, worker, wt, home, t, nframes):
+    eng.run(worker, wt)
+    eng.complete_segment(worker, wt, home, t, nframes)
+    return t.result
+
+
+def test_reoffload_elides_unchanged_deep_prefix():
+    eng = _engine()
+    home = eng.host("node0")
+
+    t = _spawn_frozen(eng, home, 6)
+    worker, wt, first = eng.migrate(home, t, "node1", 3)
+    assert first.cached_frames == 0  # nothing retained yet
+    r1 = _complete(eng, worker, wt, home, t, 3)
+    saved_before = eng.cluster.network.total_saved()
+
+    # Same shape, frozen at the same MSP with the same locals: the two
+    # suspended callers fingerprint-match the retained records.
+    t2 = _spawn_frozen(eng, home, 6)
+    worker, wt, second = eng.migrate(home, t2, "node1", 3)
+    assert second.cached_frames == 2  # main and mid elided; leaf ships
+    assert second.saved_bytes > 0
+    # The elision is metered on the modeled network like every other
+    # transfer-cache save.
+    assert eng.cluster.network.total_saved() \
+        >= saved_before + second.saved_bytes
+    r2 = _complete(eng, worker, wt, home, t2, 3)
+    # Q.total advanced between runs, so results differ — what must
+    # match is the independently computed expectation.
+    assert (r1, r2) == (_oracle(6, 0), _oracle(6, 1))
+
+
+def _oracle(n, total_before):
+    acc = 0
+    for i in range(n + 3):
+        acc = (acc * 31 + i + total_before) % 100003
+    return acc + 7
+
+
+def test_changed_deep_frame_breaks_the_prefix():
+    """A caller that advanced (different argument => different locals)
+    must ship fresh — and everything above it too, even if an outer
+    frame happens to match (restore order would otherwise splice stale
+    callers under fresh callees)."""
+    eng = _engine()
+    home = eng.host("node0")
+
+    t = _spawn_frozen(eng, home, 6)
+    worker, wt, _ = eng.migrate(home, t, "node1", 3)
+    _complete(eng, worker, wt, home, t, 3)
+
+    t2 = _spawn_frozen(eng, home, 7)  # different n: mid's locals differ
+    worker, wt, rec = eng.migrate(home, t2, "node1", 3)
+    # main(n) also holds n, so nothing in the prefix matches here.
+    assert rec.cached_frames == 0
+    _complete(eng, worker, wt, home, t2, 3)
+
+
+def test_top_frame_never_rides_as_marker():
+    """Even a (contrived) fingerprint-identical top frame ships full:
+    the restore drivers key class shipment and MSP checks off it."""
+    eng = _engine()
+    home = eng.host("node0")
+    for _ in range(2):
+        t = _spawn_frozen(eng, home, 6)
+        worker, wt, rec = eng.migrate(home, t, "node1", 1)  # leaf only
+        assert rec.cached_frames == 0  # single-frame segment: no prefix
+        _complete(eng, worker, wt, home, t, 1)
+
+
+def test_tampered_ledger_record_fails_closed():
+    """Rehydration re-fingerprints the retained record; a ledger whose
+    copy diverged from its stored fingerprint is a bug, and the restore
+    must refuse rather than splice in a wrong frame."""
+    eng = _engine()
+    home = eng.host("node0")
+
+    t = _spawn_frozen(eng, home, 6)
+    worker, wt, _ = eng.migrate(home, t, "node1", 3)
+    _complete(eng, worker, wt, home, t, 3)
+
+    led = eng.ledger("node0", "node1")
+    key = (None, "main")  # root namespace, default thread name
+    assert key in led.frames and len(led.frames[key]) == 3
+    fp0, rec0 = led.frames[key][0]
+    assert isinstance(rec0, CapturedFrame)
+    tampered = CapturedFrame(
+        class_name=rec0.class_name, method_name=rec0.method_name,
+        pc=rec0.pc, raw_pc=rec0.raw_pc, locals=list(rec0.locals))
+    tampered.locals[-1] = 999999  # content no longer matches fp0
+    led.frames[key][0] = (fp0, tampered)
+
+    t2 = _spawn_frozen(eng, home, 6)
+    with pytest.raises(MigrationError, match="ledger out of sync"):
+        eng.migrate(home, t2, "node1", 3)
+
+
+def test_marker_sizing_and_fingerprint_are_stable():
+    f = CapturedFrame(class_name="Q", method_name="mid", pc=1, raw_pc=2,
+                      locals=[5, None])
+    assert FrameMarker(frame_fingerprint(f)).state_bytes() \
+        == FRAME_MARKER_BYTES
+    assert frame_fingerprint(f) == frame_fingerprint(CapturedFrame(
+        class_name="Q", method_name="mid", pc=1, raw_pc=2,
+        locals=[5, None]))
+    g = CapturedFrame(class_name="Q", method_name="mid", pc=1, raw_pc=2,
+                      locals=[6, None])
+    assert frame_fingerprint(f) != frame_fingerprint(g)

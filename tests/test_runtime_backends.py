@@ -1,0 +1,213 @@
+"""The runtime seam: virtual and real backends behind one interface.
+
+Primitive-level contract tests for both runtimes, plus the suite the
+tentpole stands on: a same-seed **differential** between the
+multiprocess wall-clock backend and the virtual-time oracle on the
+paper mix — results, correctness flags, and tenant attribution must be
+equal request by request (timings and placement excluded — those are
+the quantities the backends are supposed to disagree on), and a
+worker-process crash must surface as chaos-style recovery on the
+survivors, never as a hang or a wrong answer.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import BACKENDS, get_runtime
+from repro.runtime.base import Runtime
+from repro.runtime.crosscheck import (CrosscheckError,
+                                      crosscheck_real_vs_virtual,
+                                      virtual_request_rows)
+from repro.runtime.real import RealRuntime, available_cores, serve_real
+from repro.runtime.virtual import VirtualRuntime
+
+#: small enough to stay civil on a 1-core CI box, large enough to mix
+#: programs and (with 2 procs) exercise the control plane
+N_SMALL = 6
+
+#: wall-clock ceiling for every real-backend run in this suite: these
+#: runs take ~1 s; a hang must fail loudly long before CI's timeout
+DEADLINE = float(os.environ.get("REPRO_REAL_DEADLINE_S", "180"))
+
+
+# -- factory and primitives ----------------------------------------------------
+
+
+def test_factory_resolves_both_backends():
+    assert set(BACKENDS) == {"virtual", "real"}
+    assert isinstance(get_runtime("virtual"), VirtualRuntime)
+    rt = get_runtime("real", procs=3)
+    assert isinstance(rt, RealRuntime) and rt.procs == 3
+    with pytest.raises(ValueError, match="unknown backend"):
+        get_runtime("imaginary")
+
+
+def test_runtime_interface_is_abstract():
+    with pytest.raises(TypeError):
+        Runtime()  # all four primitives + serve are abstract
+
+
+def test_virtual_primitives_run_on_the_kernel():
+    rt = VirtualRuntime()
+    fired = []
+    rt.timer(2.5, fired.append)
+    store = rt.store()
+
+    def consumer(out):
+        got = yield store.get()
+        out.append((rt.now(), got))
+
+    consumed = []
+    rt.spawn(consumer, consumed)
+    rt.spawn(lambda: store.put("item"))  # plain callable: runs inline
+    rt.run(until=10.0)
+    assert fired == [None] and consumed == [(0.0, "item")]
+    assert rt.now() == 2.5  # the kernel stops at the last event
+    # transfers price through the modeled link spec: deterministic, > 0
+    t = rt.transfer("node0", "node1", 10_000)
+    assert t == rt.transfer("node0", "node1", 10_000) > 0.0
+
+
+def test_virtual_serve_is_the_unchanged_scheduler_path():
+    rt = VirtualRuntime()
+    rep = rt.serve(mix="paper", n_requests=N_SMALL, seed=7)
+    assert rep["backend"] == "virtual"
+    assert rep["served"] == rep["correct"] == N_SMALL
+
+
+def test_real_runtime_primitives_are_wall_clock():
+    rt = RealRuntime(procs=2)
+    assert rt.procs == 2
+    before = rt.now()
+    done = []
+    t = rt.spawn(lambda: done.append(True))
+    t.join(5.0)
+    assert done == [True] and rt.now() >= before
+    q = rt.store()
+    q.put(1)
+    assert q.get(timeout=5.0) == 1
+    rt.transfer("a", "b", 100)
+    rt.transfer("a", "b", 28)
+    assert rt.bytes_moved[("a", "b")] == 128
+
+
+def test_real_runtime_rejects_virtual_only_knobs():
+    rt = RealRuntime(procs=1)
+    with pytest.raises(ValueError, match="virtual oracle"):
+        rt.serve(mix="paper", n_requests=2, seed=7,
+                 fault_plan=[("crash", 0.1)])
+
+
+def test_real_backend_needs_at_least_one_proc():
+    with pytest.raises(ValueError, match="at least one worker"):
+        serve_real(mix="paper", n_requests=2, seed=7, procs=0)
+
+
+# -- the differential ----------------------------------------------------------
+
+
+def _real(n=N_SMALL, seed=7, procs=2, **kw):
+    kw.setdefault("deadline_s", DEADLINE)
+    return serve_real(mix="paper", n_requests=n, seed=seed, procs=procs,
+                      **kw)
+
+
+def test_real_backend_serves_the_paper_mix_correctly():
+    rep = _real()
+    assert rep["backend"] == "real" and rep["procs"] == 2
+    assert rep["served"] == rep["correct"] == N_SMALL
+    assert rep["failed"] == rep["unserved"] == 0
+    # every request rode a real process: worker attribution is total
+    assert {r["worker"] for r in rep["requests"]} <= {"proc0", "proc1"}
+    assert rep["wall"]["seconds"] > 0.0
+
+
+def test_same_seed_virtual_and_real_agree_request_by_request():
+    rep = _real()
+    summary = crosscheck_real_vs_virtual(rep)
+    assert summary["ok"] and summary["compared"] == N_SMALL
+
+
+def test_crosscheck_catches_a_wrong_result():
+    rep = _real()
+    rep["requests"][2]["result"] = "corrupted"
+    rep["requests"][2]["correct"] = False
+    with pytest.raises(CrosscheckError, match="req 2"):
+        crosscheck_real_vs_virtual(rep)
+
+
+def test_crosscheck_catches_a_missing_request():
+    rep = _real()
+    del rep["requests"][1]
+    with pytest.raises(CrosscheckError, match="req 1: missing"):
+        crosscheck_real_vs_virtual(rep)
+
+
+def test_differential_with_tenants_preserves_attribution():
+    from repro.serve import parse_tenants
+    tenants = parse_tenants("gold:w=3,free:w=1")
+    rep = _real(n=N_SMALL, tenants=tenants, arrival_rate=50.0)
+    assert rep.get("tenants"), "per-tenant counters missing"
+    summary = crosscheck_real_vs_virtual(rep, tenants=tenants,
+                                         arrival_rate=50.0)
+    assert summary["ok"]
+
+
+def test_virtual_rows_align_with_real_rids():
+    """The alignment invariant the cross-checker rests on: row *i* of
+    the virtual run is the same (program, args) as real rid *i*."""
+    rows = virtual_request_rows(mix="paper", n_requests=N_SMALL, seed=7)
+    rep = _real()
+    assert len(rows) == N_SMALL
+    for i, v in enumerate(rows):
+        r = rep["requests"][i]
+        assert (r["rid"], r["program"], tuple(r["args"])) == \
+            (i, v["program"], tuple(v["args"]))
+
+
+def test_migration_ships_real_bytes_and_stays_correct():
+    """A small quantum forces mid-request control traffic: stolen work
+    crosses the pipe as an eager SOD image with verified class tokens,
+    and every result still matches the oracle."""
+    rep = _real(n=4, seed=7, quantum=2000)
+    s = rep["sched"]
+    crosscheck_real_vs_virtual(rep)
+    if s["migrations"]:  # timing-dependent on a loaded box
+        assert s["image_bytes"] > 0 and s["token_bytes"] > 0
+
+
+# -- crash recovery ------------------------------------------------------------
+
+
+def test_worker_crash_recovers_like_chaos_crash_node():
+    """SIGKILL a worker mid-run: the control plane must requeue its
+    outstanding requests onto survivors (counted as crashes/retries,
+    the chaos ``crash_node`` vocabulary) and the run must still produce
+    oracle-correct results for *every* request — no hang, no loss."""
+    rep = _real(n=8, procs=2,
+                fault_plan={"kill_worker": 0, "after_done": 2})
+    s = rep["sched"]
+    assert s["crashes"] == 1
+    assert s["retries"] >= 1
+    assert rep["served"] == rep["correct"] == 8
+    crosscheck_real_vs_virtual(rep)
+    # the survivor finished the dead worker's share
+    survivors = {r["worker"] for r in rep["requests"]}
+    assert "proc1" in survivors
+
+
+def test_wedged_run_hits_the_deadline_not_a_hang():
+    """Kill the only worker after everything it owes is dispatched but
+    with completions still outstanding *and no survivor to requeue to*:
+    the run must terminate with a loud error, never block on a pipe."""
+    with pytest.raises(RuntimeError, match="all workers dead"):
+        serve_real(mix="paper", n_requests=4, seed=7, procs=1,
+                   fault_plan={"kill_worker": 0, "after_done": 1},
+                   deadline_s=DEADLINE)
+
+
+def test_available_cores_reports_a_positive_count():
+    assert available_cores() >= 1
